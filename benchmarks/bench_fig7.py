@@ -1,0 +1,106 @@
+"""Benchmark + regeneration of the paper's Figure 7.
+
+Accuracy of hand-derived bounds: the derived bound plotted against the
+measured stack usage of the compiled program across inputs —
+
+* top plot: ``bsearch`` over array lengths up to 4000 against
+  ``M·(2 + log2 x)`` (paper: ``40(1 + log2 x)``);
+* bottom plot: ``fact_sq`` over arguments up to 40 against
+  ``M_fs + M_f·(1 + x²)`` (paper: ``40 + 24x²``).
+
+The measured series is obtained exactly as in the paper: run the
+compiled program under the stack monitor (our ptrace analog) for each
+input.  Measurement isolates the function's own usage by subtracting the
+driver ``main``'s frame.
+
+    python benchmarks/bench_fig7.py
+    pytest benchmarks/bench_fig7.py --benchmark-only
+"""
+
+import pytest
+
+from repro.driver import compile_c
+from repro.measure import measure_compilation
+from repro.programs.loader import load_source
+from repro.programs.table2 import bsearch_spec, fact_sq_spec
+
+BSEARCH_SIZES = [2, 4, 8, 16, 32, 64, 125, 250, 500, 1000, 2000, 4000]
+FACT_SQ_ARGS = [1, 2, 4, 8, 12, 16, 24, 32, 40]
+
+
+def sweep_bsearch(sizes=BSEARCH_SIZES):
+    source = load_source("recursive/bsearch.c")
+    spec = bsearch_spec()
+    rows = []
+    for n in sizes:
+        compilation = compile_c(source, macros={"N": str(n)})
+        run = measure_compilation(compilation, fuel=200_000_000)
+        assert run.converged, run.behavior
+        metric = compilation.metric
+        measured = run.measured_bytes - metric.cost("main")
+        bound = spec.total_bytes(metric, {"n": n})
+        rows.append((n, measured, bound))
+    return rows
+
+
+def sweep_fact_sq(args=FACT_SQ_ARGS):
+    source = load_source("recursive/fact_sq.c")
+    spec = fact_sq_spec()
+    rows = []
+    for n in args:
+        compilation = compile_c(source, macros={"N": str(n)})
+        run = measure_compilation(compilation, fuel=200_000_000)
+        assert run.converged, run.behavior
+        metric = compilation.metric
+        measured = run.measured_bytes - metric.cost("main")
+        bound = spec.total_bytes(metric, {"n": n})
+        rows.append((n, measured, bound))
+    return rows
+
+
+def print_series(title, xlabel, rows):
+    print()
+    print(title)
+    print(f"{xlabel:>8s}  {'measured':>10s}  {'bound':>10s}  {'slack':>6s}")
+    for x, measured, bound in rows:
+        print(f"{x:8d}  {measured:10d}  {bound:10d}  {bound - measured:6d}")
+
+
+def check_series(rows, logarithmic):
+    for _x, measured, bound in rows:
+        assert measured <= bound - 4
+    xs = [r[0] for r in rows]
+    measured = [r[1] for r in rows]
+    # Shape check: monotone growth, and for the logarithmic series the
+    # growth per doubling is one frame.
+    assert measured == sorted(measured)
+    if logarithmic:
+        doubling_steps = [measured[i + 1] - measured[i]
+                          for i in range(len(xs) - 1)
+                          if xs[i + 1] == 2 * xs[i]]
+        frame = doubling_steps[0]
+        assert all(step == frame for step in doubling_steps[1:])
+
+
+@pytest.mark.table
+def test_fig7_bsearch(benchmark):
+    rows = benchmark.pedantic(sweep_bsearch, rounds=1, iterations=1)
+    print_series("Figure 7 (top): bsearch, measured vs M*(2+log2 x)",
+                 "length", rows)
+    check_series(rows, logarithmic=True)
+
+
+@pytest.mark.table
+def test_fig7_fact_sq(benchmark):
+    rows = benchmark.pedantic(sweep_fact_sq, rounds=1, iterations=1)
+    print_series("Figure 7 (bottom): fact_sq, measured vs M_fs + M_f*(1+x^2)",
+                 "x", rows)
+    check_series(rows, logarithmic=False)
+    # Quadratic shape: measured(2x) - overhead is about 4x measured(x).
+    by_x = {x: m for x, m, _b in rows}
+    assert by_x[32] > 3.5 * by_x[16]
+
+
+if __name__ == "__main__":
+    print_series("Figure 7 (top): bsearch", "length", sweep_bsearch())
+    print_series("Figure 7 (bottom): fact_sq", "x", sweep_fact_sq())

@@ -1,0 +1,69 @@
+"""Benchmark + regeneration of the paper's Table 1.
+
+"Automatically verified stack bounds for C functions": for every file of
+the suite, compile with Quantitative CompCert, run the certified stack
+analyzer, and print the per-function verified bounds in bytes.
+
+Run standalone for the full table:
+
+    python benchmarks/bench_table1.py
+
+or under pytest-benchmark (times the verify-compile-analyze pipeline):
+
+    pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.driver import verify_stack_bounds
+from repro.programs.catalog import TABLE1
+from repro.programs.loader import load_source
+
+
+def analyze_entry(entry):
+    source = load_source(entry.path)
+    bounds = verify_stack_bounds(source, filename=entry.path,
+                                 macros=entry.macros)
+    return [(fn, bounds.bytes(fn)) for fn in entry.functions]
+
+
+def generate_table1():
+    """All rows of Table 1 as (file, function, bytes)."""
+    rows = []
+    for entry in TABLE1:
+        for fn, byte_bound in analyze_entry(entry):
+            rows.append((entry.display_name, fn, byte_bound))
+    return rows
+
+
+def print_table1(rows):
+    print()
+    print(f"{'File Name':30s}  {'Function Name':22s}  Verified Stack Bound")
+    print("-" * 76)
+    previous = None
+    for display, fn, byte_bound in rows:
+        shown = display if display != previous else ""
+        previous = display
+        print(f"{shown:30s}  {fn:22s}  {byte_bound} bytes")
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("entry", TABLE1, ids=lambda e: e.display_name)
+def test_table1_entry(benchmark, entry):
+    rows = benchmark(analyze_entry, entry)
+    assert rows
+    assert all(byte_bound >= 4 for _fn, byte_bound in rows)
+    benchmark.extra_info["bounds"] = {fn: b for fn, b in rows}
+
+
+@pytest.mark.table
+def test_table1_full(benchmark):
+    rows = benchmark.pedantic(generate_table1, rounds=1, iterations=1)
+    print_table1(rows)
+    # Sanity of the table's shape: every function is bounded, leaf
+    # functions cost exactly one frame (SF + 4 >= 4).
+    assert len(rows) == sum(len(e.functions) for e in TABLE1)
+
+
+if __name__ == "__main__":
+    print_table1(generate_table1())

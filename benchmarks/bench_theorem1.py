@@ -1,0 +1,67 @@
+"""Benchmark for Theorem 1: verified bounds vs. minimal working stacks.
+
+For each automatically analyzable program, report
+
+* the verified bound ``sz`` for ``main``;
+* that the program converges on a stack of exactly ``sz + 4`` bytes
+  (Theorem 1's guarantee);
+* the minimal word-aligned stack on which it converges (found by binary
+  search) — always exactly ``sz - 4`` on this suite, the paper's
+  "4 bytes" accuracy claim read from the other side.
+
+    python benchmarks/bench_theorem1.py
+    pytest benchmarks/bench_theorem1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.analyzer import StackAnalyzer
+from repro.driver import compile_c
+from repro.events.trace import Converges, GoesWrong
+from repro.measure import minimal_stack
+from repro.programs.catalog import AUTO_ANALYZABLE
+from repro.programs.loader import load_source
+
+FUEL = 200_000_000
+
+
+def theorem1_row(path):
+    compilation = compile_c(load_source(path), filename=path)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    sz = analysis.bound_bytes("main", compilation.metric)
+    behavior, machine = compilation.run(stack_bytes=sz + 4, fuel=FUEL)
+    assert isinstance(behavior, Converges), f"{path} overflowed at its bound"
+    minimal = minimal_stack(compilation, sz, fuel=FUEL)
+    below, _m = compilation.run(stack_bytes=minimal + 4 - 4, fuel=FUEL)
+    return {
+        "path": path,
+        "bound": sz,
+        "minimal": minimal,
+        "overflow_below_minimal": isinstance(below, GoesWrong),
+    }
+
+
+def generate_rows():
+    return [theorem1_row(path) for path in AUTO_ANALYZABLE]
+
+
+def print_rows(rows):
+    print()
+    print(f"{'File':28s}  {'bound sz':>9s}  {'min stack':>9s}  gap")
+    print("-" * 60)
+    for row in rows:
+        print(f"{row['path']:28s}  {row['bound']:9d}  {row['minimal']:9d}  "
+              f"{row['bound'] - row['minimal']}")
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("path", AUTO_ANALYZABLE)
+def test_theorem1_per_program(benchmark, path):
+    row = benchmark.pedantic(theorem1_row, args=(path,), rounds=1,
+                             iterations=1)
+    assert row["bound"] - row["minimal"] == 4
+    assert row["overflow_below_minimal"]
+
+
+if __name__ == "__main__":
+    print_rows(generate_rows())

@@ -1,0 +1,8 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table: benchmark regenerates a paper table/figure")

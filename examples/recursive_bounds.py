@@ -1,0 +1,72 @@
+"""Interactive (manual) bounds for recursive functions — Table 2 + Fig 7.
+
+The automatic analyzer refuses recursion; the quantitative Hoare logic
+does not.  This example walks the ``bsearch`` proof (the paper's Fig. 6),
+checks its induction step, sweeps inputs on the ASMsz machine, and draws
+the Figure 7 comparison as a text plot.
+
+    python examples/recursive_bounds.py
+"""
+
+from repro.analyzer import StackAnalyzer
+from repro.driver import compile_c
+from repro.errors import AnalysisError
+from repro.logic.recursion import check_spec
+from repro.measure import measure_compilation
+from repro.programs.loader import load_source
+from repro.programs.table2 import bsearch_spec, build_spec_table
+
+SIZES = [4, 16, 64, 256, 1024, 4096]
+
+
+def main():
+    source = load_source("recursive/bsearch.c")
+
+    # The automatic analyzer rejects recursion, as in the paper (§5).
+    compilation = compile_c(source, macros={"N": "64"})
+    try:
+        StackAnalyzer(compilation.clight).analyze()
+    except AnalysisError as exc:
+        print(f"automatic analyzer: {exc}\n")
+
+    # The manual spec with auxiliary state: P(Δ) = M(bsearch)·(1+log2 Δ).
+    table = build_spec_table()
+    spec = table.recursive["bsearch"]
+    report = check_spec(spec, table)
+    print(f"manual spec for bsearch: {spec.description}")
+    print(f"induction step verified on {report.instances} instances "
+          f"({report.obligation_checks} call obligations, exact in the "
+          "metric)\n")
+
+    # Sweep array sizes, measure on ASMsz, compare with the bound.
+    print(f"{'N':>6s} {'measured':>9s} {'bound':>7s}  (bytes, bsearch only)")
+    rows = []
+    for n in SIZES:
+        compilation = compile_c(source, macros={"N": str(n)})
+        run = measure_compilation(compilation, fuel=200_000_000)
+        metric = compilation.metric
+        measured = run.measured_bytes - metric.cost("main")
+        bound = spec.total_bytes(metric, {"n": n})
+        rows.append((n, measured, bound))
+        print(f"{n:6d} {measured:9d} {bound:7d}")
+
+    # A Figure 7-style text plot: '#' measured, '|' the bound.
+    print("\nFigure 7 (top), as ASCII:")
+    scale = max(bound for _n, _m, bound in rows) / 60
+    for n, measured, bound in rows:
+        bar = "#" * int(measured / scale)
+        pad = " " * max(0, int(bound / scale) - len(bar))
+        print(f"{n:6d} {bar}{pad}|")
+    print("\nthe staircase grows by one fixed frame per doubling — the "
+          "logarithmic shape of the verified bound.")
+
+    # The modular proof: filter_find composes bsearch's bound.
+    ff = table.recursive["filter_find"]
+    print(f"\nfilter_find reuses it: {ff.description}")
+    check_spec(ff, table)
+    print("filter_find induction step verified (composing specs, like the "
+          "paper composes the bsearch proof into filter_find).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro: end-to-end verification of stack-space bounds for C programs.
+
+A from-scratch Python reproduction of "End-to-End Verification of
+Stack-Space Bounds for C Programs" (Carbonneaux, Hoffmann, Ramananandro,
+Shao — PLDI 2014): a quantitative-CompCert-style compiler from a C subset
+to a finite-stack x86-like assembly, a quantitative Hoare logic with an
+executable derivation checker, a certified automatic stack analyzer, and
+the measurement infrastructure reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import verify_stack_bounds
+
+    bounds = verify_stack_bounds(open("prog.c").read())
+    print(bounds.all_bytes())          # verified per-function byte bounds
+    behavior, machine = bounds.compilation.run(
+        stack_bytes=bounds.stack_requirement() + 4)   # cannot overflow
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.analyzer import StackAnalyzer
+from repro.driver import (Compilation, CompilerOptions, VerifiedBounds,
+                          compile_c, compile_clight, verify_stack_bounds)
+from repro.events import (CallEvent, Converges, Diverges, GoesWrong, IOEvent,
+                          ReturnEvent, StackMetric, prune, weight)
+from repro.measure import measure_c_program, measure_compilation
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "compile_c",
+    "compile_clight",
+    "verify_stack_bounds",
+    "Compilation",
+    "CompilerOptions",
+    "VerifiedBounds",
+    "StackAnalyzer",
+    "StackMetric",
+    "measure_c_program",
+    "measure_compilation",
+    "CallEvent",
+    "ReturnEvent",
+    "IOEvent",
+    "Converges",
+    "Diverges",
+    "GoesWrong",
+    "prune",
+    "weight",
+    "__version__",
+]

@@ -1,0 +1,233 @@
+"""Command-line driver: Quantitative CompCert as a tool.
+
+    python -m repro bounds  prog.c          # verified per-function bounds
+    python -m repro run     prog.c          # execute on ASMsz + measure
+    python -m repro dump    prog.c --level asm
+    python -m repro trace   prog.c          # event trace of the execution
+
+Common flags: ``-D NAME=VALUE`` feeds the preprocessor, ``--no-constprop``
+/ ``--no-deadcode`` / ``--cse`` / ``--tailcall`` / ``--spill-all`` toggle
+passes, ``--stack BYTES`` sets the preallocated ASMsz stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyzer import StackAnalyzer
+from repro.driver import CompilerOptions, compile_c
+from repro.errors import ReproError
+from repro.events.trace import Converges, weight_of_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end verified stack bounds for C programs "
+                    "(PLDI 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="C source file")
+        p.add_argument("-D", dest="defines", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="preprocessor definition (repeatable)")
+        p.add_argument("--no-constprop", action="store_true")
+        p.add_argument("--no-deadcode", action="store_true")
+        p.add_argument("--cse", action="store_true",
+                       help="enable common-subexpression elimination")
+        p.add_argument("--tailcall", action="store_true",
+                       help="enable self-tail-call recognition")
+        p.add_argument("--spill-all", action="store_true",
+                       help="disable register allocation (ablation)")
+        return p
+
+    bounds = add_common(sub.add_parser(
+        "bounds", help="derive and print verified stack bounds"))
+    bounds.add_argument("--check", action="store_true",
+                        help="re-check the emitted logic derivations")
+
+    run = add_common(sub.add_parser(
+        "run", help="execute on the finite-stack ASMsz machine"))
+    run.add_argument("--stack", type=int, default=None, metavar="BYTES",
+                     help="stack size sz (default: the verified bound)")
+    run.add_argument("--fuel", type=int, default=200_000_000)
+
+    dump = add_common(sub.add_parser(
+        "dump", help="print an intermediate representation"))
+    dump.add_argument("--level", default="asm",
+                      choices=["clight", "rtl", "linear", "mach", "asm"])
+    dump.add_argument("--function", default=None,
+                      help="restrict the dump to one function")
+
+    trace = add_common(sub.add_parser(
+        "trace", help="print the event trace of one execution"))
+    trace.add_argument("--fuel", type=int, default=5_000_000)
+    trace.add_argument("--limit", type=int, default=200,
+                       help="maximum number of events to print")
+
+    certify = add_common(sub.add_parser(
+        "certify", help="emit a re-checkable proof certificate (JSON)"))
+    certify.add_argument("-o", "--output", default=None,
+                         help="write the certificate here (default stdout)")
+
+    check = add_common(sub.add_parser(
+        "check-cert", help="re-check a certificate against a program"))
+    check.add_argument("certificate", help="certificate JSON file")
+    return parser
+
+
+def _options(args) -> CompilerOptions:
+    return CompilerOptions(
+        constprop=not args.no_constprop,
+        deadcode=not args.no_deadcode,
+        cse=args.cse,
+        tailcall=args.tailcall,
+        spill_everything=args.spill_all)
+
+
+def _macros(args) -> dict[str, str]:
+    macros = {}
+    for item in args.defines:
+        name, _, value = item.partition("=")
+        macros[name] = value or "1"
+    return macros
+
+
+def _compile(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    return compile_c(source, filename=args.file, macros=_macros(args),
+                     options=_options(args))
+
+
+def cmd_bounds(args) -> int:
+    compilation = _compile(args)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    if args.check:
+        report = analysis.check()
+        status = "exact" if report.fully_exact else "sampled"
+        print(f"# derivations re-checked: {report.nodes} nodes, "
+              f"{report.exact_conditions} side conditions ({status})")
+    metric = compilation.metric
+    print(f"{'function':24s} {'SF':>6s} {'M(f)':>6s} {'bound':>8s}")
+    for name in sorted(analysis.functions):
+        print(f"{name:24s} {compilation.frame_sizes[name]:6d} "
+              f"{metric.cost(name):6d} "
+              f"{analysis.bound_bytes(name, metric):8d}")
+    main_bound = analysis.bound_bytes(compilation.asm.main, metric)
+    print(f"\nstack requirement for {compilation.asm.main}: "
+          f"{main_bound} bytes (run with --stack {main_bound})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    compilation = _compile(args)
+    if args.stack is None:
+        analysis = StackAnalyzer(compilation.clight).analyze()
+        sz = analysis.bound_bytes(compilation.asm.main, compilation.metric)
+        print(f"# using the verified bound as stack size: {sz} bytes")
+    else:
+        sz = args.stack
+    output: list = []
+    behavior, machine = compilation.run(stack_bytes=sz + 4, output=output,
+                                        fuel=args.fuel)
+    for item in output:
+        print(item)
+    print(f"# {type(behavior).__name__}"
+          + (f", exit code {behavior.return_code}"
+             if isinstance(behavior, Converges) else
+             f": {getattr(behavior, 'reason', '')}"))
+    print(f"# measured stack usage: {machine.measured_stack_usage} bytes "
+          f"(of {sz} available)")
+    if isinstance(behavior, Converges):
+        return behavior.return_code & 0xFF
+    return 125
+
+
+def cmd_dump(args) -> int:
+    compilation = _compile(args)
+    if args.level == "clight":
+        program = compilation.clight
+        names = [args.function] if args.function else program.functions
+        for name in names:
+            function = program.function(name)
+            print(f"{name}(params={function.params}, "
+                  f"stackvars={function.stackvars})")
+            print(f"    {function.body!r}")
+        return 0
+    level = {"rtl": compilation.rtl, "linear": compilation.linear,
+             "mach": compilation.mach, "asm": compilation.asm}[args.level]
+    names = [args.function] if args.function else list(level.functions)
+    for name in names:
+        print(level.functions[name].pretty())
+        print()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.clight.semantics import run_program
+
+    compilation = _compile(args)
+    behavior = run_program(compilation.clight, fuel=args.fuel)
+    for event in behavior.trace[:args.limit]:
+        print(repr(event))
+    if len(behavior.trace) > args.limit:
+        print(f"... ({len(behavior.trace) - args.limit} more events)")
+    weight = weight_of_trace(compilation.metric, behavior.trace)
+    print(f"# {type(behavior).__name__}; {len(behavior.trace)} events; "
+          f"weight under the compiled metric: {weight} bytes")
+    return 0
+
+
+def cmd_certify(args) -> int:
+    from repro.logic.certificate import export_certificate
+
+    compilation = _compile(args)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    text = export_certificate(analysis)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"# certificate for {len(analysis.functions)} functions "
+              f"written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_check_cert(args) -> int:
+    from repro.logic.certificate import load_certificate
+    from repro.logic.bexpr import evaluate
+
+    compilation = _compile(args)
+    with open(args.certificate) as handle:
+        text = handle.read()
+    _gamma, bounds, report = load_certificate(text, compilation.clight)
+    status = "exact" if report.fully_exact else "sampled"
+    print(f"# certificate OK: {report.nodes} rule applications re-checked "
+          f"({status})")
+    metric = compilation.metric.as_dict()
+    for name in sorted(bounds):
+        print(f"{name:24s} {int(evaluate(bounds[name], metric)):8d} bytes")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {"bounds": cmd_bounds, "run": cmd_run, "dump": cmd_dump,
+               "trace": cmd_trace, "certify": cmd_certify,
+               "check-cert": cmd_check_cert}[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The automatic stack analyzer (paper §5).
+
+``auto_bound`` walks a Clight AST and computes, for every statement, a
+ground bound expression over metric atoms ``M(f)`` — *and a derivation in
+the quantitative Hoare logic* establishing that bound, so every run of the
+analyzer is self-certifying and composes with interactively proved specs.
+
+The analyzer handles exactly what the paper's does: programs without
+recursion and without function pointers (the front end already excludes
+the latter).  Functions are processed in topological call-graph order.
+"""
+
+from repro.analyzer.auto import AnalysisResult, StackAnalyzer, auto_bound
+from repro.analyzer.callgraph import CallGraph, build_call_graph
+
+__all__ = ["StackAnalyzer", "AnalysisResult", "auto_bound", "CallGraph",
+           "build_call_graph"]

@@ -1,0 +1,195 @@
+"""``auto_bound``: certified automatic stack-bound inference (paper §5).
+
+For every Clight statement the analyzer returns a ground bound ``B`` and a
+derivation concluding ``{B} S {(B, B, B, B)}`` — the statement needs at
+most ``B`` bytes of stack for its calls and restores all of it on every
+exit.  Composite statements are combined exactly as in the paper's Fig. 5:
+sub-derivations are lifted to the common bound ``max(B1, B2)`` with
+Q:FRAME (the frame constant being the difference ``max - Bi``), then
+joined with the structural rule.
+
+Because the sub-derivations' bounds are ground max-plus expressions, every
+side condition of the emitted derivation is discharged *exactly* by the
+checker — the analyzer never relies on sampled comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.analyzer.callgraph import build_call_graph
+from repro.clight import ast as cl
+from repro.errors import AnalysisError
+from repro.events.metrics import StackMetric
+from repro.logic import derivation as dv
+from repro.logic.assertions import FunContext, FunSpec, Post
+from repro.logic.bexpr import (BExpr, BFrameDiff, ZERO, badd, bmax, bmetric,
+                               evaluate)
+from repro.logic.checker import CheckerContext, CheckReport, \
+    check_function_spec
+
+
+def auto_bound(stmt: cl.Stmt, gamma: FunContext,
+               externals: Optional[set[str]] = None
+               ) -> tuple[BExpr, dv.Derivation]:
+    """Bound one statement; returns ``(B, derivation of {B} S {B,B,B,B})``."""
+    externals = externals or set()
+
+    if isinstance(stmt, cl.SSkip):
+        return ZERO, dv.DSkip(_uniform_triple(ZERO, stmt))
+    if isinstance(stmt, cl.SSet):
+        return ZERO, dv.DSet(_uniform_triple(ZERO, stmt))
+    if isinstance(stmt, cl.SStore):
+        return ZERO, dv.DStore(_uniform_triple(ZERO, stmt))
+    if isinstance(stmt, cl.SBreak):
+        return ZERO, dv.DBreak(_uniform_triple(ZERO, stmt))
+    if isinstance(stmt, cl.SContinue):
+        return ZERO, dv.DContinue(_uniform_triple(ZERO, stmt))
+    if isinstance(stmt, cl.SReturn):
+        return ZERO, dv.DReturn(_uniform_triple(ZERO, stmt))
+    if isinstance(stmt, cl.SCall):
+        return _bound_call(stmt, gamma, externals)
+    if isinstance(stmt, cl.SSeq):
+        bound1, deriv1 = auto_bound(stmt.first, gamma, externals)
+        bound2, deriv2 = auto_bound(stmt.second, gamma, externals)
+        total = bmax(bound1, bound2)
+        node = dv.DSeq(_uniform_triple(total, stmt),
+                       _lift(deriv1, total), _lift(deriv2, total))
+        return total, node
+    if isinstance(stmt, cl.SIf):
+        bound1, deriv1 = auto_bound(stmt.then, gamma, externals)
+        bound2, deriv2 = auto_bound(stmt.otherwise, gamma, externals)
+        total = bmax(bound1, bound2)
+        node = dv.DIf(_uniform_triple(total, stmt),
+                      _lift(deriv1, total), _lift(deriv2, total))
+        return total, node
+    if isinstance(stmt, cl.SLoop):
+        bound1, deriv1 = auto_bound(stmt.body, gamma, externals)
+        bound2, deriv2 = auto_bound(stmt.post, gamma, externals)
+        total = bmax(bound1, bound2)
+        node = dv.DLoop(_uniform_triple(total, stmt),
+                        _lift(deriv1, total), _lift(deriv2, total))
+        return total, node
+    if isinstance(stmt, cl.SBlock):
+        bound, deriv = auto_bound(stmt.body, gamma, externals)
+        node = dv.DBlock(_uniform_triple(bound, stmt), deriv)
+        return bound, node
+    raise AnalysisError(f"statement not supported by the analyzer: "
+                        f"{type(stmt).__name__}")
+
+
+def _bound_call(stmt: cl.SCall, gamma: FunContext,
+                externals: set[str]) -> tuple[BExpr, dv.Derivation]:
+    if stmt.callee in gamma:
+        spec = gamma[stmt.callee]
+        if spec.params:
+            raise AnalysisError(
+                f"{stmt.callee!r} has a parametric spec; the automatic "
+                "analyzer only composes ground bounds — frame it manually")
+        cost = bmetric(stmt.callee)
+        total = badd(spec.pre, cost)
+        post = badd(spec.post, cost)
+        triple = dv.Triple(total, stmt, Post(post, post, post, post))
+        return total, dv.DCall(triple, stmt.callee, {})
+    if stmt.callee in externals:
+        return ZERO, dv.DExternal(_uniform_triple(ZERO, stmt), stmt.callee)
+    raise AnalysisError(
+        f"call to {stmt.callee!r}: no specification in Γ and not a known "
+        "external (is the call graph processed in topological order?)")
+
+
+def _uniform_triple(bound: BExpr, stmt: cl.Stmt) -> dv.Triple:
+    return dv.Triple(bound, stmt, Post.uniform(bound))
+
+
+def _lift(deriv: dv.Derivation, target: BExpr) -> dv.Derivation:
+    """Frame a derivation up to ``target`` (Fig. 5's Q:FRAME step)."""
+    current = deriv.conclusion.pre
+    if repr(current) == repr(target):
+        return deriv
+    diff = BFrameDiff(target, current)
+    lifted = dv.Triple(
+        badd(current, diff), deriv.conclusion.stmt,
+        deriv.conclusion.post.map(lambda q: badd(q, diff)))
+    return dv.DFrame(lifted, diff, deriv)
+
+
+# ---------------------------------------------------------------------------
+# Whole-program analysis
+# ---------------------------------------------------------------------------
+
+
+class FunctionAnalysis:
+    """Per-function result: spec, derivation, total symbolic bound."""
+
+    __slots__ = ("name", "body_bound", "total_bound", "derivation")
+
+    def __init__(self, name: str, body_bound: BExpr, total_bound: BExpr,
+                 derivation: dv.Derivation) -> None:
+        self.name = name
+        self.body_bound = body_bound
+        self.total_bound = total_bound
+        self.derivation = derivation
+
+    def __repr__(self) -> str:
+        return f"FunctionAnalysis({self.name}: {self.total_bound!r})"
+
+
+class AnalysisResult:
+    """The output of a whole-program automatic analysis."""
+
+    def __init__(self, program: cl.Program, gamma: FunContext,
+                 functions: dict[str, FunctionAnalysis],
+                 elapsed_seconds: float) -> None:
+        self.program = program
+        self.gamma = gamma
+        self.functions = functions
+        self.elapsed_seconds = elapsed_seconds
+
+    def bound_expr(self, name: str) -> BExpr:
+        """The symbolic bound for *calling* ``name`` (includes its frame)."""
+        return self.functions[name].total_bound
+
+    def bound_bytes(self, name: str, metric: StackMetric) -> int:
+        """The concrete byte bound under a compiler-produced metric."""
+        value = evaluate(self.bound_expr(name), metric.as_dict())
+        if value == float("inf"):
+            raise AnalysisError(f"bound of {name} is unbounded")
+        return int(value)
+
+    def check(self, externals: Optional[set[str]] = None) -> CheckReport:
+        """Re-validate every emitted derivation with the logic checker."""
+        ctx = CheckerContext(self.gamma,
+                             externals=externals or self.program.externals)
+        report = CheckReport()
+        for name, analysis in self.functions.items():
+            function = self.program.function(name)
+            check_function_spec(function, analysis.derivation, ctx, report)
+        return report
+
+
+class StackAnalyzer:
+    """Analyze a whole Clight program in topological call order."""
+
+    def __init__(self, program: cl.Program) -> None:
+        self.program = program
+
+    def analyze(self) -> AnalysisResult:
+        start = time.perf_counter()
+        graph = build_call_graph(self.program)
+        order = graph.topological_order()
+        gamma = FunContext()
+        results: dict[str, FunctionAnalysis] = {}
+        externals = set(self.program.externals)
+        for name in order:
+            function = self.program.function(name)
+            body_bound, derivation = auto_bound(function.body, gamma,
+                                                externals)
+            gamma.add(FunSpec.constant(name, body_bound,
+                                       description="auto_bound"))
+            total = badd(bmetric(name), body_bound)
+            results[name] = FunctionAnalysis(name, body_bound, total,
+                                             derivation)
+        elapsed = time.perf_counter() - start
+        return AnalysisResult(self.program, gamma, results, elapsed)

@@ -1,0 +1,116 @@
+"""Call graphs of Clight programs, with recursion detection.
+
+The automatic analyzer needs functions in topological order of the call
+graph and must reject recursion (paper §5).  Strongly connected components
+are computed with Tarjan's algorithm so that the error message can name
+the whole recursive cycle, not just one function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.clight import ast as cl
+from repro.errors import AnalysisError
+
+
+class CallGraph:
+    def __init__(self, program: cl.Program) -> None:
+        self.program = program
+        self.calls: dict[str, set[str]] = {}
+        self.external_calls: dict[str, set[str]] = {}
+        for name, function in program.functions.items():
+            internal: set[str] = set()
+            external: set[str] = set()
+            for callee in _callees(function.body):
+                if program.is_internal(callee):
+                    internal.add(callee)
+                else:
+                    external.add(callee)
+            self.calls[name] = internal
+            self.external_calls[name] = external
+
+    def callees(self, name: str) -> set[str]:
+        return self.calls[name]
+
+    def sccs(self) -> list[list[str]]:
+        """Strongly connected components in reverse topological order."""
+        index_counter = [0]
+        stack: list[str] = []
+        lowlink: dict[str, int] = {}
+        index: dict[str, int] = {}
+        on_stack: set[str] = set()
+        result: list[list[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = index_counter[0]
+            lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in sorted(self.calls[node]):
+                if succ not in index:
+                    strongconnect(succ)
+                    lowlink[node] = min(lowlink[node], lowlink[succ])
+                elif succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * len(self.calls) + 100))
+        try:
+            for node in sorted(self.calls):
+                if node not in index:
+                    strongconnect(node)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return result
+
+    def recursive_components(self) -> list[list[str]]:
+        """SCCs that contain recursion (size > 1, or a self loop)."""
+        out = []
+        for component in self.sccs():
+            if len(component) > 1:
+                out.append(sorted(component))
+            elif component[0] in self.calls[component[0]]:
+                out.append(component)
+        return out
+
+    def topological_order(self) -> list[str]:
+        """Callees before callers; raises on recursion."""
+        recursive = self.recursive_components()
+        if recursive:
+            pretty = "; ".join(" <-> ".join(c) for c in recursive)
+            raise AnalysisError(
+                f"the automatic analyzer does not support recursion: {pretty}")
+        return [component[0] for component in self.sccs()]
+
+
+def build_call_graph(program: cl.Program) -> CallGraph:
+    return CallGraph(program)
+
+
+def _callees(stmt: cl.Stmt) -> Iterator[str]:
+    if isinstance(stmt, cl.SCall):
+        yield stmt.callee
+    elif isinstance(stmt, cl.SSeq):
+        yield from _callees(stmt.first)
+        yield from _callees(stmt.second)
+    elif isinstance(stmt, cl.SIf):
+        yield from _callees(stmt.then)
+        yield from _callees(stmt.otherwise)
+    elif isinstance(stmt, cl.SLoop):
+        yield from _callees(stmt.body)
+        yield from _callees(stmt.post)
+    elif isinstance(stmt, cl.SBlock):
+        yield from _callees(stmt.body)

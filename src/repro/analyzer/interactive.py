@@ -1,0 +1,161 @@
+"""Interactive proofs over real function bodies (paper §4.3 + Fig. 6).
+
+The automatic analyzer only composes ground bounds; recursive functions
+need the auxiliary-state machinery: at each call site the callee's
+*parametric* spec is instantiated with expressions over the caller's own
+parameters (the paper instantiates ``Z -> Z - 1`` at ``bsearch``'s
+recursive call).  ``prove_function`` automates everything except that
+choice: the user supplies, per call site, the instantiation *hint*, and
+the machinery builds the full derivation over the actual Clight body —
+Q:CALL at the hinted sites, Q:FRAME/Q:SEQ plumbing everywhere else, and a
+final Q:CONSEQ discharging the declared spec.
+
+The resulting derivation is checked by the ordinary derivation checker;
+parametric side conditions are discharged over the declared verification
+domain (reported as ``sampled`` in the check report), the executable
+surrogate for the Coq consequence-rule proofs.
+
+**Scope.**  Body-level proofs work whenever the recursion bottoms out
+through argument arithmetic — the paper's ``log2(Δ<0) = ∞`` /
+``Z - 1`` trick, which our ``BParamDiff`` clamping reproduces (``recid``,
+``sum``-style linear recursions).  Divide-and-conquer recursions whose
+base case is a *guard* (``bsearch``'s ``hi - lo <= 1``) need assertions
+over the current state σ (the ``Z > 0 ∧ ...`` implications of the
+paper's Fig. 6), which the parameter-level assertion language cannot
+express: at the body level the recursive call site would have to be seen
+as unreachable for small sizes.  Those functions are verified at the
+recurrence level instead (:mod:`repro.logic.recursion`), where the
+reachability condition is explicit in the obligation function — see
+DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.clight import ast as cl
+from repro.errors import AnalysisError
+from repro.logic import derivation as dv
+from repro.logic.assertions import FunContext, FunSpec, Post
+from repro.logic.bexpr import (BExpr, BFrameDiff, ZERO, badd, bmax, bmetric,
+                               bparam)
+from repro.logic.checker import CheckerContext, CheckReport, \
+    check_function_spec
+
+# A hint maps a call statement to the spec-parameter instantiation used
+# at that site.
+Hint = Callable[[cl.SCall], Mapping[str, BExpr]]
+
+
+class InteractiveProver:
+    """Builds a derivation for one function body with call-site hints."""
+
+    def __init__(self, gamma: FunContext, externals: Iterable[str],
+                 hints: Mapping[str, Hint]) -> None:
+        self.gamma = gamma
+        self.externals = set(externals)
+        self.hints = dict(hints)
+
+    def bound(self, stmt: cl.Stmt) -> tuple[BExpr, dv.Derivation]:
+        if isinstance(stmt, cl.SSkip):
+            return ZERO, dv.DSkip(_uniform(ZERO, stmt))
+        if isinstance(stmt, cl.SSet):
+            return ZERO, dv.DSet(_uniform(ZERO, stmt))
+        if isinstance(stmt, cl.SStore):
+            return ZERO, dv.DStore(_uniform(ZERO, stmt))
+        if isinstance(stmt, cl.SBreak):
+            return ZERO, dv.DBreak(_uniform(ZERO, stmt))
+        if isinstance(stmt, cl.SContinue):
+            return ZERO, dv.DContinue(_uniform(ZERO, stmt))
+        if isinstance(stmt, cl.SReturn):
+            return ZERO, dv.DReturn(_uniform(ZERO, stmt))
+        if isinstance(stmt, cl.SCall):
+            return self._bound_call(stmt)
+        if isinstance(stmt, cl.SSeq):
+            b1, d1 = self.bound(stmt.first)
+            b2, d2 = self.bound(stmt.second)
+            total = bmax(b1, b2)
+            return total, dv.DSeq(_uniform(total, stmt),
+                                  _lift(d1, total), _lift(d2, total))
+        if isinstance(stmt, cl.SIf):
+            b1, d1 = self.bound(stmt.then)
+            b2, d2 = self.bound(stmt.otherwise)
+            total = bmax(b1, b2)
+            return total, dv.DIf(_uniform(total, stmt),
+                                 _lift(d1, total), _lift(d2, total))
+        if isinstance(stmt, cl.SLoop):
+            b1, d1 = self.bound(stmt.body)
+            b2, d2 = self.bound(stmt.post)
+            total = bmax(b1, b2)
+            return total, dv.DLoop(_uniform(total, stmt),
+                                   _lift(d1, total), _lift(d2, total))
+        if isinstance(stmt, cl.SBlock):
+            b, d = self.bound(stmt.body)
+            return b, dv.DBlock(_uniform(b, stmt), d)
+        raise AnalysisError(f"unsupported statement {type(stmt).__name__}")
+
+    def _bound_call(self, stmt: cl.SCall) -> tuple[BExpr, dv.Derivation]:
+        if stmt.callee in self.gamma:
+            spec = self.gamma[stmt.callee]
+            if spec.params:
+                hint = self.hints.get(stmt.callee)
+                if hint is None:
+                    raise AnalysisError(
+                        f"call to {stmt.callee!r} has a parametric spec; "
+                        "provide an instantiation hint")
+                spec_args = dict(hint(stmt))
+            else:
+                spec_args = {}
+            pre, post = spec.instantiate(spec_args)
+            cost = bmetric(stmt.callee)
+            total = badd(pre, cost)
+            triple = dv.Triple(total, stmt,
+                               Post.uniform(badd(post, cost)))
+            return total, dv.DCall(triple, stmt.callee, spec_args)
+        if stmt.callee in self.externals:
+            return ZERO, dv.DExternal(_uniform(ZERO, stmt), stmt.callee)
+        raise AnalysisError(f"no spec for {stmt.callee!r}")
+
+
+def _uniform(bound: BExpr, stmt: cl.Stmt) -> dv.Triple:
+    return dv.Triple(bound, stmt, Post.uniform(bound))
+
+
+def _lift(deriv: dv.Derivation, target: BExpr) -> dv.Derivation:
+    current = deriv.conclusion.pre
+    if repr(current) == repr(target):
+        return deriv
+    diff = BFrameDiff(target, current)
+    lifted = dv.Triple(badd(current, diff), deriv.conclusion.stmt,
+                       deriv.conclusion.post.map(lambda q: badd(q, diff)))
+    return dv.DFrame(lifted, diff, deriv)
+
+
+def prove_function(program: cl.Program, spec: FunSpec,
+                   gamma: FunContext,
+                   hints: Mapping[str, Hint],
+                   param_domains: Mapping[str, Iterable[int]],
+                   check: bool = True
+                   ) -> tuple[dv.Derivation, Optional[CheckReport]]:
+    """Prove ``spec`` for its function's actual body.
+
+    ``gamma`` must already contain ``spec`` itself (the recursion rule:
+    the body is verified under the assumption of its own spec) plus the
+    specs of every other callee.  Returns the derivation and, when
+    ``check`` is set, the checker's report.
+    """
+    function = program.function(spec.name)
+    prover = InteractiveProver(gamma, program.externals, hints)
+    body_bound, body_deriv = prover.bound(function.body)
+
+    identity = {name: bparam(name) for name in spec.params}
+    pre, post = spec.instantiate(identity)
+    conclusion = dv.Triple(pre, function.body, Post(post, ZERO, post, ZERO))
+    derivation = dv.DConseq(conclusion, body_deriv)
+
+    report = None
+    if check:
+        ctx = CheckerContext(gamma, externals=program.externals,
+                             param_domains=param_domains)
+        report = check_function_spec(function, derivation, ctx)
+    return derivation, report

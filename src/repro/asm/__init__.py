@@ -1,0 +1,21 @@
+"""ASMsz: realistic x86-like assembly with one finite, preallocated stack.
+
+This is the paper's key semantic change (§3.2): instead of CompCert's
+idealized assembly where every function call magically allocates a fresh
+stack frame, ASMsz preallocates a single contiguous stack block of
+``sz + 4`` bytes and all frame manipulation is plain pointer arithmetic on
+``ESP`` — no ``Pallocframe``/``Pfreeframe`` pseudo-instructions, no back
+link, and **stack overflow is a real behavior**: pushing ``ESP`` below the
+base of the stack block makes the machine go wrong.
+
+Arguments are read straight from the caller's frame via ESP offsets
+(``ESP + SF(f) + 4 + offset``) — the indirection-free access the paper
+highlights as a side benefit of frame merging.
+"""
+
+from repro.asm.ast import AsmFunction, AsmProgram
+from repro.asm.lower import asm_of_mach
+from repro.asm.machine import AsmMachine, run_program
+
+__all__ = ["AsmProgram", "AsmFunction", "asm_of_mach", "AsmMachine",
+           "run_program"]

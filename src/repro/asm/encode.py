@@ -1,0 +1,410 @@
+"""Binary encoding of ASMsz: an assembler and disassembler.
+
+Gives the assembly level a concrete machine-code form: each instruction
+is encoded as an opcode byte followed by fixed-width operands (little-
+endian), with symbols and labels resolved against a program-wide string
+table.  ``encode_program``/``decode_program`` round-trip exactly, which
+the property tests check — the executable counterpart of "what you verify
+is what you run" at the bit level.
+
+Encoding layout per instruction::
+
+    [opcode:u8] [operand bytes...]
+
+Registers are single bytes indexing the register-name tables; addressing
+modes are a tag byte plus their payload; immediates are 4-byte two's
+complement (integers) or 8-byte IEEE-754 (floats); symbols and labels are
+4-byte indices into the string/label tables.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.asm import ast as asm
+from repro.errors import ReproError
+from repro.memory.chunks import Chunk
+
+MAGIC = b"ASMZ"
+
+
+class EncodingError(ReproError):
+    pass
+
+
+_INT_REGS = list(asm.INT_REG_NAMES)
+_FLOAT_REGS = list(asm.FLOAT_REG_NAMES)
+_CHUNKS = list(Chunk)
+
+_OPCODES = [
+    ("movimm", asm.Pmovimm), ("movfimm", asm.Pmovfimm),
+    ("mov", asm.Pmov), ("movf", asm.Pmovf), ("lea", asm.Plea),
+    ("unop", asm.Punop), ("fneg", asm.Pfneg), ("cvt", asm.Pcvt),
+    ("binop", asm.Pbinop), ("binopf", asm.Pbinopf), ("cmpf", asm.Pcmpf),
+    ("load", asm.Pload), ("store", asm.Pstore), ("espadd", asm.Pespadd),
+    ("label", asm.Plabel), ("jmp", asm.Pjmp), ("jcc", asm.Pjcc),
+    ("call", asm.Pcall), ("ret", asm.Pret), ("builtin", asm.Pbuiltin),
+]
+_OPCODE_OF = {cls: index for index, (_name, cls) in enumerate(_OPCODES)}
+
+# The string vocabularies that single bytes index into.
+_UNOPS = ["neg", "notint", "notbool", "cast8signed", "cast8unsigned",
+          "cast16signed", "cast16unsigned"]
+_CVTS = ["intoffloat", "uintoffloat", "floatofint", "floatofuint"]
+_BINOPS = ["add", "sub", "mul", "divs", "divu", "mods", "modu", "and",
+           "or", "xor", "shl", "shrs", "shru", "cmp_eq", "cmp_ne",
+           "cmp_lts", "cmp_les", "cmp_gts", "cmp_ges", "cmp_ltu",
+           "cmp_leu", "cmp_gtu", "cmp_geu"]
+_BINOPFS = ["addf", "subf", "mulf", "divf"]
+_CMPFS = ["cmpf_eq", "cmpf_ne", "cmpf_lt", "cmpf_le", "cmpf_gt", "cmpf_ge"]
+
+
+class _Writer:
+    def __init__(self, symbols: dict[str, int]) -> None:
+        self.out = bytearray()
+        self.symbols = symbols
+
+    def u8(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise EncodingError(f"u8 out of range: {value}")
+        self.out.append(value)
+
+    def i32(self, value: int) -> None:
+        self.out += struct.pack("<i", value)
+
+    def u32(self, value: int) -> None:
+        self.out += struct.pack("<I", value & 0xFFFFFFFF)
+
+    def f64(self, value: float) -> None:
+        self.out += struct.pack("<d", value)
+
+    def enum(self, table: list, value) -> None:
+        try:
+            self.u8(table.index(value))
+        except ValueError:
+            raise EncodingError(f"not encodable: {value!r}") from None
+
+    def ireg(self, name: str) -> None:
+        self.enum(_INT_REGS, name)
+
+    def freg(self, name: str) -> None:
+        self.enum(_FLOAT_REGS, name)
+
+    def reg_any(self, name: str) -> None:
+        if name in _INT_REGS:
+            self.u8(0)
+            self.ireg(name)
+        else:
+            self.u8(1)
+            self.freg(name)
+
+    def symbol(self, name: str) -> None:
+        self.u32(self.symbols[name])
+
+    def addr(self, mode: asm.Addr) -> None:
+        if isinstance(mode, asm.AStack):
+            self.u8(0)
+            self.i32(mode.offset)
+        elif isinstance(mode, asm.ABase):
+            self.u8(1)
+            self.ireg(mode.reg)
+            self.i32(mode.offset)
+        elif isinstance(mode, asm.AGlobal):
+            self.u8(2)
+            self.symbol(mode.symbol)
+            self.i32(mode.offset)
+        else:
+            raise EncodingError(f"unknown addressing mode {mode!r}")
+
+
+class _Reader:
+    def __init__(self, data: bytes, symbols: list[str]) -> None:
+        self.data = data
+        self.pos = 0
+        self.symbols = symbols
+
+    def u8(self) -> int:
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def i32(self) -> int:
+        (value,) = struct.unpack_from("<i", self.data, self.pos)
+        self.pos += 4
+        return value
+
+    def u32(self) -> int:
+        (value,) = struct.unpack_from("<I", self.data, self.pos)
+        self.pos += 4
+        return value
+
+    def f64(self) -> float:
+        (value,) = struct.unpack_from("<d", self.data, self.pos)
+        self.pos += 8
+        return value
+
+    def enum(self, table: list):
+        return table[self.u8()]
+
+    def reg_any(self) -> str:
+        if self.u8() == 0:
+            return self.enum(_INT_REGS)
+        return self.enum(_FLOAT_REGS)
+
+    def symbol(self) -> str:
+        return self.symbols[self.u32()]
+
+    def addr(self) -> asm.Addr:
+        tag = self.u8()
+        if tag == 0:
+            return asm.AStack(self.i32())
+        if tag == 1:
+            reg = self.enum(_INT_REGS)
+            return asm.ABase(reg, self.i32())
+        if tag == 2:
+            symbol = self.symbol()
+            return asm.AGlobal(symbol, self.i32())
+        raise EncodingError(f"bad addressing tag {tag}")
+
+
+def _encode_instr(instr: asm.PInstr, w: _Writer) -> None:
+    w.u8(_OPCODE_OF[type(instr)])
+    if isinstance(instr, asm.Pmovimm):
+        w.ireg(instr.dest)
+        w.u32(instr.value)
+    elif isinstance(instr, asm.Pmovfimm):
+        w.freg(instr.dest)
+        w.f64(instr.value)
+    elif isinstance(instr, asm.Pmov):
+        w.ireg(instr.dest)
+        w.ireg(instr.src)
+    elif isinstance(instr, asm.Pmovf):
+        w.freg(instr.dest)
+        w.freg(instr.src)
+    elif isinstance(instr, asm.Plea):
+        w.ireg(instr.dest)
+        w.addr(instr.addr)
+    elif isinstance(instr, asm.Punop):
+        w.enum(_UNOPS, instr.op)
+        w.ireg(instr.reg)
+    elif isinstance(instr, asm.Pfneg):
+        w.freg(instr.reg)
+    elif isinstance(instr, asm.Pcvt):
+        w.enum(_CVTS, instr.op)
+        w.reg_any(instr.dest)
+        w.reg_any(instr.src)
+    elif isinstance(instr, asm.Pbinop):
+        w.enum(_BINOPS, instr.op)
+        w.ireg(instr.dest)
+        w.ireg(instr.src)
+    elif isinstance(instr, asm.Pbinopf):
+        w.enum(_BINOPFS, instr.op)
+        w.freg(instr.dest)
+        w.freg(instr.src)
+    elif isinstance(instr, asm.Pcmpf):
+        w.enum(_CMPFS, instr.op)
+        w.ireg(instr.dest)
+        w.freg(instr.src1)
+        w.freg(instr.src2)
+    elif isinstance(instr, asm.Pload):
+        w.enum(_CHUNKS, instr.chunk)
+        w.reg_any(instr.dest)
+        w.addr(instr.addr)
+    elif isinstance(instr, asm.Pstore):
+        w.enum(_CHUNKS, instr.chunk)
+        w.reg_any(instr.src)
+        w.addr(instr.addr)
+    elif isinstance(instr, asm.Pespadd):
+        w.i32(instr.delta)
+    elif isinstance(instr, (asm.Plabel, asm.Pjmp)):
+        w.u32(instr.label)
+    elif isinstance(instr, asm.Pjcc):
+        w.ireg(instr.reg)
+        w.u32(instr.label)
+    elif isinstance(instr, asm.Pcall):
+        w.symbol(instr.symbol)
+    elif isinstance(instr, asm.Pret):
+        pass
+    elif isinstance(instr, asm.Pbuiltin):
+        w.symbol(instr.name)
+        w.u8(len(instr.args))
+        for reg, is_float in zip(instr.args, instr.arg_is_float):
+            w.u8(1 if is_float else 0)
+            if is_float:
+                w.freg(reg)
+            else:
+                w.ireg(reg)
+        if instr.dest is None:
+            w.u8(0)
+        else:
+            w.u8(2 if instr.dest_is_float else 1)
+            if instr.dest_is_float:
+                w.freg(instr.dest)
+            else:
+                w.ireg(instr.dest)
+    else:
+        raise EncodingError(f"unknown instruction {instr!r}")
+
+
+def _decode_instr(r: _Reader) -> asm.PInstr:
+    name, cls = _OPCODES[r.u8()]
+    if cls is asm.Pmovimm:
+        return asm.Pmovimm(r.enum(_INT_REGS), r.u32())
+    if cls is asm.Pmovfimm:
+        return asm.Pmovfimm(r.enum(_FLOAT_REGS), r.f64())
+    if cls is asm.Pmov:
+        return asm.Pmov(r.enum(_INT_REGS), r.enum(_INT_REGS))
+    if cls is asm.Pmovf:
+        return asm.Pmovf(r.enum(_FLOAT_REGS), r.enum(_FLOAT_REGS))
+    if cls is asm.Plea:
+        return asm.Plea(r.enum(_INT_REGS), r.addr())
+    if cls is asm.Punop:
+        return asm.Punop(r.enum(_UNOPS), r.enum(_INT_REGS))
+    if cls is asm.Pfneg:
+        return asm.Pfneg(r.enum(_FLOAT_REGS))
+    if cls is asm.Pcvt:
+        return asm.Pcvt(r.enum(_CVTS), r.reg_any(), r.reg_any())
+    if cls is asm.Pbinop:
+        return asm.Pbinop(r.enum(_BINOPS), r.enum(_INT_REGS),
+                          r.enum(_INT_REGS))
+    if cls is asm.Pbinopf:
+        return asm.Pbinopf(r.enum(_BINOPFS), r.enum(_FLOAT_REGS),
+                           r.enum(_FLOAT_REGS))
+    if cls is asm.Pcmpf:
+        return asm.Pcmpf(r.enum(_CMPFS), r.enum(_INT_REGS),
+                         r.enum(_FLOAT_REGS), r.enum(_FLOAT_REGS))
+    if cls is asm.Pload:
+        return asm.Pload(r.enum(_CHUNKS), r.reg_any(), r.addr())
+    if cls is asm.Pstore:
+        return asm.Pstore(r.enum(_CHUNKS), r.reg_any(), r.addr())
+    if cls is asm.Pespadd:
+        return asm.Pespadd(r.i32())
+    if cls is asm.Plabel:
+        return asm.Plabel(r.u32())
+    if cls is asm.Pjmp:
+        return asm.Pjmp(r.u32())
+    if cls is asm.Pjcc:
+        return asm.Pjcc(r.enum(_INT_REGS), r.u32())
+    if cls is asm.Pcall:
+        return asm.Pcall(r.symbol())
+    if cls is asm.Pret:
+        return asm.Pret()
+    if cls is asm.Pbuiltin:
+        symbol = r.symbol()
+        count = r.u8()
+        args = []
+        arg_is_float = []
+        for _ in range(count):
+            is_float = r.u8() == 1
+            arg_is_float.append(is_float)
+            args.append(r.enum(_FLOAT_REGS if is_float else _INT_REGS))
+        dest_tag = r.u8()
+        if dest_tag == 0:
+            dest, dest_is_float = None, False
+        elif dest_tag == 1:
+            dest, dest_is_float = r.enum(_INT_REGS), False
+        else:
+            dest, dest_is_float = r.enum(_FLOAT_REGS), True
+        return asm.Pbuiltin(symbol, args, arg_is_float, dest, dest_is_float)
+    raise EncodingError(f"cannot decode opcode {name}")
+
+
+def encode_program(program: asm.AsmProgram) -> bytes:
+    """Serialize a whole program (globals + code) to a binary image."""
+    symbols: list[str] = []
+    symbol_index: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        if name not in symbol_index:
+            symbol_index[name] = len(symbols)
+            symbols.append(name)
+        return symbol_index[name]
+
+    for var in program.globals:
+        intern(var.name)
+    for name, function in program.functions.items():
+        intern(name)
+        for instr in function.body:
+            if isinstance(instr, asm.Pcall):
+                intern(instr.symbol)
+            elif isinstance(instr, asm.Pbuiltin):
+                intern(instr.name)
+            elif isinstance(instr, asm.Plea) and \
+                    isinstance(instr.addr, asm.AGlobal):
+                intern(instr.addr.symbol)
+            elif isinstance(instr, (asm.Pload, asm.Pstore)) and \
+                    isinstance(instr.addr, asm.AGlobal):
+                intern(instr.addr.symbol)
+
+    out = bytearray(MAGIC)
+    out += struct.pack("<I", len(symbols))
+    for name in symbols:
+        raw = name.encode()
+        out += struct.pack("<H", len(raw)) + raw
+
+    out += struct.pack("<I", len(program.globals))
+    for var in program.globals:
+        out += struct.pack("<III", symbol_index[var.name], var.size,
+                           var.alignment)
+        out += var.image
+
+    out += struct.pack("<I", len(program.functions))
+    writer_symbols = symbol_index
+    for name, function in program.functions.items():
+        body = _Writer(writer_symbols)
+        for instr in function.body:
+            _encode_instr(instr, body)
+        out += struct.pack("<III", symbol_index[name], function.frame_size,
+                           len(function.body))
+        out += struct.pack("<I", len(body.out))
+        out += body.out
+
+    out += struct.pack("<I", symbol_index[program.main])
+    return bytes(out)
+
+
+def decode_program(data: bytes) -> asm.AsmProgram:
+    """Deserialize a binary image back into an ASM program."""
+    if data[:4] != MAGIC:
+        raise EncodingError("bad magic")
+    pos = 4
+
+    (n_symbols,) = struct.unpack_from("<I", data, pos)
+    pos += 4
+    symbols: list[str] = []
+    for _ in range(n_symbols):
+        (length,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        symbols.append(data[pos:pos + length].decode())
+        pos += length
+
+    from repro.clight.ast import GlobalVar
+
+    (n_globals,) = struct.unpack_from("<I", data, pos)
+    pos += 4
+    globals_ = []
+    for _ in range(n_globals):
+        sym, size, alignment = struct.unpack_from("<III", data, pos)
+        pos += 12
+        image = bytes(data[pos:pos + size])
+        pos += size
+        globals_.append(GlobalVar(symbols[sym], size, alignment, image))
+
+    (n_functions,) = struct.unpack_from("<I", data, pos)
+    pos += 4
+    functions = {}
+    externals: set[str] = set()
+    for _ in range(n_functions):
+        sym, frame_size, n_instrs = struct.unpack_from("<III", data, pos)
+        pos += 12
+        (body_len,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        reader = _Reader(data[pos:pos + body_len], symbols)
+        pos += body_len
+        body = [_decode_instr(reader) for _ in range(n_instrs)]
+        name = symbols[sym]
+        functions[name] = asm.AsmFunction(name, body, frame_size)
+
+    (main_sym,) = struct.unpack_from("<I", data, pos)
+    return asm.AsmProgram(globals_, functions, externals,
+                          main=symbols[main_sym])

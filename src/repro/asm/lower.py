@@ -1,0 +1,295 @@
+"""Mach → ASMsz code generation.
+
+The expansion follows a deliberately uniform -O0-style discipline built on
+the two reserved scratch registers per class (ESI/EDI and XMM6/XMM7):
+operands are brought into scratch registers, the two-address ALU op runs
+on them, and the result is flushed to the destination location.  The
+register allocator never hands out scratch registers, so the expansion
+can never clobber a live value.
+
+The prologue is a single ``sub esp, SF(f)`` and the epilogue ``add esp,
+SF(f); ret`` — all stack handling is explicit pointer arithmetic, as in
+the paper's ASMsz.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.asm import ast as asm
+from repro.mach import ast as mach
+from repro.memory.chunks import Chunk
+from repro.regalloc.locations import LFReg, LReg, LSlot, Loc
+
+_INT_ACC = "esi"
+_INT_TMP = "edi"
+_FLT_ACC = "xmm6"
+_FLT_TMP = "xmm7"
+
+_CONVERSIONS_F2I = ("intoffloat", "uintoffloat")
+_CONVERSIONS_I2F = ("floatofint", "floatofuint")
+
+
+def asm_of_mach(program: mach.MachProgram) -> asm.AsmProgram:
+    functions = {}
+    for function in program.functions.values():
+        functions[function.name] = _lower_function(function)
+    return asm.AsmProgram(program.globals, functions, program.externals,
+                          program.main)
+
+
+def _lower_function(function: mach.MachFunction) -> asm.AsmFunction:
+    emitter = _Emitter(function)
+    body: list[asm.PInstr] = []
+    if function.frame.size > 0:
+        body.append(asm.Pespadd(-function.frame.size))
+    for instr in function.body:
+        body.extend(emitter.lower(instr))
+    return asm.AsmFunction(function.name, body, function.frame.size)
+
+
+class _Emitter:
+    def __init__(self, function: mach.MachFunction) -> None:
+        self.function = function
+        self.frame = function.frame
+
+    # -- location plumbing -------------------------------------------------------
+
+    def _slot_addr(self, slot: LSlot) -> asm.AStack:
+        return asm.AStack(self.frame.slot_offset(slot))
+
+    def read_int(self, loc: Loc, scratch: str,
+                 out: list[asm.PInstr]) -> str:
+        """Materialize an integer-class location into a register."""
+        if isinstance(loc, LReg):
+            return loc.name
+        if isinstance(loc, LSlot) and not loc.is_float_class:
+            out.append(asm.Pload(Chunk.INT32, scratch, self._slot_addr(loc)))
+            return scratch
+        raise LoweringError(f"integer operand expected, got {loc!r}")
+
+    def read_float(self, loc: Loc, scratch: str,
+                   out: list[asm.PInstr]) -> str:
+        if isinstance(loc, LFReg):
+            return loc.name
+        if isinstance(loc, LSlot) and loc.is_float_class:
+            out.append(asm.Pload(Chunk.FLOAT64, scratch, self._slot_addr(loc)))
+            return scratch
+        raise LoweringError(f"float operand expected, got {loc!r}")
+
+    def write_int(self, loc: Loc, reg: str, out: list[asm.PInstr]) -> None:
+        if isinstance(loc, LReg):
+            if loc.name != reg:
+                out.append(asm.Pmov(loc.name, reg))
+            return
+        if isinstance(loc, LSlot) and not loc.is_float_class:
+            out.append(asm.Pstore(Chunk.INT32, reg, self._slot_addr(loc)))
+            return
+        raise LoweringError(f"integer destination expected, got {loc!r}")
+
+    def write_float(self, loc: Loc, reg: str, out: list[asm.PInstr]) -> None:
+        if isinstance(loc, LFReg):
+            if loc.name != reg:
+                out.append(asm.Pmovf(loc.name, reg))
+            return
+        if isinstance(loc, LSlot) and loc.is_float_class:
+            out.append(asm.Pstore(Chunk.FLOAT64, reg, self._slot_addr(loc)))
+            return
+        raise LoweringError(f"float destination expected, got {loc!r}")
+
+    def _int_dest_reg(self, loc: Loc) -> str:
+        return loc.name if isinstance(loc, LReg) else _INT_ACC
+
+    def _float_dest_reg(self, loc: Loc) -> str:
+        return loc.name if isinstance(loc, LFReg) else _FLT_ACC
+
+    # -- instruction dispatch ------------------------------------------------------
+
+    def lower(self, instr: mach.MInstr) -> list[asm.PInstr]:
+        out: list[asm.PInstr] = []
+        if isinstance(instr, mach.MLabel):
+            out.append(asm.Plabel(instr.label))
+        elif isinstance(instr, mach.MGoto):
+            out.append(asm.Pjmp(instr.label))
+        elif isinstance(instr, mach.MCond):
+            reg = self.read_int(instr.arg, _INT_ACC, out)
+            out.append(asm.Pjcc(reg, instr.label))
+        elif isinstance(instr, mach.MReturn):
+            if self.frame.size > 0:
+                out.append(asm.Pespadd(self.frame.size))
+            out.append(asm.Pret())
+        elif isinstance(instr, mach.MCall):
+            out.append(asm.Pcall(instr.callee))
+        elif isinstance(instr, mach.MOp):
+            self._lower_op(instr, out)
+        elif isinstance(instr, mach.MLoad):
+            addr = self.read_int(instr.addr, _INT_ACC, out)
+            if instr.chunk.is_float:
+                dest = self._float_dest_reg(instr.dest)
+                out.append(asm.Pload(instr.chunk, dest, asm.ABase(addr, 0)))
+                self.write_float(instr.dest, dest, out)
+            else:
+                dest = instr.dest.name if isinstance(instr.dest, LReg) \
+                    else _INT_TMP
+                out.append(asm.Pload(instr.chunk, dest, asm.ABase(addr, 0)))
+                self.write_int(instr.dest, dest, out)
+        elif isinstance(instr, mach.MStore):
+            addr = self.read_int(instr.addr, _INT_ACC, out)
+            if instr.chunk.is_float:
+                value = self.read_float(instr.src, _FLT_ACC, out)
+            else:
+                value = self.read_int(instr.src, _INT_TMP, out)
+            out.append(asm.Pstore(instr.chunk, value, asm.ABase(addr, 0)))
+        elif isinstance(instr, mach.MStoreArg):
+            if instr.is_float:
+                value = self.read_float(instr.src, _FLT_ACC, out)
+                out.append(asm.Pstore(Chunk.FLOAT64, value,
+                                      asm.AStack(instr.offset)))
+            else:
+                value = self.read_int(instr.src, _INT_ACC, out)
+                out.append(asm.Pstore(Chunk.INT32, value,
+                                      asm.AStack(instr.offset)))
+        elif isinstance(instr, mach.MGetParam):
+            # Caller's outgoing area: just above our frame + return address.
+            offset = self.frame.size + mach.RA_BYTES + instr.offset
+            if instr.is_float:
+                dest = self._float_dest_reg(instr.dest)
+                out.append(asm.Pload(Chunk.FLOAT64, dest, asm.AStack(offset)))
+                self.write_float(instr.dest, dest, out)
+            else:
+                dest = self._int_dest_reg(instr.dest)
+                out.append(asm.Pload(Chunk.INT32, dest, asm.AStack(offset)))
+                self.write_int(instr.dest, dest, out)
+        elif isinstance(instr, mach.MExtCall):
+            self._lower_extcall(instr, out)
+        else:
+            raise LoweringError(f"unknown Mach instruction {instr!r}")
+        return out
+
+    def _lower_op(self, instr: mach.MOp, out: list[asm.PInstr]) -> None:
+        op = instr.op
+        kind = op[0]
+        if kind == "const":
+            dest = self._int_dest_reg(instr.dest)
+            out.append(asm.Pmovimm(dest, op[1]))
+            self.write_int(instr.dest, dest, out)
+            return
+        if kind == "constf":
+            dest = self._float_dest_reg(instr.dest)
+            out.append(asm.Pmovfimm(dest, op[1]))
+            self.write_float(instr.dest, dest, out)
+            return
+        if kind == "move":
+            src_loc = instr.args[0]
+            if src_loc.is_float_class:
+                value = self.read_float(src_loc, _FLT_ACC, out)
+                self.write_float(instr.dest, value, out)
+            else:
+                value = self.read_int(src_loc, _INT_ACC, out)
+                self.write_int(instr.dest, value, out)
+            return
+        if kind == "addrglobal":
+            dest = self._int_dest_reg(instr.dest)
+            out.append(asm.Plea(dest, asm.AGlobal(op[1], 0)))
+            self.write_int(instr.dest, dest, out)
+            return
+        if kind == "addrstack":
+            dest = self._int_dest_reg(instr.dest)
+            out.append(asm.Plea(dest, asm.AStack(op[1])))
+            self.write_int(instr.dest, dest, out)
+            return
+        if kind == "unop":
+            self._lower_unop(op[1], instr, out)
+            return
+        if kind == "binop":
+            self._lower_binop(op[1], instr, out)
+            return
+        raise LoweringError(f"unknown Mach operation {op!r}")
+
+    def _lower_unop(self, op: str, instr: mach.MOp,
+                    out: list[asm.PInstr]) -> None:
+        arg = instr.args[0]
+        if op in _CONVERSIONS_F2I:
+            src = self.read_float(arg, _FLT_ACC, out)
+            out.append(asm.Pcvt(op, _INT_ACC, src))
+            self.write_int(instr.dest, _INT_ACC, out)
+            return
+        if op in _CONVERSIONS_I2F:
+            src = self.read_int(arg, _INT_ACC, out)
+            out.append(asm.Pcvt(op, _FLT_ACC, src))
+            self.write_float(instr.dest, _FLT_ACC, out)
+            return
+        if op == "negf":
+            src = self.read_float(arg, _FLT_ACC, out)
+            if src != _FLT_ACC:
+                out.append(asm.Pmovf(_FLT_ACC, src))
+            out.append(asm.Pfneg(_FLT_ACC))
+            self.write_float(instr.dest, _FLT_ACC, out)
+            return
+        # integer in-place unop
+        src = self.read_int(arg, _INT_ACC, out)
+        if src != _INT_ACC:
+            out.append(asm.Pmov(_INT_ACC, src))
+        out.append(asm.Punop(op, _INT_ACC))
+        self.write_int(instr.dest, _INT_ACC, out)
+
+    def _lower_binop(self, op: str, instr: mach.MOp,
+                     out: list[asm.PInstr]) -> None:
+        a, b = instr.args
+        if op.startswith("cmpf_"):
+            left = self.read_float(a, _FLT_ACC, out)
+            right = self.read_float(b, _FLT_TMP, out)
+            out.append(asm.Pcmpf(op, _INT_ACC, left, right))
+            self.write_int(instr.dest, _INT_ACC, out)
+            return
+        if op in ("addf", "subf", "mulf", "divf"):
+            left = self.read_float(a, _FLT_ACC, out)
+            if left != _FLT_ACC:
+                out.append(asm.Pmovf(_FLT_ACC, left))
+            right = self.read_float(b, _FLT_TMP, out)
+            out.append(asm.Pbinopf(op, _FLT_ACC, right))
+            self.write_float(instr.dest, _FLT_ACC, out)
+            return
+        left = self.read_int(a, _INT_ACC, out)
+        if left != _INT_ACC:
+            out.append(asm.Pmov(_INT_ACC, left))
+        right = self.read_int(b, _INT_TMP, out)
+        out.append(asm.Pbinop(op, _INT_ACC, right))
+        self.write_int(instr.dest, _INT_ACC, out)
+
+    def _lower_extcall(self, instr: mach.MExtCall,
+                       out: list[asm.PInstr]) -> None:
+        int_scratch = [_INT_ACC, _INT_TMP]
+        float_scratch = [_FLT_ACC, _FLT_TMP]
+        arg_regs: list[str] = []
+        for loc, is_float in zip(instr.args, instr.arg_is_float):
+            if is_float:
+                if not float_scratch:
+                    raise LoweringError(
+                        f"{instr.callee}: too many float arguments")
+                scratch = float_scratch.pop(0)
+                reg = self.read_float(loc, scratch, out)
+                if reg != scratch:
+                    out.append(asm.Pmovf(scratch, reg))
+                arg_regs.append(scratch)
+            else:
+                if not int_scratch:
+                    raise LoweringError(
+                        f"{instr.callee}: too many integer arguments")
+                scratch = int_scratch.pop(0)
+                reg = self.read_int(loc, scratch, out)
+                if reg != scratch:
+                    out.append(asm.Pmov(scratch, reg))
+                arg_regs.append(scratch)
+        dest_reg = None
+        if instr.dest is not None:
+            dest_reg = (self._float_dest_reg(instr.dest)
+                        if instr.dest_is_float
+                        else self._int_dest_reg(instr.dest))
+        out.append(asm.Pbuiltin(instr.callee, arg_regs, instr.arg_is_float,
+                                dest_reg, instr.dest_is_float))
+        if instr.dest is not None:
+            assert dest_reg is not None
+            if instr.dest_is_float:
+                self.write_float(instr.dest, dest_reg, out)
+            else:
+                self.write_int(instr.dest, dest_reg, out)

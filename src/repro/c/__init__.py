@@ -1,0 +1,17 @@
+"""C front end: lexer, parser and type checker for the supported subset.
+
+The subset mirrors what the paper's tool chain exercises: scalar types
+(``char``/``short``/``int`` in both signednesses, ``double``, with
+``float`` treated at double precision), pointers, fixed-size arrays,
+``struct``, ``typedef``, all the structured control flow of C
+(``if``/``while``/``do``/``for``/``switch``/``break``/``continue``/
+``return``), function definitions and calls, and global/local
+initializers.  Excluded, exactly as in the paper: function pointers,
+``goto``, variable-length arrays and ``alloca`` (constant stack frames are
+load-bearing for the cost metric).
+"""
+
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+
+__all__ = ["parse", "typecheck"]

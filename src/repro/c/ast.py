@@ -1,0 +1,443 @@
+"""Abstract syntax of the C subset, as produced by the parser.
+
+Expression nodes carry a ``ty`` slot that the type checker fills in (and
+uses to record implicit conversions via explicit :class:`Cast` nodes), so a
+*typed* C AST is the same object graph with every ``ty`` populated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.c.types import CType
+from repro.errors import SourceLocation
+
+
+class Node:
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: Optional[SourceLocation]) -> None:
+        self.loc = loc
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("ty",)
+
+    def __init__(self, loc: Optional[SourceLocation]) -> None:
+        super().__init__(loc)
+        self.ty: Optional[CType] = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value", "unsigned_suffix")
+
+    def __init__(self, value: int, unsigned_suffix: bool = False,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.value = value
+        self.unsigned_suffix = unsigned_suffix
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.value = value
+
+
+class CharLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.value = value
+
+
+class Name(Expr):
+    """A variable reference; resolution happens during type checking."""
+
+    __slots__ = ("ident", "binding")
+
+    def __init__(self, ident: str, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.ident = ident
+        self.binding: Optional[str] = None  # "local" | "global" | "param"
+
+
+class Unary(Expr):
+    """Operators: ``- + ~ ! & *`` (deref) and pre/post ``++``/``--``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class IncDec(Expr):
+    """``++x``, ``--x``, ``x++``, ``x--`` (op in {"++", "--"})."""
+
+    __slots__ = ("op", "operand", "is_prefix")
+
+    def __init__(self, op: str, operand: Expr, is_prefix: bool,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+        self.is_prefix = is_prefix
+
+
+class Binary(Expr):
+    """All binary operators except assignment and short-circuit logic."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Logical(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Conditional(Expr):
+    """The ternary ``cond ? then : else``."""
+
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class Assign(Expr):
+    """``lhs op rhs`` where op is ``=`` or a compound assignment."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Call(Expr):
+    """A direct call ``f(args)``; ``f`` must be a declared function name."""
+
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: str, args: Sequence[Expr],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.callee = callee
+        self.args = list(args)
+
+
+class Index(Expr):
+    """``base[index]``."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.field`` (``through_pointer=False``) or ``base->field``."""
+
+    __slots__ = ("base", "field", "through_pointer")
+
+    def __init__(self, base: Expr, field: str, through_pointer: bool,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.base = base
+        self.field = field
+        self.through_pointer = through_pointer
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type: CType, operand: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.target_type = target_type
+        self.operand = operand
+
+
+class SizeOf(Expr):
+    """``sizeof(type)`` or ``sizeof expr`` (folded by the type checker)."""
+
+    __slots__ = ("arg_type", "arg_expr")
+
+    def __init__(self, arg_type: Optional[CType], arg_expr: Optional[Expr],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.arg_type = arg_type
+        self.arg_expr = arg_expr
+
+
+class Comma(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.left = left
+        self.right = right
+
+
+# ---------------------------------------------------------------------------
+# Initializers
+# ---------------------------------------------------------------------------
+
+
+class Initializer(Node):
+    __slots__ = ()
+
+
+class InitScalar(Initializer):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.expr = expr
+
+
+class InitList(Initializer):
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Initializer],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.items = list(items)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class SExpr(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.expr = expr
+
+
+class SDecl(Stmt):
+    """A local declaration ``T name [= init];`` (one per statement)."""
+
+    __slots__ = ("name", "ctype", "init")
+
+    def __init__(self, name: str, ctype: CType, init: Optional[Initializer],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+
+
+class SBlock(Stmt):
+    __slots__ = ("body",)
+
+    def __init__(self, body: Sequence[Stmt], loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.body = list(body)
+
+
+class SDeclGroup(Stmt):
+    """Several declarations from one line (``int a, b = 1;``).
+
+    Unlike :class:`SBlock` this does *not* open a scope: the declared
+    names stay visible in the enclosing block.
+    """
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: Sequence["SDecl"],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.decls = list(decls)
+
+
+class SIf(Stmt):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: Stmt, otherwise: Optional[Stmt],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class SWhile(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.cond = cond
+        self.body = body
+
+
+class SDoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: Expr, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.body = body
+        self.cond = cond
+
+
+class SFor(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Optional[Expr],
+                 step: Optional[Expr], body: Stmt,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class SSwitch(Stmt):
+    """``switch``; each case is ``(value | None for default, stmts)``.
+
+    The front end lowers switches into if-chains before Clight, matching
+    the paper's logic-level subset.
+    """
+
+    __slots__ = ("scrutinee", "cases")
+
+    def __init__(self, scrutinee: Expr,
+                 cases: Sequence[tuple[Optional[int], Sequence[Stmt]]],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.scrutinee = scrutinee
+        self.cases = [(value, list(stmts)) for value, stmts in cases]
+
+
+class SBreak(Stmt):
+    __slots__ = ()
+
+
+class SContinue(Stmt):
+    __slots__ = ()
+
+
+class SReturn(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.value = value
+
+
+class SSkip(Stmt):
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Declarations and programs
+# ---------------------------------------------------------------------------
+
+
+class ParamDecl:
+    __slots__ = ("name", "ctype")
+
+    def __init__(self, name: str, ctype: CType) -> None:
+        self.name = name
+        self.ctype = ctype
+
+
+class FunctionDef(Node):
+    # The trailing three slots are filled in by the type checker.
+    __slots__ = ("name", "result", "params", "body",
+                 "locals_types", "addressable", "param_copies")
+
+    def __init__(self, name: str, result: CType, params: Sequence[ParamDecl],
+                 body: SBlock, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.name = name
+        self.result = result
+        self.params = list(params)
+        self.body = body
+
+
+class GlobalDecl(Node):
+    __slots__ = ("name", "ctype", "init")
+
+    def __init__(self, name: str, ctype: CType, init: Optional[Initializer],
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+
+
+class ExternDecl(Node):
+    """A declared-but-not-defined function (treated as external)."""
+
+    __slots__ = ("name", "ftype")
+
+    def __init__(self, name: str, ftype: CType, loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.name = name
+        self.ftype = ftype
+
+
+class Program(Node):
+    __slots__ = ("globals", "functions", "externs", "structs")
+
+    def __init__(self, globals_: Sequence[GlobalDecl],
+                 functions: Sequence[FunctionDef],
+                 externs: Sequence[ExternDecl],
+                 structs: dict,
+                 loc: Optional[SourceLocation] = None) -> None:
+        super().__init__(loc)
+        self.globals = list(globals_)
+        self.functions = list(functions)
+        self.externs = list(externs)
+        self.structs = dict(structs)
+
+    def function(self, name: str) -> FunctionDef:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)

@@ -1,0 +1,205 @@
+"""Pretty-printer for the parsed (untyped) C AST.
+
+Prints a program back to compilable C source.  Used by the round-trip
+property tests (``parse(pretty(parse(src)))`` must compile to the same
+behavior) and by debugging tools.  Expressions are conservatively
+parenthesized, so the output is verbose but unambiguous; typedefs are
+resolved away by the parser, so the printer emits underlying types.
+
+Must be applied to a *freshly parsed* AST: the type checker alpha-renames
+locals with ``$`` suffixes that are not valid C identifiers.
+"""
+
+from __future__ import annotations
+
+from repro.c import ast
+from repro.c import types as ct
+
+
+def pretty_program(program: ast.Program) -> str:
+    parts: list[str] = []
+    for struct in program.structs.values():
+        parts.append(_struct_def(struct))
+    for extern in program.externs:
+        assert isinstance(extern.ftype, ct.TFunction)
+        params = ", ".join(_declare(p, f"p{i}")
+                           for i, p in enumerate(extern.ftype.params)) or "void"
+        parts.append(f"{_declare(extern.ftype.result, extern.name)}"
+                     f"({params});")
+    for decl in program.globals:
+        init = f" = {_init(decl.init)}" if decl.init is not None else ""
+        parts.append(f"{_declare(decl.ctype, decl.name)}{init};")
+    for function in program.functions:
+        parts.append(_function(function))
+    return "\n\n".join(parts) + "\n"
+
+
+def _struct_def(struct: ct.TStruct) -> str:
+    fields = "\n".join(f"    {_declare(f.ctype, f.name)};"
+                       for f in struct.fields)
+    return f"struct {struct.name} {{\n{fields}\n}};"
+
+
+def _declare(ctype: ct.CType, name: str) -> str:
+    """C declarator syntax: arrays wrap the name, pointers prefix it."""
+    if isinstance(ctype, ct.TArray):
+        dims = ""
+        base = ctype
+        while isinstance(base, ct.TArray):
+            dims += f"[{base.length}]"
+            base = base.element
+        return f"{_base_type(base)} {name}{dims}"
+    return f"{_base_type(ctype)} {name}"
+
+
+def _base_type(ctype: ct.CType) -> str:
+    if isinstance(ctype, ct.TPointer):
+        return f"{_base_type(ctype.target)} *"
+    if isinstance(ctype, ct.TStruct):
+        return f"struct {ctype.name}"
+    return str(ctype)
+
+
+def _function(function: ast.FunctionDef) -> str:
+    params = ", ".join(_declare(p.ctype, p.name)
+                       for p in function.params) or "void"
+    header = f"{_declare(function.result, function.name)}({params})"
+    body = _stmt(function.body, 0)
+    return f"{header} {body}"
+
+
+def _init(init: ast.Initializer) -> str:
+    if isinstance(init, ast.InitScalar):
+        return _expr(init.expr)
+    assert isinstance(init, ast.InitList)
+    return "{" + ", ".join(_init(i) for i in init.items) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+def _stmt(stmt: ast.Stmt, depth: int) -> str:
+    pad = "    " * depth
+    if isinstance(stmt, ast.SBlock):
+        inner = "\n".join(_line(child, depth + 1) for child in stmt.body)
+        return "{\n" + inner + ("\n" if stmt.body else "") + pad + "}"
+    return _line(stmt, depth).lstrip()
+
+
+def _line(stmt: ast.Stmt, depth: int) -> str:
+    pad = "    " * depth
+    if isinstance(stmt, ast.SSkip):
+        return f"{pad};"
+    if isinstance(stmt, ast.SExpr):
+        return f"{pad}{_expr(stmt.expr)};"
+    if isinstance(stmt, ast.SDecl):
+        init = f" = {_init(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}{_declare(stmt.ctype, stmt.name)}{init};"
+    if isinstance(stmt, ast.SDeclGroup):
+        return "\n".join(_line(d, depth) for d in stmt.decls)
+    if isinstance(stmt, ast.SBlock):
+        return f"{pad}{_stmt(stmt, depth)}"
+    if isinstance(stmt, ast.SIf):
+        out = f"{pad}if ({_expr(stmt.cond)}) {_block_of(stmt.then, depth)}"
+        if stmt.otherwise is not None:
+            out += f" else {_block_of(stmt.otherwise, depth)}"
+        return out
+    if isinstance(stmt, ast.SWhile):
+        return (f"{pad}while ({_expr(stmt.cond)}) "
+                f"{_block_of(stmt.body, depth)}")
+    if isinstance(stmt, ast.SDoWhile):
+        return (f"{pad}do {_block_of(stmt.body, depth)} "
+                f"while ({_expr(stmt.cond)});")
+    if isinstance(stmt, ast.SFor):
+        init = ""
+        if isinstance(stmt.init, ast.SExpr):
+            init = _expr(stmt.init.expr)
+        elif isinstance(stmt.init, ast.SDecl):
+            init = _line(stmt.init, 0).rstrip(";")
+        elif isinstance(stmt.init, ast.SDeclGroup):
+            decls = stmt.init.decls
+            first = _line(decls[0], 0).rstrip(";")
+            rest = ", ".join(
+                f"{d.name}" + (f" = {_init(d.init)}" if d.init else "")
+                for d in decls[1:])
+            init = f"{first}, {rest}" if rest else first
+        cond = _expr(stmt.cond) if stmt.cond is not None else ""
+        step = _expr(stmt.step) if stmt.step is not None else ""
+        return (f"{pad}for ({init}; {cond}; {step}) "
+                f"{_block_of(stmt.body, depth)}")
+    if isinstance(stmt, ast.SSwitch):
+        lines = [f"{pad}switch ({_expr(stmt.scrutinee)}) {{"]
+        for value, stmts in stmt.cases:
+            label = "default" if value is None else f"case {value}"
+            lines.append(f"{pad}{label}:")
+            for child in stmts:
+                lines.append(_line(child, depth + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.SBreak):
+        return f"{pad}break;"
+    if isinstance(stmt, ast.SContinue):
+        return f"{pad}continue;"
+    if isinstance(stmt, ast.SReturn):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {_expr(stmt.value)};"
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _block_of(stmt: ast.Stmt, depth: int) -> str:
+    """Render a sub-statement as a braced block (keeps nesting sane)."""
+    if isinstance(stmt, ast.SBlock):
+        return _stmt(stmt, depth)
+    return _stmt(ast.SBlock([stmt]), depth)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def _expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        suffix = "u" if expr.unsigned_suffix else ""
+        return f"{expr.value}{suffix}"
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.CharLit):
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{_expr(expr.operand)})"
+    if isinstance(expr, ast.IncDec):
+        if expr.is_prefix:
+            return f"({expr.op}{_expr(expr.operand)})"
+        return f"({_expr(expr.operand)}{expr.op})"
+    if isinstance(expr, ast.Binary):
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, ast.Logical):
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, ast.Conditional):
+        return (f"({_expr(expr.cond)} ? {_expr(expr.then)} : "
+                f"{_expr(expr.otherwise)})")
+    if isinstance(expr, ast.Assign):
+        return f"({_expr(expr.target)} {expr.op} {_expr(expr.value)})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.Index):
+        return f"{_expr(expr.base)}[{_expr(expr.index)}]"
+    if isinstance(expr, ast.Member):
+        op = "->" if expr.through_pointer else "."
+        return f"{_expr(expr.base)}{op}{expr.field}"
+    if isinstance(expr, ast.Cast):
+        return f"(({_base_type(expr.target_type)}){_expr(expr.operand)})"
+    if isinstance(expr, ast.SizeOf):
+        if expr.arg_type is not None:
+            return f"sizeof({_base_type(expr.arg_type)})"
+        return f"sizeof({_expr(expr.arg_expr)})"
+    if isinstance(expr, ast.Comma):
+        return f"({_expr(expr.left)}, {_expr(expr.right)})"
+    raise TypeError(f"unknown expression {type(expr).__name__}")

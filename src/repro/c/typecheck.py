@@ -1,0 +1,689 @@
+"""Type checker and name resolver for the C subset.
+
+Responsibilities:
+
+* resolve every :class:`~repro.c.ast.Name` to a local, parameter or global,
+  alpha-renaming locals so that every function has a flat, unique local
+  namespace (block scoping is compiled away here);
+* compute the type of every expression and materialize the implicit
+  conversions of C as explicit :class:`~repro.c.ast.Cast` nodes (usual
+  arithmetic conversions, assignment conversions, argument conversions,
+  array-to-pointer decay);
+* collect, per function, the set of *addressable* variables — those whose
+  address is taken or whose type is an aggregate — which the Clight
+  lowering will place in memory blocks (everything else becomes a pure
+  Clight temporary);
+* reject the unsupported features the paper also excludes (function
+  pointers, ``goto``, VLAs) with precise source locations.
+
+The checker mutates the AST in place (filling ``ty``/``binding`` slots and
+wrapping operands in casts) and attaches ``locals_types``, ``addressable``
+and ``param_copies`` attributes to each :class:`FunctionDef`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.c import ast
+from repro.c import types as ct
+from repro.errors import TypeError_, UnsupportedFeatureError
+
+# Signatures of the runtime builtins (external functions with zero stack
+# cost, cf. the stack-metric convention M(g) = 0).
+BUILTIN_SIGNATURES: dict[str, ct.TFunction] = {
+    "print_int": ct.TFunction(ct.VOID, [ct.INT]),
+    "print_float": ct.TFunction(ct.VOID, [ct.DOUBLE]),
+    "print_char": ct.TFunction(ct.VOID, [ct.INT]),
+    "sin": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "cos": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "sqrt": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "fabs": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "floor": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "pow": ct.TFunction(ct.DOUBLE, [ct.DOUBLE, ct.DOUBLE]),
+    "atan": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "exp": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "log": ct.TFunction(ct.DOUBLE, [ct.DOUBLE]),
+    "malloc": ct.TFunction(ct.TPointer(ct.VOID), [ct.UINT]),
+    "abort": ct.TFunction(ct.VOID, []),
+}
+
+
+class ProgramEnv:
+    """The resolved global environment of a checked program."""
+
+    def __init__(self) -> None:
+        self.globals: dict[str, ct.CType] = {}
+        self.functions: dict[str, ct.TFunction] = {}
+        self.externals: dict[str, ct.TFunction] = dict(BUILTIN_SIGNATURES)
+
+    def function_type(self, name: str) -> ct.TFunction:
+        if name in self.functions:
+            return self.functions[name]
+        if name in self.externals:
+            return self.externals[name]
+        raise TypeError_(f"call to undeclared function {name!r}")
+
+    def is_internal(self, name: str) -> bool:
+        return name in self.functions
+
+
+def typecheck(program: ast.Program) -> ProgramEnv:
+    """Check ``program`` in place and return its global environment."""
+    env = ProgramEnv()
+    for extern in program.externs:
+        if not isinstance(extern.ftype, ct.TFunction):
+            raise TypeError_(f"extern {extern.name!r} is not a function",
+                             extern.loc)
+        env.externals[extern.name] = extern.ftype
+    for decl in program.globals:
+        if decl.name in env.globals:
+            raise TypeError_(f"global {decl.name!r} redefined", decl.loc)
+        _check_complete(decl.ctype, decl.loc)
+        env.globals[decl.name] = decl.ctype
+    for function in program.functions:
+        if function.name in env.functions:
+            raise TypeError_(f"function {function.name!r} redefined",
+                             function.loc)
+        if isinstance(function.result, (ct.TStruct, ct.TArray)):
+            raise UnsupportedFeatureError(
+                f"{function.name!r}: functions returning aggregates are "
+                "not supported", function.loc)
+        params = [p.ctype for p in function.params]
+        env.functions[function.name] = ct.TFunction(function.result, params)
+    env.externals = {name: sig for name, sig in env.externals.items()
+                     if name not in env.functions}
+    for decl in program.globals:
+        if decl.init is not None:
+            _check_global_init(decl, env)
+    for function in program.functions:
+        _FunctionChecker(env, function).check()
+    return env
+
+
+def _check_complete(ctype: ct.CType, loc) -> None:
+    if isinstance(ctype, ct.TVoid):
+        raise TypeError_("variable of type void", loc)
+    if isinstance(ctype, ct.TFunction):
+        raise UnsupportedFeatureError("function-typed variables "
+                                      "(function pointers) are not supported", loc)
+    if isinstance(ctype, ct.TArray):
+        if ctype.length == 0:
+            raise TypeError_("zero-length array", loc)
+        _check_complete(ctype.element, loc)
+    if isinstance(ctype, ct.TPointer) and isinstance(ctype.target, ct.TFunction):
+        raise UnsupportedFeatureError("function pointers are not supported", loc)
+
+
+def _check_global_init(decl: ast.GlobalDecl, env: ProgramEnv) -> None:
+    """Global initializers must be constant expressions; checked by the
+    evaluator in :mod:`repro.clight.globals` — here we only type them."""
+    _type_initializer(decl.init, decl.ctype, env, decl.loc)
+
+
+def _type_initializer(init: ast.Initializer, ctype: ct.CType,
+                      env: ProgramEnv, loc) -> None:
+    if isinstance(init, ast.InitScalar):
+        if isinstance(ctype, (ct.TArray, ct.TStruct)):
+            raise TypeError_(f"scalar initializer for aggregate {ctype}", init.loc)
+        checker = _FunctionChecker(env, None)
+        actual = checker.check_rvalue(init.expr)
+        init.expr = checker.convert(init.expr, actual, ctype)
+        return
+    assert isinstance(init, ast.InitList)
+    if isinstance(ctype, ct.TArray):
+        if len(init.items) > ctype.length:
+            raise TypeError_(
+                f"too many initializers ({len(init.items)}) for {ctype}", init.loc)
+        for item in init.items:
+            _type_initializer(item, ctype.element, env, loc)
+        return
+    if isinstance(ctype, ct.TStruct):
+        if len(init.items) > len(ctype.fields):
+            raise TypeError_(f"too many initializers for {ctype}", init.loc)
+        for item, field in zip(init.items, ctype.fields):
+            _type_initializer(item, field.ctype, env, loc)
+        return
+    if len(init.items) == 1:
+        _type_initializer(init.items[0], ctype, env, loc)
+        return
+    raise TypeError_(f"brace initializer for scalar {ctype}", init.loc)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.names: dict[str, str] = {}  # source name -> unique name
+
+    def lookup(self, name: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _FunctionChecker:
+    def __init__(self, env: ProgramEnv, function: Optional[ast.FunctionDef]) -> None:
+        self.env = env
+        self.function = function
+        self.locals_types: dict[str, ct.CType] = {}
+        self.addressable: set[str] = set()
+        self.scope = _Scope(None)
+        self._counter: dict[str, int] = {}
+        self._loop_depth = 0
+        if function is not None:
+            for param in function.params:
+                _check_complete(param.ctype, function.loc)
+                if self.scope.lookup(param.name) is not None:
+                    raise TypeError_(f"duplicate parameter {param.name!r}",
+                                     function.loc)
+                self.scope.names[param.name] = param.name
+                self.locals_types[param.name] = param.ctype
+
+    # -- driver ---------------------------------------------------------------
+
+    def check(self) -> None:
+        assert self.function is not None
+        self.check_stmt(self.function.body)
+        self.function.locals_types = self.locals_types  # type: ignore[attr-defined]
+        self.function.addressable = self.addressable  # type: ignore[attr-defined]
+        param_names = {p.name for p in self.function.params}
+        self.function.param_copies = self.addressable & param_names  # type: ignore[attr-defined]
+
+    # -- statements -----------------------------------------------------------
+
+    def check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.SBlock):
+            self.scope = _Scope(self.scope)
+            for child in stmt.body:
+                self.check_stmt(child)
+            assert self.scope.parent is not None
+            self.scope = self.scope.parent
+            return
+        if isinstance(stmt, ast.SDecl):
+            self._check_decl(stmt)
+            return
+        if isinstance(stmt, ast.SDeclGroup):
+            for decl in stmt.decls:
+                self._check_decl(decl)
+            return
+        if isinstance(stmt, ast.SExpr):
+            self.check_rvalue(stmt.expr)
+            return
+        if isinstance(stmt, ast.SIf):
+            self._check_condition(stmt.cond)
+            self.check_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.check_stmt(stmt.otherwise)
+            return
+        if isinstance(stmt, ast.SWhile):
+            self._check_condition(stmt.cond)
+            self._in_loop(stmt.body)
+            return
+        if isinstance(stmt, ast.SDoWhile):
+            self._in_loop(stmt.body)
+            self._check_condition(stmt.cond)
+            return
+        if isinstance(stmt, ast.SFor):
+            self.scope = _Scope(self.scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond)
+            if stmt.step is not None:
+                self.check_rvalue(stmt.step)
+            self._in_loop(stmt.body)
+            assert self.scope.parent is not None
+            self.scope = self.scope.parent
+            return
+        if isinstance(stmt, ast.SSwitch):
+            ty = self.check_rvalue(stmt.scrutinee)
+            if not ty.is_integer:
+                raise TypeError_(f"switch on non-integer type {ty}", stmt.loc)
+            seen: set[Optional[int]] = set()
+            for value, stmts in stmt.cases:
+                if value in seen:
+                    raise TypeError_(f"duplicate case {value}", stmt.loc)
+                seen.add(value)
+                self._loop_depth += 1  # break is legal inside a switch
+                self.scope = _Scope(self.scope)
+                for child in stmts:
+                    self.check_stmt(child)
+                assert self.scope.parent is not None
+                self.scope = self.scope.parent
+                self._loop_depth -= 1
+            return
+        if isinstance(stmt, ast.SBreak):
+            if self._loop_depth == 0:
+                raise TypeError_("break outside loop or switch", stmt.loc)
+            return
+        if isinstance(stmt, ast.SContinue):
+            if self._loop_depth == 0:
+                raise TypeError_("continue outside loop", stmt.loc)
+            return
+        if isinstance(stmt, ast.SReturn):
+            self._check_return(stmt)
+            return
+        if isinstance(stmt, ast.SSkip):
+            return
+        raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.loc)
+
+    def _in_loop(self, body: ast.Stmt) -> None:
+        self._loop_depth += 1
+        self.check_stmt(body)
+        self._loop_depth -= 1
+
+    def _check_decl(self, stmt: ast.SDecl) -> None:
+        _check_complete(stmt.ctype, stmt.loc)
+        unique = self._fresh_name(stmt.name)
+        self.scope.names[stmt.name] = unique
+        self.locals_types[unique] = stmt.ctype
+        if isinstance(stmt.ctype, (ct.TArray, ct.TStruct)):
+            self.addressable.add(unique)
+        stmt.name = unique
+        if stmt.init is not None:
+            _type_local_initializer(self, stmt.init, stmt.ctype)
+
+    def _check_return(self, stmt: ast.SReturn) -> None:
+        assert self.function is not None
+        result = self.function.result
+        if stmt.value is None:
+            if not isinstance(result, ct.TVoid):
+                raise TypeError_("return without a value in a non-void "
+                                 "function", stmt.loc)
+            return
+        if isinstance(result, ct.TVoid):
+            raise TypeError_("return with a value in a void function", stmt.loc)
+        actual = self.check_rvalue(stmt.value)
+        stmt.value = self.convert(stmt.value, actual, result)
+
+    def _check_condition(self, expr: ast.Expr) -> None:
+        ty = self.check_rvalue(expr)
+        if not ty.is_scalar:
+            raise TypeError_(f"condition of non-scalar type {ty}", expr.loc)
+
+    def _fresh_name(self, name: str) -> str:
+        count = self._counter.get(name, 0)
+        self._counter[name] = count + 1
+        if count == 0 and self.scope.lookup(name) is None \
+                and name not in self.locals_types:
+            return name
+        candidate = f"{name}${count + 1}"
+        while candidate in self.locals_types:
+            count += 1
+            candidate = f"{name}${count + 1}"
+        return candidate
+
+    # -- expressions ------------------------------------------------------------
+
+    def check_rvalue(self, expr: ast.Expr) -> ct.CType:
+        """Type an expression used for its value; arrays decay to pointers."""
+        ty = self._check(expr)
+        if isinstance(ty, ct.TArray):
+            ty = ct.TPointer(ty.element)
+            expr.ty = ty
+        return ty
+
+    def check_lvalue(self, expr: ast.Expr) -> ct.CType:
+        """Type an expression used as a location; no decay."""
+        ty = self._check(expr)
+        if not self._is_lvalue(expr):
+            raise TypeError_("expression is not an lvalue", expr.loc)
+        return ty
+
+    @staticmethod
+    def _is_lvalue(expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return True
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return True
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return True
+        return False
+
+    def convert(self, expr: ast.Expr, actual: ct.CType,
+                target: ct.CType) -> ast.Expr:
+        """Insert a cast realizing C's implicit conversion, if legal."""
+        if actual == target:
+            return expr
+        if actual.is_arithmetic and target.is_arithmetic:
+            return self._cast_node(expr, target)
+        if isinstance(target, ct.TPointer):
+            if isinstance(expr, ast.IntLit) and expr.value == 0:
+                return self._cast_node(expr, target)
+            if isinstance(actual, ct.TPointer):
+                void_involved = isinstance(target.target, ct.TVoid) or \
+                    isinstance(actual.target, ct.TVoid)
+                if void_involved or actual.target == target.target:
+                    return self._cast_node(expr, target)
+        raise TypeError_(f"cannot convert {actual} to {target}", expr.loc)
+
+    @staticmethod
+    def _cast_node(expr: ast.Expr, target: ct.CType) -> ast.Expr:
+        cast = ast.Cast(target, expr, expr.loc)
+        cast.ty = target
+        return cast
+
+    # The central dispatcher: computes the *inherent* type (before decay).
+    def _check(self, expr: ast.Expr) -> ct.CType:
+        ty = self._check_inner(expr)
+        expr.ty = ty
+        return ty
+
+    def _check_inner(self, expr: ast.Expr) -> ct.CType:
+        if isinstance(expr, ast.IntLit):
+            if expr.unsigned_suffix or expr.value > ct.MAX_INT_LIT_SIGNED:
+                return ct.UINT
+            return ct.INT
+        if isinstance(expr, ast.FloatLit):
+            return ct.DOUBLE
+        if isinstance(expr, ast.CharLit):
+            return ct.INT
+        if isinstance(expr, ast.Name):
+            return self._check_name(expr)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._check_incdec(expr)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr)
+        if isinstance(expr, ast.Logical):
+            self._check_condition(expr.left)
+            self._check_condition(expr.right)
+            return ct.INT
+        if isinstance(expr, ast.Conditional):
+            return self._check_conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self._check_assign(expr)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr)
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr)
+        if isinstance(expr, ast.Member):
+            return self._check_member(expr)
+        if isinstance(expr, ast.Cast):
+            return self._check_cast(expr)
+        if isinstance(expr, ast.SizeOf):
+            return self._check_sizeof(expr)
+        if isinstance(expr, ast.Comma):
+            self.check_rvalue(expr.left)
+            return self.check_rvalue(expr.right)
+        raise TypeError_(f"unknown expression {type(expr).__name__}", expr.loc)
+
+    def _check_name(self, expr: ast.Name) -> ct.CType:
+        unique = self.scope.lookup(expr.ident)
+        if unique is not None:
+            expr.ident = unique
+            expr.binding = "local"
+            return self.locals_types[unique]
+        if expr.ident in self.env.globals:
+            expr.binding = "global"
+            return self.env.globals[expr.ident]
+        if expr.ident in self.env.functions or expr.ident in self.env.externals:
+            raise UnsupportedFeatureError(
+                f"function {expr.ident!r} used as a value "
+                "(function pointers are not supported)", expr.loc)
+        raise TypeError_(f"undeclared identifier {expr.ident!r}", expr.loc)
+
+    def _check_unary(self, expr: ast.Unary) -> ct.CType:
+        if expr.op == "&":
+            inner = self.check_lvalue(expr.operand)
+            self._mark_addressable(expr.operand)
+            return ct.TPointer(inner)
+        if expr.op == "*":
+            inner = self.check_rvalue(expr.operand)
+            if not isinstance(inner, ct.TPointer):
+                raise TypeError_(f"dereference of non-pointer {inner}", expr.loc)
+            if isinstance(inner.target, ct.TVoid):
+                raise TypeError_("dereference of void pointer", expr.loc)
+            return inner.target
+        inner = self.check_rvalue(expr.operand)
+        if expr.op in ("-", "+"):
+            if not inner.is_arithmetic:
+                raise TypeError_(f"unary {expr.op} on {inner}", expr.loc)
+            promoted = ct.integer_promotion(inner)
+            expr.operand = self.convert(expr.operand, inner, promoted)
+            return promoted
+        if expr.op == "~":
+            if not inner.is_integer:
+                raise TypeError_(f"~ on {inner}", expr.loc)
+            promoted = ct.integer_promotion(inner)
+            expr.operand = self.convert(expr.operand, inner, promoted)
+            return promoted
+        if expr.op == "!":
+            if not inner.is_scalar:
+                raise TypeError_(f"! on {inner}", expr.loc)
+            return ct.INT
+        raise TypeError_(f"unknown unary operator {expr.op!r}", expr.loc)
+
+    def _mark_addressable(self, expr: ast.Expr) -> None:
+        base = expr
+        while True:
+            if isinstance(base, ast.Index):
+                # taking &a[i]: if `a` is a pointer the target is already
+                # in memory; if it is a local array it is already
+                # addressable by construction.
+                return
+            if isinstance(base, ast.Member) and not base.through_pointer:
+                base = base.base
+                continue
+            break
+        if isinstance(base, ast.Name) and base.binding == "local":
+            self.addressable.add(base.ident)
+        if isinstance(base, ast.Unary) and base.op == "*":
+            return  # already a memory location
+
+    def _check_incdec(self, expr: ast.IncDec) -> ct.CType:
+        ty = self.check_lvalue(expr.operand)
+        if isinstance(ty, ct.TPointer):
+            return ty
+        if ty.is_arithmetic:
+            return ty
+        raise TypeError_(f"{expr.op} on {ty}", expr.loc)
+
+    def _check_binary(self, expr: ast.Binary) -> ct.CType:
+        left = self.check_rvalue(expr.left)
+        right = self.check_rvalue(expr.right)
+        op = expr.op
+        if op in ("+", "-"):
+            if isinstance(left, ct.TPointer) and right.is_integer:
+                return left
+            if op == "+" and left.is_integer and isinstance(right, ct.TPointer):
+                return right
+            if op == "-" and isinstance(left, ct.TPointer) \
+                    and isinstance(right, ct.TPointer):
+                if left.target != right.target:
+                    raise TypeError_("subtraction of incompatible pointers",
+                                     expr.loc)
+                return ct.INT
+        if op in ("<<", ">>"):
+            if not (left.is_integer and right.is_integer):
+                raise TypeError_(f"shift on {left} and {right}", expr.loc)
+            promoted = ct.integer_promotion(left)
+            expr.left = self.convert(expr.left, left, promoted)
+            expr.right = self.convert(expr.right, right,
+                                      ct.integer_promotion(right))
+            return promoted
+        if op in ("&", "|", "^", "%") and not (left.is_integer and right.is_integer):
+            raise TypeError_(f"{op} on {left} and {right}", expr.loc)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if isinstance(left, ct.TPointer) or isinstance(right, ct.TPointer):
+                self._check_pointer_comparison(expr, left, right)
+                return ct.INT
+            common = ct.usual_arithmetic_conversion(left, right)
+            expr.left = self.convert(expr.left, left, common)
+            expr.right = self.convert(expr.right, right, common)
+            return ct.INT
+        if not (left.is_arithmetic and right.is_arithmetic):
+            raise TypeError_(f"{op} on {left} and {right}", expr.loc)
+        if op == "%" and (left.is_float or right.is_float):
+            raise TypeError_("% on floating-point operands", expr.loc)
+        common = ct.usual_arithmetic_conversion(left, right)
+        if op in ("/",) and common.is_float:
+            pass  # float division is fine
+        expr.left = self.convert(expr.left, left, common)
+        expr.right = self.convert(expr.right, right, common)
+        return common
+
+    def _check_pointer_comparison(self, expr: ast.Binary, left: ct.CType,
+                                  right: ct.CType) -> None:
+        def ok(a: ct.CType, b: ct.CType, b_expr: ast.Expr) -> bool:
+            if isinstance(a, ct.TPointer) and isinstance(b, ct.TPointer):
+                return a.target == b.target or isinstance(a.target, ct.TVoid) \
+                    or isinstance(b.target, ct.TVoid)
+            if isinstance(a, ct.TPointer) and isinstance(b_expr, ast.IntLit) \
+                    and b_expr.value == 0:
+                return True
+            return False
+
+        if not (ok(left, right, expr.right) or ok(right, left, expr.left)):
+            raise TypeError_(
+                f"comparison between {left} and {right}", expr.loc)
+        if expr.op not in ("==", "!=", "<", "<=", ">", ">="):
+            raise TypeError_(f"{expr.op} on pointers", expr.loc)
+
+    def _check_conditional(self, expr: ast.Conditional) -> ct.CType:
+        self._check_condition(expr.cond)
+        then_ty = self.check_rvalue(expr.then)
+        else_ty = self.check_rvalue(expr.otherwise)
+        if then_ty.is_arithmetic and else_ty.is_arithmetic:
+            common = ct.usual_arithmetic_conversion(then_ty, else_ty)
+            expr.then = self.convert(expr.then, then_ty, common)
+            expr.otherwise = self.convert(expr.otherwise, else_ty, common)
+            return common
+        if then_ty == else_ty:
+            return then_ty
+        raise TypeError_(
+            f"incompatible branches of ?: ({then_ty} vs {else_ty})", expr.loc)
+
+    def _check_assign(self, expr: ast.Assign) -> ct.CType:
+        target_ty = self.check_lvalue(expr.target)
+        if isinstance(target_ty, (ct.TArray, ct.TStruct)):
+            raise UnsupportedFeatureError(
+                f"assignment to aggregate {target_ty} is not supported",
+                expr.loc)
+        value_ty = self.check_rvalue(expr.value)
+        if expr.op == "=":
+            expr.value = self.convert(expr.value, value_ty, target_ty)
+            return target_ty
+        # Compound assignment: target op= value behaves like
+        # target = target op value with the binary operator's rules.
+        binary_op = expr.op[:-1]
+        if isinstance(target_ty, ct.TPointer):
+            if binary_op not in ("+", "-") or not value_ty.is_integer:
+                raise TypeError_(
+                    f"{expr.op} on pointer target", expr.loc)
+            return target_ty
+        if not (target_ty.is_arithmetic and value_ty.is_arithmetic):
+            raise TypeError_(f"{expr.op} on {target_ty} and {value_ty}", expr.loc)
+        if binary_op in ("%", "&", "|", "^", "<<", ">>") and \
+                not (target_ty.is_integer and value_ty.is_integer):
+            raise TypeError_(f"{expr.op} on {target_ty} and {value_ty}", expr.loc)
+        if binary_op in ("<<", ">>"):
+            return target_ty
+        common = ct.usual_arithmetic_conversion(target_ty, value_ty)
+        expr.value = self.convert(expr.value, value_ty, common)
+        return target_ty
+
+    def _check_call(self, expr: ast.Call) -> ct.CType:
+        signature = self.env.function_type(expr.callee)
+        if len(expr.args) != len(signature.params) and not signature.varargs:
+            raise TypeError_(
+                f"{expr.callee!r} expects {len(signature.params)} arguments, "
+                f"got {len(expr.args)}", expr.loc)
+        new_args: list[ast.Expr] = []
+        for index, arg in enumerate(expr.args):
+            arg_ty = self.check_rvalue(arg)
+            if index < len(signature.params):
+                arg = self.convert(arg, arg_ty, signature.params[index])
+            new_args.append(arg)
+        expr.args = new_args
+        if isinstance(signature.result, ct.TStruct):
+            raise UnsupportedFeatureError(
+                "functions returning structs are not supported", expr.loc)
+        return signature.result
+
+    def _check_index(self, expr: ast.Index) -> ct.CType:
+        base_ty = self.check_rvalue(expr.base)
+        index_ty = self.check_rvalue(expr.index)
+        if not index_ty.is_integer:
+            raise TypeError_(f"array index of type {index_ty}", expr.loc)
+        if isinstance(base_ty, ct.TPointer):
+            if isinstance(base_ty.target, ct.TVoid):
+                raise TypeError_("indexing a void pointer", expr.loc)
+            return base_ty.target
+        raise TypeError_(f"indexing a non-pointer {base_ty}", expr.loc)
+
+    def _check_member(self, expr: ast.Member) -> ct.CType:
+        if expr.through_pointer:
+            base_ty = self.check_rvalue(expr.base)
+            if not (isinstance(base_ty, ct.TPointer)
+                    and isinstance(base_ty.target, ct.TStruct)):
+                raise TypeError_(f"-> on {base_ty}", expr.loc)
+            struct = base_ty.target
+        else:
+            base_ty = self.check_lvalue(expr.base)
+            if not isinstance(base_ty, ct.TStruct):
+                raise TypeError_(f". on {base_ty}", expr.loc)
+            struct = base_ty
+        return struct.field(expr.field).ctype
+
+    def _check_cast(self, expr: ast.Cast) -> ct.CType:
+        inner = self.check_rvalue(expr.operand)
+        target = expr.target_type
+        if isinstance(target, ct.TVoid):
+            return target
+        if target.is_arithmetic and inner.is_arithmetic:
+            return target
+        if isinstance(target, ct.TPointer) and isinstance(inner, ct.TPointer):
+            return target
+        if isinstance(target, ct.TPointer) and inner.is_integer:
+            if isinstance(expr.operand, ast.IntLit):
+                return target  # (T*)0 and friends
+            raise UnsupportedFeatureError(
+                "casting a run-time integer to a pointer is not supported",
+                expr.loc)
+        if target.is_integer and isinstance(inner, ct.TPointer):
+            raise UnsupportedFeatureError(
+                "casting a pointer to an integer is not supported", expr.loc)
+        raise TypeError_(f"cast from {inner} to {target}", expr.loc)
+
+    def _check_sizeof(self, expr: ast.SizeOf) -> ct.CType:
+        if expr.arg_type is not None:
+            expr.arg_type.size  # raises for void/function
+            return ct.UINT
+        assert expr.arg_expr is not None
+        self._check(expr.arg_expr)
+        assert expr.arg_expr.ty is not None
+        expr.arg_expr.ty.size
+        return ct.UINT
+
+
+def _type_local_initializer(checker: _FunctionChecker, init: ast.Initializer,
+                            ctype: ct.CType) -> None:
+    if isinstance(init, ast.InitScalar):
+        if isinstance(ctype, (ct.TArray, ct.TStruct)):
+            raise TypeError_(f"scalar initializer for aggregate {ctype}",
+                             init.loc)
+        actual = checker.check_rvalue(init.expr)
+        init.expr = checker.convert(init.expr, actual, ctype)
+        return
+    assert isinstance(init, ast.InitList)
+    if isinstance(ctype, ct.TArray):
+        if len(init.items) > ctype.length:
+            raise TypeError_(f"too many initializers for {ctype}", init.loc)
+        for item in init.items:
+            _type_local_initializer(checker, item, ctype.element)
+        return
+    if isinstance(ctype, ct.TStruct):
+        if len(init.items) > len(ctype.fields):
+            raise TypeError_(f"too many initializers for {ctype}", init.loc)
+        for item, field in zip(init.items, ctype.fields):
+            _type_local_initializer(checker, item, field.ctype)
+        return
+    if len(init.items) == 1:
+        _type_local_initializer(checker, init.items[0], ctype)
+        return
+    raise TypeError_(f"brace initializer for scalar {ctype}", init.loc)

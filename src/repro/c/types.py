@@ -1,0 +1,399 @@
+"""The C type algebra of the supported subset.
+
+Sizes and alignments follow the IA32 ABI that CompCert 1.13 targets:
+``char`` 1, ``short`` 2, ``int`` 4, pointers 4, ``double`` 8 (aligned to 4
+on the stack, like CompCert's IA32 port aligns float64 chunks to 4).
+``float`` is accepted by the parser and treated at double precision.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TypeError_
+from repro.memory.chunks import Chunk
+
+
+class CType:
+    """Abstract C type; instances are immutable and structurally equal."""
+
+    __slots__ = ()
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def alignment(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_scalar(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_pointer(self) -> bool:
+        return False
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.is_integer or self.is_float
+
+    def chunk(self) -> Chunk:
+        """The memory chunk used to load/store a value of this type."""
+        raise TypeError_(f"type {self} has no access chunk")
+
+
+class TVoid(CType):
+    __slots__ = ()
+
+    @property
+    def size(self) -> int:
+        raise TypeError_("sizeof(void)")
+
+    @property
+    def alignment(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TVoid)
+
+    def __hash__(self) -> int:
+        return hash("TVoid")
+
+
+class TInt(CType):
+    """An integer type of a given byte width and signedness."""
+
+    __slots__ = ("width", "signed")
+
+    def __init__(self, width: int, signed: bool) -> None:
+        if width not in (1, 2, 4):
+            raise TypeError_(f"unsupported integer width {width}")
+        self.width = width
+        self.signed = signed
+
+    @property
+    def size(self) -> int:
+        return self.width
+
+    @property
+    def alignment(self) -> int:
+        return self.width
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+    def chunk(self) -> Chunk:
+        if self.width == 1:
+            return Chunk.INT8_SIGNED if self.signed else Chunk.INT8_UNSIGNED
+        if self.width == 2:
+            return Chunk.INT16_SIGNED if self.signed else Chunk.INT16_UNSIGNED
+        return Chunk.INT32
+
+    def __str__(self) -> str:
+        base = {1: "char", 2: "short", 4: "int"}[self.width]
+        return base if self.signed else f"unsigned {base}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TInt)
+            and other.width == self.width
+            and other.signed == self.signed
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TInt", self.width, self.signed))
+
+
+class TFloat(CType):
+    """IEEE binary64 (both ``float`` and ``double`` map here)."""
+
+    __slots__ = ()
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    @property
+    def alignment(self) -> int:
+        # CompCert's IA32 port aligns float64 stack data to 4 bytes.
+        return 4
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+    def chunk(self) -> Chunk:
+        return Chunk.FLOAT64
+
+    def __str__(self) -> str:
+        return "double"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TFloat)
+
+    def __hash__(self) -> int:
+        return hash("TFloat")
+
+
+class TPointer(CType):
+    __slots__ = ("target",)
+
+    def __init__(self, target: CType) -> None:
+        self.target = target
+
+    @property
+    def size(self) -> int:
+        return 4
+
+    @property
+    def alignment(self) -> int:
+        return 4
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def is_pointer(self) -> bool:
+        return True
+
+    def chunk(self) -> Chunk:
+        return Chunk.INT32
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TPointer) and other.target == self.target
+
+    def __hash__(self) -> int:
+        return hash(("TPointer", self.target))
+
+
+class TArray(CType):
+    __slots__ = ("element", "length")
+
+    def __init__(self, element: CType, length: int) -> None:
+        if length < 0:
+            raise TypeError_(f"negative array length {length}")
+        self.element = element
+        self.length = length
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.length
+
+    @property
+    def alignment(self) -> int:
+        return self.element.alignment
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TArray)
+            and other.element == self.element
+            and other.length == self.length
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TArray", self.element, self.length))
+
+
+class StructField:
+    __slots__ = ("name", "ctype", "offset")
+
+    def __init__(self, name: str, ctype: CType, offset: int) -> None:
+        self.name = name
+        self.ctype = ctype
+        self.offset = offset
+
+
+class TStruct(CType):
+    """A struct with a computed layout.
+
+    The layout is the usual sequential one: each field at the next offset
+    aligned to the field's alignment; total size padded to the struct's
+    alignment (the max field alignment).
+
+    Self-referential structs are supported through two-phase
+    construction: :meth:`incomplete` creates the (pointer-only usable)
+    tag, and :meth:`complete` fills in the members — the parser completes
+    a struct right after its closing brace, so only pointers to the type
+    can occur inside its own definition, as in C.
+    """
+
+    __slots__ = ("name", "fields", "_size", "_alignment", "_by_name",
+                 "_complete")
+
+    def __init__(self, name: str, members: Sequence[tuple[str, CType]]) -> None:
+        self.name = name
+        self._complete = False
+        self.complete(members)
+
+    @classmethod
+    def incomplete(cls, name: str) -> "TStruct":
+        struct = cls.__new__(cls)
+        struct.name = name
+        struct.fields = ()
+        struct._size = 0
+        struct._alignment = 1
+        struct._by_name = {}
+        struct._complete = False
+        return struct
+
+    def complete(self, members: Sequence[tuple[str, CType]]) -> None:
+        if self._complete:
+            raise TypeError_(f"struct {self.name} redefined")
+        offset = 0
+        alignment = 1
+        fields: list[StructField] = []
+        seen: set[str] = set()
+        for member_name, member_type in members:
+            if member_name in seen:
+                raise TypeError_(f"duplicate field {member_name!r} in struct {self.name}")
+            seen.add(member_name)
+            offset = align_up(offset, member_type.alignment)
+            fields.append(StructField(member_name, member_type, offset))
+            offset += member_type.size
+            alignment = max(alignment, member_type.alignment)
+        self.fields = tuple(fields)
+        self._alignment = alignment
+        self._size = align_up(offset, alignment) if fields else 0
+        self._by_name = {field.name: field for field in fields}
+        self._complete = True
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete
+
+    @property
+    def size(self) -> int:
+        if not self._complete:
+            raise TypeError_(f"sizeof incomplete struct {self.name}")
+        return self._size
+
+    @property
+    def alignment(self) -> int:
+        if not self._complete:
+            raise TypeError_(f"alignof incomplete struct {self.name}")
+        return self._alignment
+
+    def field(self, name: str) -> StructField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TypeError_(f"struct {self.name} has no field {name!r}") from None
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        # Structs are nominal: same tag means same type (one definition
+        # per program is enforced by the type checker).
+        return isinstance(other, TStruct) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("TStruct", self.name))
+
+
+class TFunction(CType):
+    """A function type (only used at declarations; no function pointers)."""
+
+    __slots__ = ("result", "params", "varargs")
+
+    def __init__(self, result: CType, params: Sequence[CType], varargs: bool = False) -> None:
+        self.result = result
+        self.params = tuple(params)
+        self.varargs = varargs
+
+    @property
+    def size(self) -> int:
+        raise TypeError_("sizeof(function)")
+
+    @property
+    def alignment(self) -> int:
+        raise TypeError_("alignof(function)")
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.result}({params})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TFunction)
+            and other.result == self.result
+            and other.params == self.params
+            and other.varargs == self.varargs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TFunction", self.result, self.params, self.varargs))
+
+
+# Canonical instances ---------------------------------------------------------
+
+VOID = TVoid()
+MAX_INT_LIT_SIGNED = (1 << 31) - 1
+CHAR = TInt(1, True)
+UCHAR = TInt(1, False)
+SHORT = TInt(2, True)
+USHORT = TInt(2, False)
+INT = TInt(4, True)
+UINT = TInt(4, False)
+DOUBLE = TFloat()
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"bad alignment {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def usual_arithmetic_conversion(left: CType, right: CType) -> CType:
+    """C's usual arithmetic conversions, restricted to our types.
+
+    Doubles absorb everything; otherwise both sides promote to 32 bits and
+    unsignedness wins.
+    """
+    if not (left.is_arithmetic and right.is_arithmetic):
+        raise TypeError_(f"arithmetic conversion on {left} and {right}")
+    if left.is_float or right.is_float:
+        return DOUBLE
+    left_p = integer_promotion(left)
+    right_p = integer_promotion(right)
+    assert isinstance(left_p, TInt) and isinstance(right_p, TInt)
+    if left_p.signed and right_p.signed:
+        return INT
+    return UINT
+
+
+def integer_promotion(ctype: CType) -> CType:
+    """Promote sub-int integer types to ``int`` (they all fit)."""
+    if isinstance(ctype, TInt) and ctype.width < 4:
+        return INT
+    return ctype

@@ -1,0 +1,15 @@
+"""CompCert Clight: the language of the quantitative Hoare logic (paper §4).
+
+Clight is the most abstract intermediate language of the pipeline: loops
+are infinite unless exited by ``break``, expressions are side-effect free,
+and every local variable is either a pure temporary or an explicitly
+memory-resident (addressable) variable.  The front end
+(:mod:`repro.clight.from_c`) compiles the typed C AST into this form; the
+continuation-based small-step semantics (:mod:`repro.clight.semantics`)
+generates the event traces that the quantitative logic bounds.
+"""
+
+from repro.clight.from_c import clight_of_program
+from repro.clight.semantics import run_program
+
+__all__ = ["clight_of_program", "run_program"]

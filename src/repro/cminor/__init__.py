@@ -1,0 +1,16 @@
+"""Cminor: Clight with all addressable locals merged into one stack block.
+
+In CompCert, the Clight-to-Cminor passes (`Cshmgen`/`Cminorgen`) collapse
+a function's addressable locals into a single per-function stack block
+addressed by explicit offsets from a stack pointer.  Our Cminor reuses the
+Clight statement and expression forms — after this pass, the *only*
+stack-address expression that appears is ``EAddrStack("$frame")`` (plus a
+constant offset), and each function carries its frame layout.  Hence the
+Clight small-step machine executes Cminor programs unchanged, which is
+exactly what makes the pass's quantitative refinement easy to test
+differentially.
+"""
+
+from repro.cminor.lower import FRAME_VAR, CminorProgram, cminor_of_clight
+
+__all__ = ["cminor_of_clight", "CminorProgram", "FRAME_VAR"]

@@ -1,0 +1,131 @@
+"""The Clight → Cminor pass: lay out addressable locals in one block.
+
+Each addressable local of a function is assigned a fixed offset inside a
+single frame block named ``$frame``; ``EAddrStack(x)`` becomes
+``EAddrStack($frame) + offset(x)``.  The frame size is the first
+compilation artifact that will end up in the cost metric: the Mach frame
+later embeds this block verbatim.
+
+The pass preserves traces exactly (it only renames addresses within one
+allocation), which the differential tests check via quantitative
+refinement with equality of memory events.
+"""
+
+from __future__ import annotations
+
+from repro.c.types import align_up
+from repro.clight import ast as cl
+
+FRAME_VAR = "$frame"
+
+
+class FrameLayout:
+    """Offsets of the addressable locals inside the merged block."""
+
+    __slots__ = ("offsets", "size")
+
+    def __init__(self, offsets: dict[str, int], size: int) -> None:
+        self.offsets = offsets
+        self.size = size
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}@{o}" for n, o in sorted(self.offsets.items()))
+        return f"FrameLayout({inner}; {self.size} bytes)"
+
+
+class CminorProgram:
+    """A Clight-shaped program in Cminor form, plus per-function layouts."""
+
+    def __init__(self, program: cl.Program,
+                 layouts: dict[str, FrameLayout]) -> None:
+        self.program = program
+        self.layouts = layouts
+
+    @property
+    def functions(self):
+        return self.program.functions
+
+    @property
+    def globals(self):
+        return self.program.globals
+
+    @property
+    def externals(self):
+        return self.program.externals
+
+
+def layout_stackvars(stackvars: list[cl.StackVar]) -> FrameLayout:
+    """Sequential layout honoring each variable's alignment; 8-aligned total."""
+    offset = 0
+    offsets: dict[str, int] = {}
+    for var in stackvars:
+        offset = align_up(offset, max(var.alignment, 1))
+        offsets[var.name] = offset
+        offset += var.size
+    return FrameLayout(offsets, align_up(offset, 8))
+
+
+def cminor_of_clight(program: cl.Program) -> CminorProgram:
+    layouts: dict[str, FrameLayout] = {}
+    functions = []
+    for function in program.functions.values():
+        layout = layout_stackvars(function.stackvars)
+        layouts[function.name] = layout
+        frame_vars = ([cl.StackVar(FRAME_VAR, layout.size, 8)]
+                      if layout.size > 0 else [])
+        body = _rewrite_stmt(function.body, layout)
+        functions.append(cl.Function(
+            function.name, function.params, function.temps, frame_vars, body,
+            returns_float=function.returns_float,
+            param_is_float=function.param_is_float,
+            float_temps=function.float_temps))
+    lowered = cl.Program([g for g in program.globals], functions,
+                         program.externals, program.main)
+    return CminorProgram(lowered, layouts)
+
+
+def _rewrite_stmt(stmt: cl.Stmt, layout: FrameLayout) -> cl.Stmt:
+    if isinstance(stmt, (cl.SSkip, cl.SBreak, cl.SContinue)):
+        return stmt
+    if isinstance(stmt, cl.SSet):
+        return cl.SSet(stmt.temp, _rewrite_expr(stmt.expr, layout))
+    if isinstance(stmt, cl.SStore):
+        return cl.SStore(stmt.chunk, _rewrite_expr(stmt.addr, layout),
+                         _rewrite_expr(stmt.value, layout))
+    if isinstance(stmt, cl.SCall):
+        return cl.SCall(stmt.dest, stmt.callee,
+                        [_rewrite_expr(a, layout) for a in stmt.args])
+    if isinstance(stmt, cl.SSeq):
+        return cl.SSeq(_rewrite_stmt(stmt.first, layout),
+                       _rewrite_stmt(stmt.second, layout))
+    if isinstance(stmt, cl.SIf):
+        return cl.SIf(_rewrite_expr(stmt.cond, layout),
+                      _rewrite_stmt(stmt.then, layout),
+                      _rewrite_stmt(stmt.otherwise, layout))
+    if isinstance(stmt, cl.SLoop):
+        return cl.SLoop(_rewrite_stmt(stmt.body, layout),
+                        _rewrite_stmt(stmt.post, layout))
+    if isinstance(stmt, cl.SBlock):
+        return cl.SBlock(_rewrite_stmt(stmt.body, layout))
+    if isinstance(stmt, cl.SReturn):
+        value = _rewrite_expr(stmt.value, layout) if stmt.value is not None \
+            else None
+        return cl.SReturn(value)
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _rewrite_expr(expr: cl.Expr, layout: FrameLayout) -> cl.Expr:
+    if isinstance(expr, cl.EAddrStack):
+        offset = layout.offsets[expr.name]
+        base = cl.EAddrStack(FRAME_VAR)
+        if offset == 0:
+            return base
+        return cl.EBinop("add", base, cl.EConstInt(offset))
+    if isinstance(expr, cl.ELoad):
+        return cl.ELoad(expr.chunk, _rewrite_expr(expr.addr, layout))
+    if isinstance(expr, cl.EUnop):
+        return cl.EUnop(expr.op, _rewrite_expr(expr.arg, layout))
+    if isinstance(expr, cl.EBinop):
+        return cl.EBinop(expr.op, _rewrite_expr(expr.left, layout),
+                         _rewrite_expr(expr.right, layout))
+    return expr

@@ -1,0 +1,55 @@
+"""Event traces, weights and quantitative refinement (paper §3.1).
+
+Executions of every language in the pipeline emit *events*: observable I/O
+events (external function calls) and *memory events* ``call(f)`` /
+``ret(f)`` recording internal function calls and returns.  A *resource
+metric* prices each event; the *weight* of a behavior under a metric is the
+supremum of the valuations of its finite prefixes and describes the stack
+space the execution needs.
+"""
+
+from repro.events.metrics import StackMetric
+from repro.events.refinement import (
+    RefinementFailure,
+    check_quantitative_refinement,
+    check_refinement,
+    dominates_for_all_metrics,
+)
+from repro.events.trace import (
+    Behavior,
+    CallEvent,
+    Converges,
+    Diverges,
+    Event,
+    GoesWrong,
+    IOEvent,
+    ReturnEvent,
+    Trace,
+    prefixes,
+    prune,
+    valuation,
+    weight,
+    weight_of_trace,
+)
+
+__all__ = [
+    "Event",
+    "IOEvent",
+    "CallEvent",
+    "ReturnEvent",
+    "Trace",
+    "Behavior",
+    "Converges",
+    "Diverges",
+    "GoesWrong",
+    "prefixes",
+    "prune",
+    "valuation",
+    "weight",
+    "weight_of_trace",
+    "StackMetric",
+    "check_refinement",
+    "check_quantitative_refinement",
+    "dominates_for_all_metrics",
+    "RefinementFailure",
+]

@@ -1,0 +1,83 @@
+"""Resource metrics over events (paper §3.1).
+
+A *stack metric* ``M : E -> Z`` satisfies, for every internal function
+``f`` and every external function ``g``::
+
+    0 <= M(call f) = -M(ret f)      and      M(g(v |-> v)) = 0
+
+so the valuation of a trace prefix is exactly the summed frame sizes of the
+functions currently on the call stack.  The compiler produces the concrete
+metric ``M(f) = SF(f) + 4`` from the Mach stack-frame map ``SF`` (the +4
+accounts for the return address pushed by the call instruction).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.events.trace import CallEvent, Event, IOEvent, ReturnEvent
+
+
+class StackMetric:
+    """A stack metric given by a per-function frame cost in bytes."""
+
+    def __init__(self, costs: Mapping[str, int], default: int | None = None) -> None:
+        """``costs`` maps internal function names to non-negative byte costs.
+
+        If ``default`` is given, unknown functions cost ``default`` bytes;
+        otherwise pricing an unknown function raises ``KeyError`` (which is
+        the right behavior for a compiler-produced metric: every internal
+        function of the program has a frame).
+        """
+        for name, cost in costs.items():
+            if cost < 0:
+                raise ValueError(f"negative stack cost {cost} for {name!r}")
+        if default is not None and default < 0:
+            raise ValueError(f"negative default stack cost {default}")
+        self._costs = dict(costs)
+        self._default = default
+
+    def cost(self, function: str) -> int:
+        """The byte cost of entering ``function``."""
+        if function in self._costs:
+            return self._costs[function]
+        if self._default is not None:
+            return self._default
+        raise KeyError(f"no stack cost for function {function!r}")
+
+    def __call__(self, event: Event) -> int:
+        if isinstance(event, CallEvent):
+            return self.cost(event.function)
+        if isinstance(event, ReturnEvent):
+            return -self.cost(event.function)
+        if isinstance(event, IOEvent):
+            return 0
+        raise TypeError(f"not an event: {event!r}")
+
+    def __getitem__(self, function: str) -> int:
+        return self.cost(function)
+
+    def __contains__(self, function: str) -> bool:
+        return function in self._costs
+
+    def functions(self) -> Iterable[str]:
+        return self._costs.keys()
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._costs)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._costs.items()))
+        return f"StackMetric({items})"
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, functions: Iterable[str], cost: int) -> "StackMetric":
+        """Every listed function costs ``cost`` bytes (handy in tests)."""
+        return cls({name: cost for name in functions})
+
+    @classmethod
+    def zero(cls) -> "StackMetric":
+        """The zero metric: weights collapse to 0 for every trace."""
+        return cls({}, default=0)

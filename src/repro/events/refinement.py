@@ -1,0 +1,137 @@
+"""Executable quantitative-refinement checks (paper §3.1).
+
+The paper proves, in Coq, that every compiler pass ``C`` satisfies
+``C(s) <=_Q s``: each target behavior ``B'`` is matched by a source
+behavior ``B`` with the same pruned trace and ``W_M(B') <= W_M(B)`` for
+*all* stack metrics ``M``.  A Python reproduction cannot quantify over all
+behaviors, so this module provides the per-execution judgment used by the
+differential test-suite: given one observed target behavior and one observed
+source behavior (driven by the same inputs), check the refinement
+conditions.
+
+Two flavours of the weight condition are offered:
+
+* :func:`check_quantitative_refinement` with an explicit metric checks
+  ``W_M(B') <= W_M(B)`` for that metric — this is what Theorem 1 consumes
+  (with the compiler-produced metric).
+* :func:`dominates_for_all_metrics` checks a *sufficient* structural
+  condition for the all-metrics statement: every prefix of the target trace
+  is pointwise dominated (per-function open-call counts) by some prefix of
+  the source trace.  Our passes up to Mach preserve memory events exactly,
+  so in practice the check degenerates to trace equality there; the general
+  form matters for passes that are allowed to drop or reorder memory events
+  (e.g. tail-call recognition, discussed in the paper's TR).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.events.trace import (
+    Behavior,
+    Converges,
+    Event,
+    GoesWrong,
+    open_calls,
+    prefixes,
+    weight,
+)
+
+
+class RefinementFailure(AssertionError):
+    """Raised when an observed pair of behaviors violates refinement."""
+
+
+def check_refinement(target: Behavior, source: Behavior) -> None:
+    """CompCert's classic refinement on one behavior pair.
+
+    The pruned traces must agree, and if both converge the return codes
+    must agree.  A wrong source behavior licenses anything (the theorem's
+    ``fail(t)`` escape hatch), so it is accepted outright.
+    """
+    if isinstance(source, GoesWrong):
+        return
+    if isinstance(target, GoesWrong):
+        raise RefinementFailure(
+            f"target goes wrong ({target.reason}) but source does not"
+        )
+    pruned_target = target.pruned()
+    pruned_source = source.pruned()
+    if pruned_target.trace != pruned_source.trace:
+        raise RefinementFailure(
+            "pruned traces differ:\n"
+            f"  target: {list(pruned_target.trace)}\n"
+            f"  source: {list(pruned_source.trace)}"
+        )
+    if isinstance(target, Converges) != isinstance(source, Converges):
+        raise RefinementFailure(
+            f"termination differs: target {type(target).__name__}, "
+            f"source {type(source).__name__}"
+        )
+    if isinstance(target, Converges) and isinstance(source, Converges):
+        if target.return_code != source.return_code:
+            raise RefinementFailure(
+                f"return codes differ: target {target.return_code}, "
+                f"source {source.return_code}"
+            )
+
+
+def check_quantitative_refinement(
+    target: Behavior,
+    source: Behavior,
+    metric: Callable[[Event], int] | None = None,
+) -> None:
+    """One-execution quantitative refinement: ``<=_Q`` on a behavior pair.
+
+    Checks classic refinement plus the weight inequality.  With an explicit
+    ``metric`` the inequality is checked for that metric; without one, the
+    structural all-metrics condition is checked.
+    """
+    if isinstance(source, GoesWrong):
+        return
+    check_refinement(target, source)
+    if metric is not None:
+        weight_target = weight(metric, target)
+        weight_source = weight(metric, source)
+        if weight_target > weight_source:
+            raise RefinementFailure(
+                f"weight increased: target {weight_target} > source {weight_source}"
+            )
+    else:
+        if not dominates_for_all_metrics(target.trace, source.trace):
+            raise RefinementFailure(
+                "target trace is not pointwise dominated by the source trace; "
+                "the all-metrics weight inequality cannot be established"
+            )
+
+
+def dominates_for_all_metrics(
+    target_trace: Sequence[Event], source_trace: Sequence[Event]
+) -> bool:
+    """Sufficient condition for ``forall M. W_M(target) <= W_M(source)``.
+
+    For stack metrics, ``V_M(t) = sum_f M(f) * open_f(t)`` where ``open_f``
+    counts unmatched calls.  If every prefix of the target trace has its
+    open-call vector pointwise below the open-call vector of *some* prefix
+    of the source trace, then for every metric the target valuation is
+    bounded by a source valuation, hence ``W_M(target) <= W_M(source)``.
+    """
+    source_vectors = [open_calls(prefix) for prefix in prefixes(source_trace)]
+    for target_prefix in prefixes(target_trace):
+        target_vector = open_calls(target_prefix)
+        if not any(
+            _pointwise_le(target_vector, source_vector)
+            for source_vector in source_vectors
+        ):
+            return False
+    return True
+
+
+def _pointwise_le(small: dict[str, int], large: dict[str, int]) -> bool:
+    # Compare over the union of keys: arbitrary traces can have *negative*
+    # open-call counts (unmatched returns), and a negative count present
+    # only on the large side lowers its valuation.
+    for function in small.keys() | large.keys():
+        if small.get(function, 0) > large.get(function, 0):
+            return False
+    return True

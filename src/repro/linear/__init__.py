@@ -1,0 +1,12 @@
+"""Linear: linearized code over machine locations.
+
+The CFG of allocated RTL is serialized into a label/branch instruction
+list (CompCert's ``Linearize`` + ``Allocation`` output combined): every
+virtual register has been replaced by a physical register or spill slot,
+and control flow is explicit ``goto``/conditional-branch.
+"""
+
+from repro.linear.ast import LinearFunction, LinearProgram
+from repro.linear.lower import linear_of_rtl
+
+__all__ = ["LinearProgram", "LinearFunction", "linear_of_rtl"]

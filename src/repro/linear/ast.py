@@ -1,0 +1,152 @@
+"""Linear abstract syntax: label/branch code over machine locations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.clight.ast import GlobalVar
+from repro.memory.chunks import Chunk
+from repro.regalloc.locations import Loc
+
+
+class LInstr:
+    __slots__ = ()
+
+
+class Lop(LInstr):
+    """``dest = op(args)`` — same operation encoding as RTL's ``Iop``."""
+
+    __slots__ = ("op", "args", "dest")
+
+    def __init__(self, op: tuple, args: Sequence[Loc], dest: Loc) -> None:
+        self.op = op
+        self.args = tuple(args)
+        self.dest = dest
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        return f"{self.dest!r} = {self.op}({args})"
+
+
+class Lload(LInstr):
+    __slots__ = ("chunk", "addr", "dest")
+
+    def __init__(self, chunk: Chunk, addr: Loc, dest: Loc) -> None:
+        self.chunk = chunk
+        self.addr = addr
+        self.dest = dest
+
+    def __repr__(self) -> str:
+        return f"{self.dest!r} = load {self.chunk.value} [{self.addr!r}]"
+
+
+class Lstore(LInstr):
+    __slots__ = ("chunk", "addr", "src")
+
+    def __init__(self, chunk: Chunk, addr: Loc, src: Loc) -> None:
+        self.chunk = chunk
+        self.addr = addr
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"store {self.chunk.value} [{self.addr!r}] = {self.src!r}"
+
+
+class Lcall(LInstr):
+    """Call with located arguments; ``dest`` receives the result."""
+
+    __slots__ = ("callee", "args", "arg_is_float", "dest", "dest_is_float")
+
+    def __init__(self, callee: str, args: Sequence[Loc],
+                 arg_is_float: Sequence[bool], dest: Optional[Loc],
+                 dest_is_float: bool) -> None:
+        self.callee = callee
+        self.args = tuple(args)
+        self.arg_is_float = tuple(arg_is_float)
+        self.dest = dest
+        self.dest_is_float = dest_is_float
+
+    def __repr__(self) -> str:
+        dest = f"{self.dest!r} = " if self.dest is not None else ""
+        args = ", ".join(map(repr, self.args))
+        return f"{dest}call {self.callee}({args})"
+
+
+class Llabel(LInstr):
+    __slots__ = ("label",)
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"L{self.label}:"
+
+
+class Lgoto(LInstr):
+    __slots__ = ("label",)
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"goto L{self.label}"
+
+
+class Lcond(LInstr):
+    """Branch to ``label`` if the (integer-class) location is truthy."""
+
+    __slots__ = ("arg", "label")
+
+    def __init__(self, arg: Loc, label: int) -> None:
+        self.arg = arg
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"if {self.arg!r} goto L{self.label}"
+
+
+class Lreturn(LInstr):
+    __slots__ = ("arg", "is_float")
+
+    def __init__(self, arg: Optional[Loc], is_float: bool) -> None:
+        self.arg = arg
+        self.is_float = is_float
+
+    def __repr__(self) -> str:
+        return f"return {self.arg!r}" if self.arg is not None else "return"
+
+
+class LinearFunction:
+    def __init__(self, name: str, params: Sequence[Loc],
+                 param_is_float: Sequence[bool], stacksize: int,
+                 int_slots: int, float_slots: int, body: list[LInstr],
+                 returns_float: bool) -> None:
+        self.name = name
+        self.params = list(params)
+        self.param_is_float = list(param_is_float)
+        self.stacksize = stacksize  # the Cminor locals block, in bytes
+        self.int_slots = int_slots
+        self.float_slots = float_slots
+        self.body = body
+        self.returns_float = returns_float
+
+    def pretty(self) -> str:
+        lines = [f"{self.name}(params={self.params}, locals={self.stacksize}b, "
+                 f"slots={self.int_slots}i+{self.float_slots}f)"]
+        for instr in self.body:
+            pad = "" if isinstance(instr, Llabel) else "    "
+            lines.append(f"{pad}{instr!r}")
+        return "\n".join(lines)
+
+
+class LinearProgram:
+    def __init__(self, globals_: Sequence[GlobalVar],
+                 functions: dict[str, LinearFunction],
+                 externals: set[str], main: str = "main") -> None:
+        self.globals = list(globals_)
+        self.functions = dict(functions)
+        self.externals = set(externals)
+        self.main = main
+
+    def is_internal(self, name: str) -> bool:
+        return name in self.functions

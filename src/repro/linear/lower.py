@@ -1,0 +1,128 @@
+"""Allocated RTL → Linear: apply the allocation and linearize the CFG.
+
+Block ordering is a depth-first traversal that prefers the fall-through
+successor, so most ``goto``s disappear; a ``goto`` is emitted only when
+the successor is not the next emitted node.  Labels are RTL node ids.
+"""
+
+from __future__ import annotations
+
+from repro.linear import ast as lin
+from repro.regalloc import Allocation, allocate_function
+from repro.rtl import ast as rtl
+
+
+def linear_of_rtl(program: rtl.RTLProgram,
+                  spill_everything: bool = False) -> lin.LinearProgram:
+    functions = {}
+    for function in program.functions.values():
+        allocation = allocate_function(function, spill_everything)
+        functions[function.name] = _linearize(function, allocation)
+    return lin.LinearProgram(program.globals, functions, program.externals,
+                             program.main)
+
+
+def _linearize(function: rtl.RTLFunction,
+               allocation: Allocation) -> lin.LinearFunction:
+    order = _block_order(function)
+    position = {node: index for index, node in enumerate(order)}
+    needs_label = _label_targets(function, order, position)
+    body: list[lin.LInstr] = []
+    loc = allocation.loc
+
+    for index, node in enumerate(order):
+        if node in needs_label:
+            body.append(lin.Llabel(node))
+        instr = function.graph[node]
+        next_node = order[index + 1] if index + 1 < len(order) else None
+
+        if isinstance(instr, rtl.Inop):
+            pass
+        elif isinstance(instr, rtl.Iop):
+            if instr.op[0] == "move" and loc(instr.args[0]) == loc(instr.dest):
+                pass  # coalesced move
+            else:
+                body.append(lin.Lop(instr.op,
+                                    [loc(a) for a in instr.args],
+                                    loc(instr.dest)))
+        elif isinstance(instr, rtl.Iload):
+            body.append(lin.Lload(instr.chunk, loc(instr.addr),
+                                  loc(instr.dest)))
+        elif isinstance(instr, rtl.Istore):
+            body.append(lin.Lstore(instr.chunk, loc(instr.addr),
+                                   loc(instr.src)))
+        elif isinstance(instr, rtl.Icall):
+            args = [loc(a) for a in instr.args]
+            arg_is_float = [a in function.float_regs for a in instr.args]
+            dest = loc(instr.dest) if instr.dest is not None else None
+            dest_is_float = (instr.dest in function.float_regs
+                             if instr.dest is not None else False)
+            body.append(lin.Lcall(instr.callee, args, arg_is_float, dest,
+                                  dest_is_float))
+        elif isinstance(instr, rtl.Icond):
+            # Prefer falling through to `ifnot`; branch to `ifso`.
+            body.append(lin.Lcond(loc(instr.arg), instr.ifso))
+            if next_node != instr.ifnot:
+                body.append(lin.Lgoto(instr.ifnot))
+            continue  # control flow handled explicitly
+        elif isinstance(instr, rtl.Ireturn):
+            arg = loc(instr.arg) if instr.arg is not None else None
+            is_float = (instr.arg in function.float_regs
+                        if instr.arg is not None else False)
+            body.append(lin.Lreturn(arg, is_float))
+            continue
+        else:
+            raise TypeError(f"unknown RTL instruction {instr!r}")
+
+        succ = instr.successors()[0]
+        if succ != next_node:
+            body.append(lin.Lgoto(succ))
+
+    params = [loc(p) for p in function.params]
+    return lin.LinearFunction(
+        function.name, params, function.param_is_float, function.stacksize,
+        allocation.int_slots, allocation.float_slots, body,
+        function.returns_float)
+
+
+def _block_order(function: rtl.RTLFunction) -> list[int]:
+    """DFS from the entry preferring fall-through chains."""
+    order: list[int] = []
+    seen: set[int] = set()
+    stack = [function.entry]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        # Follow the straight-line chain as far as possible.
+        while node not in seen:
+            seen.add(node)
+            order.append(node)
+            succs = function.graph[node].successors()
+            if not succs:
+                break
+            if isinstance(function.graph[node], rtl.Icond):
+                # fall through to ifnot; push ifso for later
+                ifso, ifnot = succs
+                stack.append(ifso)
+                node = ifnot
+            else:
+                node = succs[0]
+    return order
+
+
+def _label_targets(function: rtl.RTLFunction, order: list[int],
+                   position: dict[int, int]) -> set[int]:
+    targets: set[int] = set()
+    for index, node in enumerate(order):
+        instr = function.graph[node]
+        if isinstance(instr, rtl.Icond):
+            targets.add(instr.ifso)
+            if index + 1 >= len(order) or order[index + 1] != instr.ifnot:
+                targets.add(instr.ifnot)
+            continue
+        succs = instr.successors()
+        if succs:
+            if index + 1 >= len(order) or order[index + 1] != succs[0]:
+                targets.add(succs[0])
+    return targets

@@ -1,0 +1,31 @@
+"""The quantitative Hoare logic for Clight (paper §4).
+
+Assertions map program states to ``N ∪ {∞}``; triples ``{P} S {Q}`` bound
+the stack-space weight of every execution of ``S``.  The package provides:
+
+* :mod:`repro.logic.bexpr` — the symbolic bound-expression language in
+  which assertions are written (constants, metric atoms ``M(f)``, sums,
+  maxima, and the parametric forms needed for recursive specs);
+* :mod:`repro.logic.assertions` — assertions, 4-part postconditions and
+  function contexts Γ;
+* :mod:`repro.logic.derivation` — explicit derivation trees, one node per
+  inference rule (the executable counterpart of a Coq proof term);
+* :mod:`repro.logic.checker` — the derivation checker that re-validates
+  every rule application and its side conditions;
+* :mod:`repro.logic.recursion` — recurrence-style specifications for
+  recursive functions with an executable induction-step check;
+* :mod:`repro.logic.soundness` — runtime validation of triples against
+  the Clight semantics (weights of observed traces vs. preconditions).
+"""
+
+from repro.logic.assertions import FunContext, FunSpec, Post
+from repro.logic.bexpr import (BExpr, badd, bconst, bmax, bmetric, bparam,
+                               evaluate, INFINITY)
+from repro.logic.checker import CheckerContext, check_derivation
+from repro.logic.derivation import Triple
+
+__all__ = [
+    "BExpr", "bconst", "bmetric", "bparam", "badd", "bmax", "evaluate",
+    "INFINITY", "Post", "FunSpec", "FunContext", "Triple",
+    "check_derivation", "CheckerContext",
+]

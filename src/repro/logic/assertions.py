@@ -1,0 +1,117 @@
+"""Assertions, postconditions and function contexts (paper §4.3).
+
+In the implementation an assertion *is* a bound expression
+(:class:`~repro.logic.bexpr.BExpr`): its ``BParam`` atoms refer to the
+enclosing function's formal parameters, whose values are fixed at function
+entry.  This realizes the paper's auxiliary-state mechanism — the logical
+variable ``Z`` of the ``bsearch`` derivation (Fig. 6) is simply a parameter
+of the spec that each call site instantiates.
+
+Postconditions carry four components: fall-through (``skip``), ``break``,
+``return`` and ``continue`` (the paper's three plus the continue slot the
+paper lists as an easy extension, which our frontend's ``for`` loops use).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.logic.bexpr import BExpr, TOP, ZERO, substitute_params
+
+
+class Post:
+    """A four-part postcondition ``(skip, break, return, continue)``."""
+
+    __slots__ = ("skip", "brk", "ret", "cont")
+
+    def __init__(self, skip: BExpr, brk: BExpr = TOP, ret: BExpr = TOP,
+                 cont: BExpr = TOP) -> None:
+        self.skip = skip
+        self.brk = brk
+        self.ret = ret
+        self.cont = cont
+
+    @classmethod
+    def uniform(cls, bound: BExpr) -> "Post":
+        """All four exits restore the same amount of stack."""
+        return cls(bound, bound, bound, bound)
+
+    def map(self, transform) -> "Post":
+        return Post(transform(self.skip), transform(self.brk),
+                    transform(self.ret), transform(self.cont))
+
+    def parts(self) -> tuple[BExpr, BExpr, BExpr, BExpr]:
+        return (self.skip, self.brk, self.ret, self.cont)
+
+    def __repr__(self) -> str:
+        return (f"(skip: {self.skip!r}, break: {self.brk!r}, "
+                f"return: {self.ret!r}, continue: {self.cont!r})")
+
+
+class FunSpec:
+    """The specification Γ(f) = (P_f, Q_f) of a function.
+
+    ``pre`` and ``post`` are bound expressions over ``params`` (the spec's
+    logical parameters — typically the function's integer arguments plus
+    any auxiliary variables).  The bound excludes the callee's own frame:
+    the Q:CALL rule adds ``M(f)`` at the call site.
+    """
+
+    __slots__ = ("name", "params", "pre", "post", "description")
+
+    def __init__(self, name: str, params: Sequence[str], pre: BExpr,
+                 post: Optional[BExpr] = None, description: str = "") -> None:
+        self.name = name
+        self.params = list(params)
+        self.pre = pre
+        self.post = post if post is not None else pre
+        self.description = description
+
+    def instantiate(self, mapping: Mapping[str, BExpr]) -> tuple[BExpr, BExpr]:
+        """Substitute the spec parameters with call-site expressions."""
+        missing = [p for p in self.params if p not in mapping]
+        if missing:
+            raise ValueError(
+                f"spec {self.name} not fully instantiated: missing {missing}")
+        return (substitute_params(self.pre, mapping),
+                substitute_params(self.post, mapping))
+
+    @classmethod
+    def constant(cls, name: str, bound: BExpr, description: str = "") -> "FunSpec":
+        """A ground (non-parametric) spec — what the auto analyzer emits."""
+        return cls(name, [], bound, bound, description)
+
+    def __repr__(self) -> str:
+        params = ", ".join(self.params)
+        return f"FunSpec({self.name}({params}): pre={self.pre!r}, post={self.post!r})"
+
+
+class FunContext:
+    """The context Γ mapping function names to their specifications."""
+
+    def __init__(self, specs: Optional[Mapping[str, FunSpec]] = None) -> None:
+        self._specs: dict[str, FunSpec] = dict(specs or {})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __getitem__(self, name: str) -> FunSpec:
+        return self._specs[name]
+
+    def add(self, spec: FunSpec) -> None:
+        self._specs[spec.name] = spec
+
+    def names(self):
+        return self._specs.keys()
+
+    def extended(self, spec: FunSpec) -> "FunContext":
+        out = FunContext(self._specs)
+        out.add(spec)
+        return out
+
+    def __repr__(self) -> str:
+        return f"FunContext({sorted(self._specs)})"
+
+
+BOTTOM_POST = Post(TOP, TOP, TOP, TOP)
+ZERO_POST = Post.uniform(ZERO)

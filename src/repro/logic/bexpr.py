@@ -1,0 +1,715 @@
+"""Symbolic bound expressions: the assertion language of the logic.
+
+A bound expression denotes a function ``(metric, params) -> N ∪ {∞}``::
+
+    B ::= c | M(f) | B + B | max(B, B) | B - B (guarded) | k * B
+        | p | log2(B) | B^2 ...
+
+where ``M(f)`` is the stack cost the compiler will later assign to
+function ``f`` and ``p`` ranges over integer parameters (function
+arguments) used by parametric specs.
+
+Two fragments matter:
+
+* the **ground max-plus fragment** (constants, metric atoms, ``+``,
+  ``max``, scaling by constants, and the ``frame-diff`` shape
+  ``max(..) - B`` emitted by Q:FRAME) — this is what the automatic
+  analyzer produces, and the order ``B1 <= B2`` is *decided exactly* by
+  normalizing both sides to max-plus normal form;
+* the **parametric fragment** (adds parameters, ``log2``, products) used
+  by manual specs for recursive functions — the order is checked by
+  exhaustive evaluation over a declared verification domain, which is the
+  executable surrogate for the paper's Coq side-condition proofs.
+
+``log2`` follows the paper's convention: ``log2(x) = ∞`` for ``x < 0`` and
+``log2(0) = 0``; we additionally round up (``ceil``) so that integer
+recursion depths are bounded soundly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Mapping, Optional, Union
+
+Number = Union[int, float]  # float only for math.inf
+INFINITY: float = math.inf
+
+
+class BExpr:
+    """Abstract bound expression; immutable."""
+
+    __slots__ = ()
+
+    # Convenience operators for building bounds in specs and tests.
+    def __add__(self, other: "BExpr | int") -> "BExpr":
+        return badd(self, _coerce(other))
+
+    def __radd__(self, other: "BExpr | int") -> "BExpr":
+        return badd(_coerce(other), self)
+
+    def __mul__(self, other: int) -> "BExpr":
+        return BScale(other, self)
+
+    def __rmul__(self, other: int) -> "BExpr":
+        return BScale(other, self)
+
+
+class BConst(BExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number) -> None:
+        if value != INFINITY and (not isinstance(value, int) or value < 0):
+            raise ValueError(f"bound constants must be naturals or ∞: {value!r}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "∞" if self.value == INFINITY else str(self.value)
+
+
+class BMetric(BExpr):
+    """``M(f)``: the (unknown until compilation) stack cost of ``f``."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: str) -> None:
+        self.function = function
+
+    def __repr__(self) -> str:
+        return f"M({self.function})"
+
+
+class BParam(BExpr):
+    """An integer parameter of a parametric spec (a function argument)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class BAdd(BExpr):
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[BExpr]) -> None:
+        self.items = tuple(items)
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.items)) + ")"
+
+
+class BMax(BExpr):
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[BExpr]) -> None:
+        self.items = tuple(items)
+
+    def __repr__(self) -> str:
+        return "max(" + ", ".join(map(repr, self.items)) + ")"
+
+
+class BScale(BExpr):
+    """``k * B`` with a non-negative integer constant ``k``."""
+
+    __slots__ = ("factor", "body")
+
+    def __init__(self, factor: int, body: BExpr) -> None:
+        if factor < 0:
+            raise ValueError("scaling factor must be non-negative")
+        self.factor = factor
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"{self.factor}·{self.body!r}"
+
+
+class BFrameDiff(BExpr):
+    """``total - part``, used as the constant of a Q:FRAME application.
+
+    Only meaningful when ``part <= total``; evaluation clamps at 0 (which
+    matches how the frame rule is used: framing a sub-derivation whose
+    precondition is dominated by the target).
+    """
+
+    __slots__ = ("total", "part")
+
+    def __init__(self, total: BExpr, part: BExpr) -> None:
+        self.total = total
+        self.part = part
+
+    def __repr__(self) -> str:
+        return f"({self.total!r} - {self.part!r})"
+
+
+class BMul(BExpr):
+    """Product of two parametric bounds (e.g. ``24 * n * n``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: BExpr, right: BExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+class BLog2(BExpr):
+    """Paper-convention logarithm: ∞ below 0, 0 at 0, else ceil(log2)."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BExpr) -> None:
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        return f"log2({self.arg!r})"
+
+
+class BHalf(BExpr):
+    """``floor(a/2)`` or ``ceil(a/2)`` — the argument shape of divide-and-
+    conquer recursions (``bsearch``'s worst recursive call receives
+    ``ceil((hi-lo)/2)`` elements)."""
+
+    __slots__ = ("arg", "ceil")
+
+    def __init__(self, arg: BExpr, ceil: bool = False) -> None:
+        self.arg = arg
+        self.ceil = ceil
+
+    def __repr__(self) -> str:
+        name = "ceil_half" if self.ceil else "half"
+        return f"{name}({self.arg!r})"
+
+
+class BParamDiff(BExpr):
+    """``a - b`` over parameters (e.g. ``hi - lo``); may go negative.
+
+    A negative intermediate is legal *inside* ``log2`` (where it yields ∞
+    per the paper's convention) and is clamped to 0 anywhere a bound in
+    ``N ∪ {∞}`` is required.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: BExpr, right: BExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} - {self.right!r})"
+
+
+def bconst(value: Number) -> BConst:
+    return BConst(value)
+
+
+def bmetric(function: str) -> BMetric:
+    return BMetric(function)
+
+
+def bparam(name: str) -> BParam:
+    return BParam(name)
+
+
+def badd(*items: BExpr) -> BExpr:
+    flat: list[BExpr] = []
+    for item in items:
+        if isinstance(item, BAdd):
+            flat.extend(item.items)
+        elif isinstance(item, BConst) and item.value == 0:
+            continue
+        else:
+            flat.append(item)
+    if not flat:
+        return BConst(0)
+    if len(flat) == 1:
+        return flat[0]
+    return BAdd(flat)
+
+
+def bmax(*items: BExpr) -> BExpr:
+    flat: list[BExpr] = []
+    for item in items:
+        if isinstance(item, BMax):
+            flat.extend(item.items)
+        else:
+            flat.append(item)
+    flat = [i for i in flat
+            if not (isinstance(i, BConst) and i.value == 0)] or [BConst(0)]
+    if len(flat) == 1:
+        return flat[0]
+    return BMax(flat)
+
+
+TOP = BConst(INFINITY)
+ZERO = BConst(0)
+
+
+def _coerce(value: "BExpr | int") -> BExpr:
+    if isinstance(value, BExpr):
+        return value
+    return BConst(value)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expr: BExpr, metric: Optional[Mapping[str, int]] = None,
+             params: Optional[Mapping[str, int]] = None) -> Number:
+    """Evaluate under a metric (``M(f)`` prices) and parameter valuation.
+
+    The result is clamped into ``N ∪ {∞}`` except inside ``BParamDiff``
+    sub-evaluations (see that class).
+    """
+    value = _eval(expr, metric, params)
+    if value == INFINITY:
+        return INFINITY
+    return max(0, value)
+
+
+def _eval(expr: BExpr, metric, params) -> Number:
+    if isinstance(expr, BConst):
+        return expr.value
+    if isinstance(expr, BMetric):
+        if metric is None:
+            raise ValueError(f"metric needed to evaluate {expr!r}")
+        return metric[expr.function]
+    if isinstance(expr, BParam):
+        if params is None or expr.name not in params:
+            raise ValueError(f"parameter {expr.name!r} has no value")
+        return params[expr.name]
+    if isinstance(expr, BAdd):
+        total: Number = 0
+        for item in expr.items:
+            total += _eval(item, metric, params)
+        return total
+    if isinstance(expr, BMax):
+        return max(_eval(item, metric, params) for item in expr.items)
+    if isinstance(expr, BScale):
+        return expr.factor * _eval(expr.body, metric, params)
+    if isinstance(expr, BFrameDiff):
+        total = _eval(expr.total, metric, params)
+        part = _eval(expr.part, metric, params)
+        if total == INFINITY:
+            return INFINITY
+        return max(0, total - part)
+    if isinstance(expr, BMul):
+        return _eval(expr.left, metric, params) * _eval(expr.right, metric, params)
+    if isinstance(expr, BLog2):
+        arg = _eval(expr.arg, metric, params)
+        if arg < 0:
+            return INFINITY
+        if arg <= 1:
+            return 0
+        return math.ceil(math.log2(arg))
+    if isinstance(expr, BParamDiff):
+        return _eval(expr.left, metric, params) - _eval(expr.right, metric, params)
+    if isinstance(expr, BHalf):
+        value = _eval(expr.arg, metric, params)
+        if value == INFINITY:
+            return INFINITY
+        value = int(value)
+        return (value + 1) // 2 if expr.ceil else value // 2
+    raise TypeError(f"unknown bound expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+
+
+def metric_atoms(expr: BExpr) -> set[str]:
+    """All function names whose metric the expression mentions."""
+    out: set[str] = set()
+    _walk(expr, out, kind="metric")
+    return out
+
+
+def param_names(expr: BExpr) -> set[str]:
+    out: set[str] = set()
+    _walk(expr, out, kind="param")
+    return out
+
+
+def _walk(expr: BExpr, out: set[str], kind: str) -> None:
+    if isinstance(expr, BMetric) and kind == "metric":
+        out.add(expr.function)
+    if isinstance(expr, BParam) and kind == "param":
+        out.add(expr.name)
+    for child in _children(expr):
+        _walk(child, out, kind)
+
+
+def _children(expr: BExpr) -> tuple[BExpr, ...]:
+    if isinstance(expr, (BAdd, BMax)):
+        return expr.items
+    if isinstance(expr, BScale):
+        return (expr.body,)
+    if isinstance(expr, BFrameDiff):
+        return (expr.total, expr.part)
+    if isinstance(expr, (BMul, BParamDiff)):
+        return (expr.left, expr.right)
+    if isinstance(expr, BLog2):
+        return (expr.arg,)
+    if isinstance(expr, BHalf):
+        return (expr.arg,)
+    return ()
+
+
+def substitute_params(expr: BExpr, mapping: Mapping[str, BExpr]) -> BExpr:
+    """Replace parameters by bound expressions (spec instantiation)."""
+    if isinstance(expr, BParam):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, BAdd):
+        return badd(*[substitute_params(i, mapping) for i in expr.items])
+    if isinstance(expr, BMax):
+        return bmax(*[substitute_params(i, mapping) for i in expr.items])
+    if isinstance(expr, BScale):
+        return BScale(expr.factor, substitute_params(expr.body, mapping))
+    if isinstance(expr, BFrameDiff):
+        return BFrameDiff(substitute_params(expr.total, mapping),
+                          substitute_params(expr.part, mapping))
+    if isinstance(expr, BMul):
+        return BMul(substitute_params(expr.left, mapping),
+                    substitute_params(expr.right, mapping))
+    if isinstance(expr, BLog2):
+        return BLog2(substitute_params(expr.arg, mapping))
+    if isinstance(expr, BParamDiff):
+        return BParamDiff(substitute_params(expr.left, mapping),
+                          substitute_params(expr.right, mapping))
+    if isinstance(expr, BHalf):
+        return BHalf(substitute_params(expr.arg, mapping), expr.ceil)
+    return expr
+
+
+def fold_with_params(expr: BExpr, params: Mapping[str, int]) -> BExpr:
+    """Substitute concrete parameter values and fold to a *ground* bound.
+
+    The result contains only constants, metric atoms, sums, maxima and
+    scalings — i.e. it is in the max-plus fragment, so the exact
+    comparator applies.  This is what turns one instance of a parametric
+    side condition (say, the induction step of ``bsearch`` at
+    ``hi - lo = 17``) into an exactly decidable question, valid for *all*
+    stack metrics at once.
+
+    Negative intermediate values are legal inside ``BParamDiff``/``BLog2``
+    (the paper's ∞ convention applies); a negative value reaching a bound
+    position is clamped to 0, mirroring :func:`evaluate`.
+    """
+    kind, value = _fold(expr, params)
+    if kind == "num":
+        return BConst(_clamp_num(value))
+    return value
+
+
+def _clamp_num(value: Number) -> Number:
+    if value == INFINITY:
+        return INFINITY
+    return max(0, int(value))
+
+
+def _fold(expr: BExpr, params: Mapping[str, int]):
+    """Returns ('num', n) for fully numeric subtrees, else ('expr', b)."""
+    if isinstance(expr, BConst):
+        return "num", expr.value
+    if isinstance(expr, BParam):
+        if expr.name not in params:
+            raise ValueError(f"no value for parameter {expr.name!r}")
+        return "num", params[expr.name]
+    if isinstance(expr, BMetric):
+        return "expr", expr
+    if isinstance(expr, BParamDiff):
+        lk, lv = _fold(expr.left, params)
+        rk, rv = _fold(expr.right, params)
+        if lk != "num" or rk != "num":
+            raise ValueError("parameter difference over metric atoms")
+        return "num", lv - rv
+    if isinstance(expr, BLog2):
+        kind, value = _fold(expr.arg, params)
+        if kind != "num":
+            raise ValueError("log2 of a metric expression")
+        if value < 0:
+            return "num", INFINITY
+        if value <= 1:
+            return "num", 0
+        return "num", math.ceil(math.log2(value))
+    if isinstance(expr, BMul):
+        lk, lv = _fold(expr.left, params)
+        rk, rv = _fold(expr.right, params)
+        if lk == "num" and rk == "num":
+            return "num", lv * rv
+        if lk == "num":
+            return "expr", _scale_folded(lv, rv)
+        if rk == "num":
+            return "expr", _scale_folded(rv, lv)
+        raise ValueError("product of two metric expressions")
+    if isinstance(expr, BScale):
+        kind, value = _fold(expr.body, params)
+        if kind == "num":
+            return "num", expr.factor * value
+        return "expr", BScale(expr.factor, value)
+    if isinstance(expr, BAdd):
+        total = 0
+        parts: list[BExpr] = []
+        for item in expr.items:
+            kind, value = _fold(item, params)
+            if kind == "num":
+                total += value
+            else:
+                parts.append(value)
+        if not parts:
+            return "num", total
+        if total:
+            parts.append(BConst(_clamp_num(total)))
+        return "expr", badd(*parts)
+    if isinstance(expr, BMax):
+        folded = [_fold(item, params) for item in expr.items]
+        if all(kind == "num" for kind, _ in folded):
+            return "num", max(value for _, value in folded)
+        parts = [BConst(_clamp_num(value)) if kind == "num" else value
+                 for kind, value in folded]
+        return "expr", bmax(*parts)
+    if isinstance(expr, BHalf):
+        kind, value = _fold(expr.arg, params)
+        if kind != "num":
+            raise ValueError("half of a metric expression")
+        if value == INFINITY:
+            return "num", INFINITY
+        value = int(value)
+        return "num", (value + 1) // 2 if expr.ceil else value // 2
+    if isinstance(expr, BFrameDiff):
+        lk, lv = _fold(expr.total, params)
+        rk, rv = _fold(expr.part, params)
+        left = BConst(_clamp_num(lv)) if lk == "num" else lv
+        right = BConst(_clamp_num(rv)) if rk == "num" else rv
+        return "expr", BFrameDiff(left, right)
+    raise TypeError(f"unknown bound expression {expr!r}")
+
+
+def _scale_folded(factor: Number, body: BExpr) -> BExpr:
+    if factor == INFINITY:
+        return TOP
+    factor_int = int(factor)
+    if factor_int < 0:
+        raise ValueError(f"negative scale factor {factor}")
+    return BScale(factor_int, body)
+
+
+# ---------------------------------------------------------------------------
+# Max-plus normal form for the ground fragment
+# ---------------------------------------------------------------------------
+
+
+class NotGround(Exception):
+    """The expression is outside the ground max-plus fragment."""
+
+
+def maxplus_normal_form(expr: BExpr) -> frozenset:
+    """Normalize a ground expression to a set of (const, atom-multiset).
+
+    The denotation is ``max over terms of (const + sum of priced atoms)``.
+    Raises :class:`NotGround` on parametric forms.
+    """
+    terms = _mpnf(expr)
+    return frozenset(_prune_dominated(terms))
+
+
+def _mpnf(expr: BExpr) -> list[tuple[Number, frozenset]]:
+    """Each term is (const, frozenset of (atom, multiplicity))."""
+    if isinstance(expr, BConst):
+        return [(expr.value, frozenset())]
+    if isinstance(expr, BMetric):
+        return [(0, frozenset({(expr.function, 1)}))]
+    if isinstance(expr, BAdd):
+        terms = [(0, frozenset())]
+        for item in expr.items:
+            terms = _cross_add(terms, _mpnf(item))
+        return terms
+    if isinstance(expr, BMax):
+        out: list[tuple[Number, frozenset]] = []
+        for item in expr.items:
+            out.extend(_mpnf(item))
+        return out
+    if isinstance(expr, BScale):
+        inner = _mpnf(expr.body)
+        if expr.factor == 0:
+            return [(0, frozenset())]
+        out = []
+        for const, atoms in inner:
+            scaled_const = const * expr.factor if const != INFINITY else INFINITY
+            scaled_atoms = frozenset((name, mult * expr.factor)
+                                     for name, mult in atoms)
+            out.append((scaled_const, scaled_atoms))
+        return out
+    if isinstance(expr, BFrameDiff):
+        # Only the pattern Add(part, FrameDiff(total, part)) normalizes;
+        # it is rewritten by _cross_add below.  A bare FrameDiff is not in
+        # the fragment.
+        raise NotGround(f"frame-diff outside an Add: {expr!r}")
+    raise NotGround(f"not a ground bound: {expr!r}")
+
+
+def _cross_add(left: list, right: list) -> list:
+    out = []
+    for const_l, atoms_l in left:
+        for const_r, atoms_r in right:
+            const = INFINITY if INFINITY in (const_l, const_r) \
+                else const_l + const_r
+            out.append((const, _merge_atoms(atoms_l, atoms_r)))
+    return out
+
+
+def _merge_atoms(left: frozenset, right: frozenset) -> frozenset:
+    counts: dict[str, int] = {}
+    for name, mult in left:
+        counts[name] = counts.get(name, 0) + mult
+    for name, mult in right:
+        counts[name] = counts.get(name, 0) + mult
+    return frozenset(counts.items())
+
+
+def _term_le(small: tuple, large: tuple) -> bool:
+    const_s, atoms_s = small
+    const_l, atoms_l = large
+    if const_l != INFINITY and (const_s == INFINITY or const_s > const_l):
+        return False
+    large_counts = dict(atoms_l)
+    if const_l == INFINITY:
+        return True
+    for name, mult in atoms_s:
+        if large_counts.get(name, 0) < mult:
+            return False
+    return True
+
+
+def _prune_dominated(terms: list) -> list:
+    out = []
+    for index, term in enumerate(terms):
+        dominated = any(
+            _term_le(term, other) and (not _term_le(other, term) or j < index)
+            for j, other in enumerate(terms) if j != index)
+        if not dominated:
+            out.append(term)
+    return out or [(0, frozenset())]
+
+
+def _rewrite_frames(expr: BExpr) -> BExpr:
+    """Rewrite ``part + (total - part) -> total`` (the Q:FRAME shape)."""
+    if isinstance(expr, BAdd):
+        items = [_rewrite_frames(i) for i in expr.items]
+        diffs = [i for i in items if isinstance(i, BFrameDiff)]
+        for diff in diffs:
+            rest = list(items)
+            rest.remove(diff)
+            if _syntactically_equal(badd(*rest), diff.part):
+                return _rewrite_frames(diff.total)
+        return badd(*items)
+    if isinstance(expr, BMax):
+        return bmax(*[_rewrite_frames(i) for i in expr.items])
+    if isinstance(expr, BScale):
+        return BScale(expr.factor, _rewrite_frames(expr.body))
+    if isinstance(expr, BFrameDiff):
+        total = _rewrite_frames(expr.total)
+        part = _rewrite_frames(expr.part)
+        if isinstance(part, BConst) and part.value == 0:
+            return total
+        return BFrameDiff(total, part)
+    return expr
+
+
+def _syntactically_equal(a: BExpr, b: BExpr) -> bool:
+    return repr(a) == repr(b)
+
+
+# ---------------------------------------------------------------------------
+# The order on bounds
+# ---------------------------------------------------------------------------
+
+
+class CompareResult:
+    """Outcome of a bound comparison: holds + whether it was exact."""
+
+    __slots__ = ("holds", "exact")
+
+    def __init__(self, holds: bool, exact: bool) -> None:
+        self.holds = holds
+        self.exact = exact
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def bound_le(small: BExpr, large: BExpr,
+             param_domains: Optional[Mapping[str, Iterable[int]]] = None,
+             metric_samples: Optional[Iterable[Mapping[str, int]]] = None
+             ) -> CompareResult:
+    """Decide ``small <= large`` (pointwise over metrics and parameters).
+
+    Ground expressions are compared exactly via max-plus normal forms.
+    Parametric expressions are compared by exhaustive evaluation over the
+    given ``param_domains`` (and metric samples), which reproduces the
+    role of the Coq side-condition proofs on a finite verification domain.
+    """
+    if isinstance(small, BConst) and small.value == 0:
+        # Every bound denotes a value in N ∪ {∞} (evaluation clamps), so
+        # 0 is a global lower bound.
+        return CompareResult(True, True)
+    small = _rewrite_frames(small)
+    large = _rewrite_frames(large)
+    try:
+        small_terms = maxplus_normal_form(small)
+        large_terms = maxplus_normal_form(large)
+    except NotGround:
+        return _bound_le_sampled(small, large, param_domains, metric_samples)
+    for term in small_terms:
+        if not any(_term_le(term, other) for other in large_terms):
+            return CompareResult(False, True)
+    return CompareResult(True, True)
+
+
+def _default_metric_samples(atoms: set[str]) -> list[dict[str, int]]:
+    ordered = sorted(atoms)
+    samples: list[dict[str, int]] = [
+        {name: 8 for name in ordered},
+        {name: 8 * (index + 1) for index, name in enumerate(ordered)},
+        {name: 8 * (len(ordered) - index) for index, name in enumerate(ordered)},
+        {name: 0 for name in ordered},
+    ]
+    return samples
+
+
+def _bound_le_sampled(small: BExpr, large: BExpr, param_domains,
+                      metric_samples) -> CompareResult:
+    params = param_names(small) | param_names(large)
+    atoms = metric_atoms(small) | metric_atoms(large)
+    if param_domains is None:
+        param_domains = {}
+    missing = params - set(param_domains)
+    if missing:
+        raise ValueError(
+            f"no verification domain for parameters {sorted(missing)}")
+    metrics = list(metric_samples) if metric_samples is not None \
+        else _default_metric_samples(atoms)
+    names = sorted(params)
+    domains = [list(param_domains[name]) for name in names]
+    for metric in metrics:
+        for combo in itertools.product(*domains) if names else [()]:
+            valuation = dict(zip(names, combo))
+            if evaluate(small, metric, valuation) > \
+                    evaluate(large, metric, valuation):
+                return CompareResult(False, False)
+    return CompareResult(True, False)
+
+
+def bound_equal(a: BExpr, b: BExpr, **kwargs) -> CompareResult:
+    le = bound_le(a, b, **kwargs)
+    if not le.holds:
+        return le
+    ge = bound_le(b, a, **kwargs)
+    return CompareResult(ge.holds, le.exact and ge.exact)

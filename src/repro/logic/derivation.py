@@ -1,0 +1,203 @@
+"""Derivation trees for the quantitative Hoare logic (paper Fig. 4).
+
+A derivation is the executable counterpart of a Coq proof term: one node
+per rule application, carrying its conclusion triple and its premises.
+Derivations are produced by the automatic stack analyzer
+(:mod:`repro.analyzer`) and by hand-written proofs for recursive
+functions, and are re-validated by :mod:`repro.logic.checker` — nothing is
+trusted about the producer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.clight import ast as cl
+from repro.logic.assertions import Post
+from repro.logic.bexpr import BExpr
+
+
+class Triple:
+    """``Γ ⊢ {P} S {Q}``: the conclusion of a derivation node."""
+
+    __slots__ = ("pre", "stmt", "post")
+
+    def __init__(self, pre: BExpr, stmt: cl.Stmt, post: Post) -> None:
+        self.pre = pre
+        self.stmt = stmt
+        self.post = post
+
+    def __repr__(self) -> str:
+        return f"{{{self.pre!r}}} {self.stmt!r} {self.post!r}"
+
+
+class Derivation:
+    """Base class; every node exposes its conclusion and its children."""
+
+    __slots__ = ("conclusion",)
+    rule = "?"
+
+    def __init__(self, conclusion: Triple) -> None:
+        self.conclusion = conclusion
+
+    def children(self) -> Sequence["Derivation"]:
+        return ()
+
+    def size(self) -> int:
+        """Number of rule applications in the tree (proof size)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def __repr__(self) -> str:
+        return f"<{self.rule}: {self.conclusion!r}>"
+
+
+class DSkip(Derivation):
+    rule = "Q:SKIP"
+    __slots__ = ()
+
+
+class DSet(Derivation):
+    """Assignments to temporaries cost no stack (zero-cost axiom)."""
+    rule = "Q:SET"
+    __slots__ = ()
+
+
+class DStore(Derivation):
+    """Memory stores cost no stack."""
+    rule = "Q:STORE"
+    __slots__ = ()
+
+
+class DBreak(Derivation):
+    rule = "Q:BREAK"
+    __slots__ = ()
+
+
+class DContinue(Derivation):
+    rule = "Q:CONTINUE"
+    __slots__ = ()
+
+
+class DReturn(Derivation):
+    rule = "Q:RETURN"
+    __slots__ = ()
+
+
+class DSeq(Derivation):
+    rule = "Q:SEQ"
+    __slots__ = ("first", "second")
+
+    def __init__(self, conclusion: Triple, first: Derivation,
+                 second: Derivation) -> None:
+        super().__init__(conclusion)
+        self.first = first
+        self.second = second
+
+    def children(self) -> Sequence[Derivation]:
+        return (self.first, self.second)
+
+
+class DIf(Derivation):
+    rule = "Q:IF"
+    __slots__ = ("then", "otherwise")
+
+    def __init__(self, conclusion: Triple, then: Derivation,
+                 otherwise: Derivation) -> None:
+        super().__init__(conclusion)
+        self.then = then
+        self.otherwise = otherwise
+
+    def children(self) -> Sequence[Derivation]:
+        return (self.then, self.otherwise)
+
+
+class DLoop(Derivation):
+    rule = "Q:LOOP"
+    __slots__ = ("body", "post_stmt")
+
+    def __init__(self, conclusion: Triple, body: Derivation,
+                 post_stmt: Derivation) -> None:
+        super().__init__(conclusion)
+        self.body = body
+        self.post_stmt = post_stmt
+
+    def children(self) -> Sequence[Derivation]:
+        return (self.body, self.post_stmt)
+
+
+class DBlock(Derivation):
+    rule = "Q:BLOCK"
+    __slots__ = ("body",)
+
+    def __init__(self, conclusion: Triple, body: Derivation) -> None:
+        super().__init__(conclusion)
+        self.body = body
+
+    def children(self) -> Sequence[Derivation]:
+        return (self.body,)
+
+
+class DCall(Derivation):
+    """Q:CALL with the spec instantiation ``spec_args``.
+
+    ``spec_args`` maps the callee spec's logical parameters to bound
+    expressions over the *caller's* parameters — the quantitative
+    counterpart of choosing the auxiliary state at a call site (e.g.
+    ``Z -> Z - 1`` for the recursive call of ``bsearch``).
+    """
+
+    rule = "Q:CALL"
+    __slots__ = ("callee", "spec_args")
+
+    def __init__(self, conclusion: Triple, callee: str,
+                 spec_args: Optional[Mapping[str, BExpr]] = None) -> None:
+        super().__init__(conclusion)
+        self.callee = callee
+        self.spec_args = dict(spec_args or {})
+
+
+class DExternal(Derivation):
+    """Calls to external functions cost no stack (metric convention)."""
+
+    rule = "Q:EXTERNAL"
+    __slots__ = ("callee",)
+
+    def __init__(self, conclusion: Triple, callee: str) -> None:
+        super().__init__(conclusion)
+        self.callee = callee
+
+
+class DFrame(Derivation):
+    rule = "Q:FRAME"
+    __slots__ = ("frame", "body")
+
+    def __init__(self, conclusion: Triple, frame: BExpr,
+                 body: Derivation) -> None:
+        super().__init__(conclusion)
+        self.frame = frame
+        self.body = body
+
+    def children(self) -> Sequence[Derivation]:
+        return (self.body,)
+
+
+class DConseq(Derivation):
+    rule = "Q:CONSEQ"
+    __slots__ = ("body",)
+
+    def __init__(self, conclusion: Triple, body: Derivation) -> None:
+        super().__init__(conclusion)
+        self.body = body
+
+    def children(self) -> Sequence[Derivation]:
+        return (self.body,)
+
+
+def pretty(derivation: Derivation, indent: int = 0) -> str:
+    """Render a derivation tree for inspection and documentation."""
+    pad = "  " * indent
+    lines = [f"{pad}{derivation.rule}  {{{derivation.conclusion.pre!r}}} ... "
+             f"{{{derivation.conclusion.post.skip!r}}}"]
+    for child in derivation.children():
+        lines.append(pretty(child, indent + 1))
+    return "\n".join(lines)

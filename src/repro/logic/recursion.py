@@ -1,0 +1,167 @@
+"""Interactively developed specs for recursive functions (paper §4, Fig. 6).
+
+A :class:`RecursiveSpec` is the executable form of a hand-written proof in
+the quantitative logic with auxiliary state: a parametric bound ``P_f``
+over the function's integer arguments, together with the *recurrence
+structure* of the body — which calls the worst-case execution path makes,
+with which argument transformations (the paper's choice of auxiliary
+state ``Z -> Z - 1`` at each recursive call site).
+
+Checking (:func:`check_spec`) is the executable surrogate for the Coq
+side-condition proofs and comes in two parts:
+
+* the **induction step**: for every parameter valuation in the declared
+  verification domain, ``P_f(v) >= M(g) + P_g(args(v))`` must hold for
+  every call obligation — after folding the parameters the comparison is
+  ground max-plus and hence *exact for all stack metrics at once*;
+* **structural consistency**: every obligation's callee has a spec (or a
+  ground bound from the automatic analyzer), so specs compose with
+  ``auto_bound`` results exactly as the paper composes the ``bsearch``
+  proof into ``filter_find``.
+
+Runtime validation against the Clight semantics and the ASMsz monitor is
+layered on top by :mod:`repro.logic.soundness` and the test-suite.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import DerivationError
+from repro.logic.assertions import FunSpec
+from repro.logic.bexpr import (BExpr, badd, bmetric, bound_le,
+                               fold_with_params)
+
+Params = dict  # parameter name -> int
+
+
+class CallObligation:
+    """One call the worst-case path performs: ``callee(args(params))``."""
+
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: str, args: Params) -> None:
+        self.callee = callee
+        self.args = dict(args)
+
+    def __repr__(self) -> str:
+        return f"{self.callee}({self.args})"
+
+
+class RecursiveSpec:
+    """A manually proved parametric stack bound for one function.
+
+    ``bound`` is ``P_f`` over ``params`` and *excludes* the function's own
+    frame (Q:CALL adds ``M(f)`` at each call site, exactly as in the
+    logic).  ``obligations`` maps a concrete parameter valuation to the
+    call obligations of the body on that input's worst-case path.
+    """
+
+    def __init__(self, name: str, params: Sequence[str], bound: BExpr,
+                 obligations: Callable[[Params], Iterable[CallObligation]],
+                 domain: Mapping[str, Iterable[int]],
+                 description: str = "") -> None:
+        self.name = name
+        self.params = list(params)
+        self.bound = bound
+        self.obligations = obligations
+        self.domain = {name: list(values) for name, values in domain.items()}
+        self.description = description
+
+    def total_bound(self) -> BExpr:
+        """The bound for *calling* the function (Table 2's entries)."""
+        return badd(bmetric(self.name), self.bound)
+
+    def total_bytes(self, metric, params: Params) -> int:
+        """Instantiate with a compiler metric and concrete arguments."""
+        from repro.logic.bexpr import evaluate
+
+        value = evaluate(self.total_bound(), metric, params)
+        if value == float("inf"):
+            raise DerivationError(
+                f"{self.name}: bound is infinite at {params}")
+        return int(value)
+
+    def fun_spec(self) -> FunSpec:
+        """The Γ entry, so auto-analyzed callers can use this spec."""
+        return FunSpec(self.name, self.params, self.bound, self.bound,
+                       self.description)
+
+    def __repr__(self) -> str:
+        return f"RecursiveSpec({self.name}: {self.bound!r})"
+
+
+class SpecTable:
+    """A set of specs (recursive and ground) closed under obligations."""
+
+    def __init__(self) -> None:
+        self._bounds: dict[str, tuple[list[str], BExpr]] = {}
+        self.recursive: dict[str, RecursiveSpec] = {}
+
+    def add_recursive(self, spec: RecursiveSpec) -> None:
+        self.recursive[spec.name] = spec
+        self._bounds[spec.name] = (spec.params, spec.bound)
+
+    def add_ground(self, name: str, bound: BExpr) -> None:
+        """A constant bound, e.g. from the automatic analyzer."""
+        self._bounds[name] = ([], bound)
+
+    def callee_bound(self, callee: str, args: Params) -> BExpr:
+        if callee not in self._bounds:
+            raise DerivationError(
+                f"obligation on {callee!r} but no spec is registered")
+        params, bound = self._bounds[callee]
+        missing = [p for p in params if p not in args]
+        if missing:
+            raise DerivationError(
+                f"obligation on {callee!r} missing arguments {missing}")
+        return fold_with_params(bound, args)
+
+
+class InductionReport:
+    """Result of checking one spec: how many instances were verified."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instances = 0
+        self.obligation_checks = 0
+
+    def __repr__(self) -> str:
+        return (f"InductionReport({self.name}: {self.instances} instances, "
+                f"{self.obligation_checks} obligations)")
+
+
+def check_spec(spec: RecursiveSpec, table: SpecTable) -> InductionReport:
+    """Verify the induction step of ``spec`` over its whole domain.
+
+    Every instance is a *ground* max-plus comparison, so each check is
+    exact for all stack metrics; raises :class:`DerivationError` with the
+    offending instance otherwise.
+    """
+    report = InductionReport(spec.name)
+    names = list(spec.domain)
+    for combo in product(*(spec.domain[name] for name in names)):
+        valuation: Params = dict(zip(names, combo))
+        lhs = fold_with_params(spec.bound, valuation)
+        report.instances += 1
+        for obligation in spec.obligations(valuation):
+            callee_bound = table.callee_bound(obligation.callee,
+                                              obligation.args)
+            rhs = badd(bmetric(obligation.callee), callee_bound)
+            result = bound_le(rhs, lhs)
+            report.obligation_checks += 1
+            if not result.holds:
+                raise DerivationError(
+                    f"{spec.name}: induction step fails at {valuation} "
+                    f"for {obligation!r}: needs {rhs!r}, has {lhs!r}")
+            if not result.exact:
+                raise DerivationError(
+                    f"{spec.name}: non-ground side condition at {valuation}")
+    return report
+
+
+def check_table(table: SpecTable) -> dict[str, InductionReport]:
+    """Check every recursive spec in the table."""
+    return {name: check_spec(spec, table)
+            for name, spec in table.recursive.items()}

@@ -1,0 +1,15 @@
+"""Mach: Linear with a concrete stack-frame layout.
+
+This is the level where the paper's cost metric is produced: the frame of
+a function is fully laid out — outgoing argument area, spill slots, and
+the merged addressable-locals block — so its size ``SF(f)`` is a compile-
+time constant, and the metric is ``M(f) = SF(f) + 4`` (the +4 being the
+return address the call instruction pushes).  Everything after Mach only
+*merges* these frames into the single preallocated ASMsz stack block; no
+further stack memory is invented.
+"""
+
+from repro.mach.ast import FrameInfo, MachFunction, MachProgram
+from repro.mach.lower import mach_of_linear
+
+__all__ = ["MachProgram", "MachFunction", "FrameInfo", "mach_of_linear"]

@@ -1,0 +1,234 @@
+"""Mach abstract syntax.
+
+The frame layout of a function (offsets grow upward from the bottom of
+the frame, i.e. from the final ESP)::
+
+    [ outgoing argument area | spill slots | addressable locals ]
+    0                         out_size      locals_base           SF(f)
+
+Incoming parameters live in the *caller's* outgoing area and are read by
+``MGetParam`` (at the assembly level this becomes plain ESP arithmetic —
+no back link, exactly the simplification the paper's ASMsz enables).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.c.types import align_up
+from repro.clight.ast import GlobalVar
+from repro.events.metrics import StackMetric
+from repro.memory.chunks import Chunk
+from repro.regalloc.locations import LSlot, Loc
+
+RA_BYTES = 4  # size of a pushed return address
+
+
+class FrameInfo:
+    """Concrete frame layout; ``size`` is the paper's ``SF(f)``."""
+
+    __slots__ = ("out_size", "slot_offsets", "locals_base", "size")
+
+    def __init__(self, out_size: int, int_slots: int, float_slots: int,
+                 locals_size: int) -> None:
+        self.out_size = align_up(out_size, 4)
+        self.slot_offsets: dict[LSlot, int] = {}
+        offset = self.out_size
+        for index in range(int_slots):
+            self.slot_offsets[LSlot(index, False)] = offset
+            offset += 4
+        for index in range(float_slots):
+            self.slot_offsets[LSlot(index, True)] = offset
+            offset += 8
+        self.locals_base = offset
+        offset += locals_size
+        self.size = align_up(offset, 8)
+
+    def slot_offset(self, slot: LSlot) -> int:
+        return self.slot_offsets[slot]
+
+    def __repr__(self) -> str:
+        return (f"FrameInfo(out={self.out_size}, locals@{self.locals_base}, "
+                f"SF={self.size})")
+
+
+class MInstr:
+    __slots__ = ()
+
+
+class MOp(MInstr):
+    __slots__ = ("op", "args", "dest")
+
+    def __init__(self, op: tuple, args: Sequence[Loc], dest: Loc) -> None:
+        self.op = op
+        self.args = tuple(args)
+        self.dest = dest
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        return f"{self.dest!r} = {self.op}({args})"
+
+
+class MLoad(MInstr):
+    __slots__ = ("chunk", "addr", "dest")
+
+    def __init__(self, chunk: Chunk, addr: Loc, dest: Loc) -> None:
+        self.chunk = chunk
+        self.addr = addr
+        self.dest = dest
+
+    def __repr__(self) -> str:
+        return f"{self.dest!r} = load {self.chunk.value} [{self.addr!r}]"
+
+
+class MStore(MInstr):
+    __slots__ = ("chunk", "addr", "src")
+
+    def __init__(self, chunk: Chunk, addr: Loc, src: Loc) -> None:
+        self.chunk = chunk
+        self.addr = addr
+        self.src = src
+
+    def __repr__(self) -> str:
+        return f"store {self.chunk.value} [{self.addr!r}] = {self.src!r}"
+
+
+class MStoreArg(MInstr):
+    """Store an outgoing argument at ``offset`` in the outgoing area."""
+
+    __slots__ = ("src", "offset", "is_float")
+
+    def __init__(self, src: Loc, offset: int, is_float: bool) -> None:
+        self.src = src
+        self.offset = offset
+        self.is_float = is_float
+
+    def __repr__(self) -> str:
+        return f"arg[{self.offset}] = {self.src!r}"
+
+
+class MCall(MInstr):
+    """Call an internal function; the result arrives in EAX/XMM0."""
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee: str) -> None:
+        self.callee = callee
+
+    def __repr__(self) -> str:
+        return f"call {self.callee}"
+
+
+class MExtCall(MInstr):
+    """Invoke an external function (no stack use, metric 0)."""
+
+    __slots__ = ("callee", "args", "arg_is_float", "dest", "dest_is_float")
+
+    def __init__(self, callee: str, args: Sequence[Loc],
+                 arg_is_float: Sequence[bool], dest: Optional[Loc],
+                 dest_is_float: bool) -> None:
+        self.callee = callee
+        self.args = tuple(args)
+        self.arg_is_float = tuple(arg_is_float)
+        self.dest = dest
+        self.dest_is_float = dest_is_float
+
+    def __repr__(self) -> str:
+        dest = f"{self.dest!r} = " if self.dest is not None else ""
+        args = ", ".join(map(repr, self.args))
+        return f"{dest}ext {self.callee}({args})"
+
+
+class MGetParam(MInstr):
+    """Load incoming parameter from the caller's outgoing area."""
+
+    __slots__ = ("offset", "dest", "is_float")
+
+    def __init__(self, offset: int, dest: Loc, is_float: bool) -> None:
+        self.offset = offset
+        self.dest = dest
+        self.is_float = is_float
+
+    def __repr__(self) -> str:
+        return f"{self.dest!r} = param[{self.offset}]"
+
+
+class MLabel(MInstr):
+    __slots__ = ("label",)
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"L{self.label}:"
+
+
+class MGoto(MInstr):
+    __slots__ = ("label",)
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"goto L{self.label}"
+
+
+class MCond(MInstr):
+    __slots__ = ("arg", "label")
+
+    def __init__(self, arg: Loc, label: int) -> None:
+        self.arg = arg
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"if {self.arg!r} goto L{self.label}"
+
+
+class MReturn(MInstr):
+    """Return; the value (if any) is already in EAX/XMM0."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "return"
+
+
+class MachFunction:
+    def __init__(self, name: str, body: list[MInstr], frame: FrameInfo,
+                 returns_float: bool) -> None:
+        self.name = name
+        self.body = body
+        self.frame = frame
+        self.returns_float = returns_float
+        self.labels: dict[int, int] = {
+            instr.label: index for index, instr in enumerate(body)
+            if isinstance(instr, MLabel)}
+
+    def pretty(self) -> str:
+        lines = [f"{self.name}: {self.frame!r}"]
+        for instr in self.body:
+            pad = "" if isinstance(instr, MLabel) else "    "
+            lines.append(f"{pad}{instr!r}")
+        return "\n".join(lines)
+
+
+class MachProgram:
+    def __init__(self, globals_: Sequence[GlobalVar],
+                 functions: dict[str, MachFunction],
+                 externals: set[str], main: str = "main") -> None:
+        self.globals = list(globals_)
+        self.functions = dict(functions)
+        self.externals = set(externals)
+        self.main = main
+
+    def is_internal(self, name: str) -> bool:
+        return name in self.functions
+
+    def frame_sizes(self) -> dict[str, int]:
+        """The SF map of the paper (Theorem 1, item 2)."""
+        return {name: fn.frame.size for name, fn in self.functions.items()}
+
+    def cost_metric(self) -> StackMetric:
+        """The compiler-produced metric ``M(f) = SF(f) + 4``."""
+        return StackMetric({name: size + RA_BYTES
+                            for name, size in self.frame_sizes().items()})

@@ -1,0 +1,116 @@
+"""Linear → Mach: frame construction and calling-convention expansion.
+
+* The outgoing-argument area is sized by the largest internal call in the
+  function (externals pass arguments in registers and use no stack).
+* Calls expand into argument stores + ``MCall`` + a move of the result
+  register into the destination location.
+* Returns expand into a move into the result register + ``MReturn``.
+* A parameter-loading prologue replaces the implicit binding of Linear.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.linear import ast as lin
+from repro.mach import ast as mach
+from repro.regalloc.locations import (LFReg, LReg, RESULT_FLOAT, RESULT_INT,
+                                      Loc)
+
+
+def arg_offsets(arg_is_float: list[bool]) -> tuple[list[int], int]:
+    """Byte offsets of each argument in the outgoing area, and the total."""
+    offsets: list[int] = []
+    offset = 0
+    for is_float in arg_is_float:
+        offsets.append(offset)
+        offset += 8 if is_float else 4
+    return offsets, offset
+
+
+def mach_of_linear(program: lin.LinearProgram) -> mach.MachProgram:
+    functions = {}
+    for function in program.functions.values():
+        functions[function.name] = _lower_function(function, program)
+    return mach.MachProgram(program.globals, functions, program.externals,
+                            program.main)
+
+
+def _lower_function(function: lin.LinearFunction,
+                    program: lin.LinearProgram) -> mach.MachFunction:
+    out_size = 0
+    for instr in function.body:
+        if isinstance(instr, lin.Lcall) and program.is_internal(instr.callee):
+            _offsets, total = arg_offsets(list(instr.arg_is_float))
+            out_size = max(out_size, total)
+
+    frame = mach.FrameInfo(out_size, function.int_slots, function.float_slots,
+                           function.stacksize)
+    body: list[mach.MInstr] = []
+
+    # Prologue: load incoming parameters into their assigned locations.
+    param_offsets, _total = arg_offsets(list(function.param_is_float))
+    for loc, offset, is_float in zip(function.params, param_offsets,
+                                     function.param_is_float):
+        body.append(mach.MGetParam(offset, loc, is_float))
+
+    for instr in function.body:
+        body.extend(_lower_instr(instr, function, frame, program))
+
+    return mach.MachFunction(function.name, body, frame,
+                             function.returns_float)
+
+
+def _result_reg(is_float: bool) -> Loc:
+    return LFReg(RESULT_FLOAT) if is_float else LReg(RESULT_INT)
+
+
+def _lower_instr(instr: lin.LInstr, function: lin.LinearFunction,
+                 frame: mach.FrameInfo,
+                 program: lin.LinearProgram) -> list[mach.MInstr]:
+    if isinstance(instr, lin.Lop):
+        op = instr.op
+        if op[0] == "addrstack":
+            # Locals now live above the outgoing area and the spills.
+            op = ("addrstack", frame.locals_base + op[1])
+        return [mach.MOp(op, instr.args, instr.dest)]
+    if isinstance(instr, lin.Lload):
+        return [mach.MLoad(instr.chunk, instr.addr, instr.dest)]
+    if isinstance(instr, lin.Lstore):
+        return [mach.MStore(instr.chunk, instr.addr, instr.src)]
+    if isinstance(instr, lin.Lcall):
+        return _lower_call(instr, program)
+    if isinstance(instr, lin.Llabel):
+        return [mach.MLabel(instr.label)]
+    if isinstance(instr, lin.Lgoto):
+        return [mach.MGoto(instr.label)]
+    if isinstance(instr, lin.Lcond):
+        return [mach.MCond(instr.arg, instr.label)]
+    if isinstance(instr, lin.Lreturn):
+        out: list[mach.MInstr] = []
+        if instr.arg is not None:
+            result = _result_reg(instr.is_float)
+            if instr.arg != result:
+                out.append(mach.MOp(("move",), [instr.arg], result))
+        out.append(mach.MReturn())
+        return out
+    raise LoweringError(f"unknown Linear instruction {instr!r}")
+
+
+def _lower_call(instr: lin.Lcall,
+                program: lin.LinearProgram) -> list[mach.MInstr]:
+    out: list[mach.MInstr] = []
+    if program.is_internal(instr.callee):
+        offsets, _total = arg_offsets(list(instr.arg_is_float))
+        for src, offset, is_float in zip(instr.args, offsets,
+                                         instr.arg_is_float):
+            out.append(mach.MStoreArg(src, offset, is_float))
+        out.append(mach.MCall(instr.callee))
+        if instr.dest is not None:
+            result = _result_reg(instr.dest_is_float)
+            if instr.dest != result:
+                out.append(mach.MOp(("move",), [result], instr.dest))
+    else:
+        out.append(mach.MExtCall(instr.callee, instr.args,
+                                 instr.arg_is_float, instr.dest,
+                                 instr.dest_is_float))
+    return out

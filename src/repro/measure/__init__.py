@@ -1,0 +1,15 @@
+"""Stack-usage measurement: the reproduction of the paper's ptrace tool.
+
+The paper measured actual stack consumption of compiled programs with a
+small Linux tool that forks the monitored process under ``ptrace`` and
+tracks its stack pointer.  Our ASMsz machine records the same information
+natively (the ESP low-watermark relative to ``main``'s entry); this
+package packages it as experiment runners used by Figure 7 and the
+"exactly 4 bytes" claim of §6.
+"""
+
+from repro.measure.monitor import (MeasuredRun, measure_c_program,
+                                   measure_compilation, minimal_stack)
+
+__all__ = ["MeasuredRun", "measure_compilation", "measure_c_program",
+           "minimal_stack"]

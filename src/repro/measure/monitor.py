@@ -1,0 +1,79 @@
+"""The stack monitor and bound-vs-measured experiment runners."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.driver import Compilation, CompilerOptions, compile_c
+from repro.errors import DynamicError
+from repro.events.trace import Converges
+
+
+class MeasuredRun:
+    """One monitored execution of a compiled program."""
+
+    def __init__(self, behavior, measured_bytes: int,
+                 return_code: Optional[int], output: list) -> None:
+        self.behavior = behavior
+        self.measured_bytes = measured_bytes
+        self.return_code = return_code
+        self.output = output
+
+    @property
+    def converged(self) -> bool:
+        return isinstance(self.behavior, Converges)
+
+    def __repr__(self) -> str:
+        return (f"MeasuredRun({type(self.behavior).__name__}, "
+                f"{self.measured_bytes} bytes)")
+
+
+def measure_compilation(compilation: Compilation,
+                        stack_bytes: int = 1 << 20,
+                        fuel: int = 50_000_000) -> MeasuredRun:
+    """Run the compiled program under the monitor."""
+    output: list = []
+    behavior, machine = compilation.run(stack_bytes=stack_bytes,
+                                        output=output, fuel=fuel)
+    return MeasuredRun(behavior, machine.measured_stack_usage,
+                       getattr(behavior, "return_code", None), output)
+
+
+def measure_c_program(source: str, macros: Optional[dict[str, str]] = None,
+                      options: Optional[CompilerOptions] = None,
+                      stack_bytes: int = 1 << 20) -> MeasuredRun:
+    """Compile a C program and measure one execution."""
+    compilation = compile_c(source, macros=macros, options=options)
+    return measure_compilation(compilation, stack_bytes=stack_bytes)
+
+
+def minimal_stack(compilation: Compilation, upper_bound: int,
+                  fuel: int = 50_000_000) -> int:
+    """The smallest stack block (in bytes) on which the program converges.
+
+    Binary search between 4 and ``upper_bound + 4`` total stack bytes;
+    used by the Theorem 1 benchmark to show the verified bound is tight
+    to within the paper's 4 bytes.  ``upper_bound`` is in "sz" terms, so
+    the total preallocated block is ``sz + 4``.
+
+    The search is quantized to word multiples: a stack block whose top is
+    not 4-aligned leaves ESP misaligned (a real loader would never do
+    that), so only word-aligned sizes are meaningful.
+    """
+    def runs_at(sz: int) -> bool:
+        behavior, _machine = compilation.run(stack_bytes=sz + 4, fuel=fuel)
+        return isinstance(behavior, Converges)
+
+    if upper_bound % 4:
+        upper_bound += 4 - upper_bound % 4
+    if not runs_at(upper_bound):
+        raise DynamicError(
+            f"program does not converge even with {upper_bound} stack bytes")
+    low, high = 0, upper_bound // 4
+    while low < high:
+        mid = (low + high) // 2
+        if runs_at(mid * 4):
+            high = mid
+        else:
+            low = mid + 1
+    return low * 4

@@ -1,0 +1,24 @@
+"""CompCert-style block memory model shared by the front- and middle-end.
+
+The source, Clight, Cminor, RTL and Mach interpreters all manipulate the
+same :class:`~repro.memory.model.Memory`: a collection of disjoint blocks
+addressed by ``(block, offset)`` pointers.  Only the final ASMsz machine
+(:mod:`repro.asm.machine`) switches to a single flat address space with a
+preallocated finite stack — that switch is the heart of the paper's
+assembly-generation argument.
+"""
+
+from repro.memory.chunks import Chunk
+from repro.memory.model import Memory, Pointer
+from repro.memory.values import VFloat, VInt, VPtr, VUndef, Value
+
+__all__ = [
+    "Chunk",
+    "Memory",
+    "Pointer",
+    "Value",
+    "VInt",
+    "VFloat",
+    "VPtr",
+    "VUndef",
+]

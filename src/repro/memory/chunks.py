@@ -1,0 +1,105 @@
+"""Memory chunks: the units in which values are read and written.
+
+A chunk fixes the size, alignment and reinterpretation performed by a load
+or store, exactly as CompCert's ``memory_chunk``.  Encoding/decoding between
+values and raw bytes lives here so the block memory and the flat ASMsz
+memory share one serialization.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro import ints
+from repro.memory.values import VFloat, VInt, Value
+
+
+class Chunk(enum.Enum):
+    """The access granularities of the target (IA32-like)."""
+
+    INT8_SIGNED = "int8s"
+    INT8_UNSIGNED = "int8u"
+    INT16_SIGNED = "int16s"
+    INT16_UNSIGNED = "int16u"
+    INT32 = "int32"
+    FLOAT64 = "float64"
+
+    @property
+    def size(self) -> int:
+        return _SIZES[self]
+
+    @property
+    def alignment(self) -> int:
+        # CompCert's IA32 backend only requires natural alignment up to 4.
+        return min(self.size, 4)
+
+    @property
+    def is_float(self) -> bool:
+        return self is Chunk.FLOAT64
+
+    def normalize(self, value: Value) -> Value:
+        """Reinterpret ``value`` as it would round-trip through this chunk.
+
+        Storing an int through an 8-bit chunk and reloading it truncates or
+        sign-extends; the interpreters use this to model narrow assignments
+        without going through memory.
+        """
+        if isinstance(value, VInt):
+            v = value.value
+            if self is Chunk.INT8_SIGNED:
+                return VInt(ints.sign_extend8(v))
+            if self is Chunk.INT8_UNSIGNED:
+                return VInt(ints.wrap8(v))
+            if self is Chunk.INT16_SIGNED:
+                return VInt(ints.sign_extend16(v))
+            if self is Chunk.INT16_UNSIGNED:
+                return VInt(ints.wrap16(v))
+            if self is Chunk.INT32:
+                return value
+        if isinstance(value, VFloat) and self is Chunk.FLOAT64:
+            return value
+        return value
+
+    def encode_int(self, value: int) -> bytes:
+        """Little-endian byte encoding of an integer value for this chunk."""
+        if self is Chunk.FLOAT64:
+            raise ValueError("encode_int on a float chunk")
+        size = self.size
+        mask = (1 << (8 * size)) - 1
+        return int(value & mask).to_bytes(size, "little")
+
+    def decode_int(self, raw: bytes) -> int:
+        """Decode little-endian bytes into the unsigned 32-bit representation."""
+        value = int.from_bytes(raw, "little")
+        if self is Chunk.INT8_SIGNED:
+            return ints.sign_extend8(value)
+        if self is Chunk.INT8_UNSIGNED:
+            return ints.wrap8(value)
+        if self is Chunk.INT16_SIGNED:
+            return ints.sign_extend16(value)
+        if self is Chunk.INT16_UNSIGNED:
+            return ints.wrap16(value)
+        if self is Chunk.INT32:
+            return ints.wrap(value)
+        raise ValueError("decode_int on a float chunk")
+
+    def encode_float(self, value: float) -> bytes:
+        if self is not Chunk.FLOAT64:
+            raise ValueError("encode_float on an int chunk")
+        return struct.pack("<d", value)
+
+    def decode_float(self, raw: bytes) -> float:
+        if self is not Chunk.FLOAT64:
+            raise ValueError("decode_float on an int chunk")
+        return struct.unpack("<d", raw)[0]
+
+
+_SIZES = {
+    Chunk.INT8_SIGNED: 1,
+    Chunk.INT8_UNSIGNED: 1,
+    Chunk.INT16_SIGNED: 2,
+    Chunk.INT16_UNSIGNED: 2,
+    Chunk.INT32: 4,
+    Chunk.FLOAT64: 8,
+}

@@ -1,0 +1,205 @@
+"""The block memory used from C down to Mach.
+
+Memory is a finite map from block identifiers to arrays of *symbolic
+bytes*.  A symbolic byte is either a concrete byte, a fragment of a pointer
+(pointers are opaque ``(block, offset)`` pairs that cannot be inspected a
+byte at a time), or undefined.  This is CompCert's ``memval`` construction
+and it is what lets the same memory serve languages in which pointer values
+are still abstract.
+
+Freed blocks stay in the map with a tombstone, realizing the paper's ``•``
+marker: any access to a freed block goes wrong instead of silently aliasing
+a reallocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import MemoryError_
+from repro.memory.chunks import Chunk
+from repro.memory.values import VFloat, VInt, VPtr, VUndef, Value
+
+
+class Pointer:
+    """Convenience alias used in signatures; a pointer is just a VPtr."""
+
+    __slots__ = ()
+
+
+class _ByteCell:
+    """A concrete byte."""
+
+    __slots__ = ("byte",)
+
+    def __init__(self, byte: int) -> None:
+        self.byte = byte & 0xFF
+
+
+class _PtrFragment:
+    """Byte ``index`` (0..3) of the pointer value ``ptr``."""
+
+    __slots__ = ("ptr", "index")
+
+    def __init__(self, ptr: VPtr, index: int) -> None:
+        self.ptr = ptr
+        self.index = index
+
+
+_UNDEF_CELL = None  # undefined contents are represented by None
+
+
+class _Block:
+    __slots__ = ("size", "cells", "alive", "tag")
+
+    def __init__(self, size: int, tag: str) -> None:
+        self.size = size
+        self.cells: list = [_UNDEF_CELL] * size
+        self.alive = True
+        self.tag = tag
+
+
+class Memory:
+    """A growable collection of disjoint memory blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, _Block] = {}
+        self._next_block = 1
+        # High-watermark of simultaneously live bytes, for diagnostics.
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, size: int, tag: str = "") -> VPtr:
+        """Allocate a fresh block of ``size`` undefined bytes."""
+        if size < 0:
+            raise MemoryError_(f"allocation of negative size {size}")
+        ident = self._next_block
+        self._next_block += 1
+        self._blocks[ident] = _Block(size, tag)
+        self.live_bytes += size
+        self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+        return VPtr(ident, 0)
+
+    def free(self, ptr: VPtr) -> None:
+        """Free a whole block; the pointer must reference offset 0."""
+        block = self._require_block(ptr.block, "free")
+        if ptr.offset != 0:
+            raise MemoryError_(f"free of interior pointer {ptr!r}")
+        block.alive = False
+        block.cells = []
+        self.live_bytes -= block.size
+
+    def block_size(self, block_id: int) -> int:
+        return self._require_block(block_id, "size query").size
+
+    def is_alive(self, block_id: int) -> bool:
+        block = self._blocks.get(block_id)
+        return block is not None and block.alive
+
+    def blocks(self) -> Iterable[int]:
+        return self._blocks.keys()
+
+    # -- typed access -------------------------------------------------------
+
+    def load(self, chunk: Chunk, ptr: VPtr) -> Value:
+        """Load a value through ``chunk`` at ``ptr``.
+
+        Loading bytes that are all concrete decodes an integer or a float;
+        loading the four fragments of one pointer in order reconstructs the
+        pointer; anything mixed or undefined loads :class:`VUndef` (and it
+        is the *use* of that undef that subsequently goes wrong, exactly as
+        in CompCert).
+        """
+        cells = self._cells_for_access(chunk, ptr, "load")
+        if chunk is Chunk.INT32 and isinstance(cells[0], _PtrFragment):
+            fragment = cells[0]
+            if all(
+                isinstance(cell, _PtrFragment)
+                and cell.ptr == fragment.ptr
+                and cell.index == index
+                for index, cell in enumerate(cells)
+            ):
+                return fragment.ptr
+            return VUndef()
+        if any(not isinstance(cell, _ByteCell) for cell in cells):
+            return VUndef()
+        raw = bytes(cell.byte for cell in cells)
+        if chunk.is_float:
+            return VFloat(chunk.decode_float(raw))
+        return VInt(chunk.decode_int(raw))
+
+    def store(self, chunk: Chunk, ptr: VPtr, value: Value) -> None:
+        """Store ``value`` through ``chunk`` at ``ptr``."""
+        cells = self._cells_for_access(chunk, ptr, "store")
+        block = self._blocks[ptr.block]
+        base = ptr.offset
+        if isinstance(value, VPtr):
+            if chunk is not Chunk.INT32:
+                raise MemoryError_(f"pointer stored through non-word chunk {chunk}")
+            new_cells: list = [_PtrFragment(value, index) for index in range(4)]
+        elif isinstance(value, VInt):
+            if chunk.is_float:
+                raise MemoryError_("integer stored through float chunk")
+            raw = chunk.encode_int(value.value)
+            new_cells = [_ByteCell(byte) for byte in raw]
+        elif isinstance(value, VFloat):
+            if not chunk.is_float:
+                raise MemoryError_("float stored through integer chunk")
+            raw = chunk.encode_float(value.value)
+            new_cells = [_ByteCell(byte) for byte in raw]
+        elif isinstance(value, VUndef):
+            new_cells = [_UNDEF_CELL] * chunk.size
+        else:
+            raise MemoryError_(f"cannot store value {value!r}")
+        del cells  # bounds were checked; write through the block directly
+        block.cells[base : base + chunk.size] = new_cells
+
+    def load_bytes(self, ptr: VPtr, length: int) -> bytes:
+        """Read ``length`` concrete bytes (goes wrong on undef / fragments)."""
+        block = self._require_block(ptr.block, "load_bytes")
+        self._check_range(block, ptr, length, "load_bytes")
+        out = bytearray()
+        for cell in block.cells[ptr.offset : ptr.offset + length]:
+            if not isinstance(cell, _ByteCell):
+                raise MemoryError_("load_bytes through undefined or pointer bytes")
+            out.append(cell.byte)
+        return bytes(out)
+
+    def store_bytes(self, ptr: VPtr, data: bytes) -> None:
+        """Write concrete bytes (used for global initializers)."""
+        block = self._require_block(ptr.block, "store_bytes")
+        self._check_range(block, ptr, len(data), "store_bytes")
+        block.cells[ptr.offset : ptr.offset + len(data)] = [
+            _ByteCell(byte) for byte in data
+        ]
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_block(self, block_id: int, what: str) -> _Block:
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise MemoryError_(f"{what} of unknown block b{block_id}")
+        if not block.alive:
+            raise MemoryError_(f"{what} of freed block b{block_id} ({block.tag})")
+        return block
+
+    @staticmethod
+    def _check_range(block: _Block, ptr: VPtr, length: int, what: str) -> None:
+        if ptr.offset + length > block.size:
+            raise MemoryError_(
+                f"{what} of {length} bytes at offset {ptr.offset} "
+                f"overflows block of {block.size} bytes ({block.tag})"
+            )
+
+    def _cells_for_access(self, chunk: Chunk, ptr: VPtr, what: str) -> list:
+        if not isinstance(ptr, VPtr):
+            raise MemoryError_(f"{what} through non-pointer value {ptr!r}")
+        block = self._require_block(ptr.block, what)
+        if ptr.offset % chunk.alignment != 0:
+            raise MemoryError_(
+                f"misaligned {what}: offset {ptr.offset} for chunk {chunk.value}"
+            )
+        self._check_range(block, ptr, chunk.size, what)
+        return block.cells[ptr.offset : ptr.offset + chunk.size]

@@ -1,0 +1,127 @@
+"""Run-time values of the source and intermediate languages.
+
+Mirrors CompCert's ``Val``: an integer, a double, a pointer into the block
+memory, or the undefined value.  Values are immutable and hashable so they
+can appear in event traces and in dataflow lattices.
+"""
+
+from __future__ import annotations
+
+from repro import ints
+
+
+class Value:
+    """Abstract run-time value."""
+
+    __slots__ = ()
+
+    def is_true(self) -> bool:
+        """C truth value; only defined values have one."""
+        raise NotImplementedError
+
+
+class VUndef(Value):
+    """The undefined value (reading uninitialized storage)."""
+
+    __slots__ = ()
+
+    def is_true(self) -> bool:
+        from repro.errors import UndefinedBehaviorError
+
+        raise UndefinedBehaviorError("branch on undefined value")
+
+    def __repr__(self) -> str:
+        return "VUndef()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VUndef)
+
+    def __hash__(self) -> int:
+        return hash("VUndef")
+
+
+class VInt(Value):
+    """A 32-bit machine integer, stored in unsigned representation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = ints.wrap(value)
+
+    def is_true(self) -> bool:
+        return self.value != 0
+
+    @property
+    def signed(self) -> int:
+        return ints.to_signed(self.value)
+
+    @property
+    def unsigned(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"VInt({self.signed})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VInt) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("VInt", self.value))
+
+
+class VFloat(Value):
+    """An IEEE binary64 value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def is_true(self) -> bool:
+        return self.value != 0.0
+
+    def __repr__(self) -> str:
+        return f"VFloat({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        # Bit-level equality: NaN == NaN, and +0.0 != -0.0 would be wrong
+        # for trace comparison, so compare through struct packing.
+        if not isinstance(other, VFloat):
+            return False
+        import struct
+
+        return struct.pack("<d", self.value) == struct.pack("<d", other.value)
+
+    def __hash__(self) -> int:
+        import struct
+
+        return hash(("VFloat", struct.pack("<d", self.value)))
+
+
+class VPtr(Value):
+    """A pointer ``(block, offset)`` into the block memory."""
+
+    __slots__ = ("block", "offset")
+
+    def __init__(self, block: int, offset: int) -> None:
+        self.block = block
+        self.offset = ints.wrap(offset)
+
+    def is_true(self) -> bool:
+        return True  # a valid pointer is never NULL; NULL is VInt(0)
+
+    def add(self, delta: int) -> "VPtr":
+        return VPtr(self.block, ints.add(self.offset, delta))
+
+    def __repr__(self) -> str:
+        return f"VPtr(b{self.block}, {self.offset})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VPtr)
+            and other.block == self.block
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash(("VPtr", self.block, self.offset))

@@ -1,0 +1,21 @@
+"""The benchmark program suite (paper §6).
+
+C sources adapted to the supported subset, preserving the call structure,
+loop structure and recursion patterns of the originals:
+
+* ``paper_example.c`` — the illustrative program of the paper's Fig. 1;
+* ``mibench/`` — dijkstra, bitcount, blowfish, md5, fft (MiBench [17]);
+* ``certikos/`` — vmm.c and proc.c, simplified analogs of the CertiKOS
+  virtual-memory and process-management modules analyzed in Table 1;
+* ``compcert/`` — mandelbrot and nbody from the CompCert test suite;
+* ``recursive/`` — the eight Table 2 functions (recid, bsearch, fib,
+  qsort, filter_pos, sum, fact_sq, filter_find).
+
+Adaptations are documented in DESIGN.md: large literal tables are
+generated procedurally at program start, I/O uses the ``print_*``
+builtins, and ``malloc`` is the arena builtin.
+"""
+
+from repro.programs.loader import load_source, program_path
+
+__all__ = ["load_source", "program_path"]

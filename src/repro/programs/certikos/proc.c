@@ -1,0 +1,158 @@
+/* CertiKOS process-management module (simplified analog of the
+ * development version's proc.c analyzed in Table 1).  Thread control
+ * blocks, per-channel ready queues as doubly linked lists threaded
+ * through the TCB array, kernel-context creation and a round-robin
+ * scheduler.  Functions match Table 1: enqueue, dequeue, kctxt_new,
+ * sched_init, tdqueue_init, thread_init, thread_spawn, plus main. */
+
+#define NUM_PROC 64
+#define NUM_CHAN 8
+#define TD_FREE 0
+#define TD_READY 1
+#define TD_RUN 2
+#define TD_DEAD 3
+#define KCTXT_SIZE 6
+
+typedef unsigned int u32;
+
+struct tcb {
+    int state;
+    int prev;
+    int next;
+    int chan;
+    u32 kctxt[KCTXT_SIZE];   /* esp, edi, esi, ebx, ebp, eip */
+};
+
+struct tdq {
+    int head;
+    int tail;
+};
+
+struct tcb tcbs[NUM_PROC];
+struct tdq tdqs[NUM_CHAN];
+u32 stack_tops[NUM_PROC];
+int cur_pid = -1;
+
+/* Append thread pid to channel chid's ready queue. */
+void enqueue(int chid, int pid) {
+    int tail = tdqs[chid].tail;
+    if (tail == -1) {
+        tdqs[chid].head = pid;
+    } else {
+        tcbs[tail].next = pid;
+    }
+    tcbs[pid].prev = tail;
+    tcbs[pid].next = -1;
+    tcbs[pid].chan = chid;
+    tcbs[pid].state = TD_READY;
+    tdqs[chid].tail = pid;
+}
+
+/* Pop the head of channel chid's ready queue; -1 when empty. */
+int dequeue(int chid) {
+    int pid = tdqs[chid].head;
+    if (pid == -1) {
+        return -1;
+    }
+    tdqs[chid].head = tcbs[pid].next;
+    if (tcbs[pid].next == -1) {
+        tdqs[chid].tail = -1;
+    } else {
+        tcbs[tcbs[pid].next].prev = -1;
+    }
+    tcbs[pid].prev = -1;
+    tcbs[pid].next = -1;
+    return pid;
+}
+
+/* Set up a fresh kernel context for thread pid starting at entry. */
+void kctxt_new(int pid, u32 entry, u32 stack_top) {
+    int i;
+    for (i = 0; i < KCTXT_SIZE; i++) {
+        tcbs[pid].kctxt[i] = 0;
+    }
+    tcbs[pid].kctxt[0] = stack_top;
+    tcbs[pid].kctxt[KCTXT_SIZE - 1] = entry;
+}
+
+void tdqueue_init() {
+    int i;
+    for (i = 0; i < NUM_CHAN; i++) {
+        tdqs[i].head = -1;
+        tdqs[i].tail = -1;
+    }
+}
+
+void thread_init(int pid) {
+    tcbs[pid].state = TD_FREE;
+    tcbs[pid].prev = -1;
+    tcbs[pid].next = -1;
+    tcbs[pid].chan = -1;
+    stack_tops[pid] = (u32)(pid + 1) * 4096;
+}
+
+/* Bring up the scheduler: queues first, then every TCB. */
+void sched_init() {
+    int i;
+    tdqueue_init();
+    for (i = 0; i < NUM_PROC; i++) {
+        thread_init(i);
+    }
+    cur_pid = -1;
+}
+
+/* Allocate a TCB, build its context, and make it ready on channel 0. */
+int thread_spawn(u32 entry) {
+    int pid = -1;
+    int i;
+    for (i = 0; i < NUM_PROC; i++) {
+        if (tcbs[i].state == TD_FREE) {
+            pid = i;
+            break;
+        }
+    }
+    if (pid == -1) {
+        return -1;
+    }
+    kctxt_new(pid, entry, stack_tops[pid]);
+    enqueue(0, pid);
+    return pid;
+}
+
+/* Round-robin: pick the next ready thread on channel 0. */
+int sched_next() {
+    int pid = dequeue(0);
+    if (pid == -1) {
+        return cur_pid;
+    }
+    if (cur_pid != -1) {
+        enqueue(0, cur_pid);
+    }
+    tcbs[pid].state = TD_RUN;
+    cur_pid = pid;
+    return pid;
+}
+
+int main() {
+    int i, pid, ok = 1;
+    int spawned[8];
+
+    sched_init();
+    for (i = 0; i < 8; i++) {
+        spawned[i] = thread_spawn((u32)(0x1000 + i));
+        if (spawned[i] != i) ok = 0;
+    }
+    /* Spawned threads must come back in FIFO order. */
+    for (i = 0; i < 8; i++) {
+        pid = sched_next();
+        if (pid != i) ok = 0;
+        if (tcbs[pid].kctxt[KCTXT_SIZE - 1] != (u32)(0x1000 + pid)) ok = 0;
+    }
+    /* The round robin must now cycle through all eight. */
+    for (i = 0; i < 16; i++) {
+        pid = sched_next();
+        if (pid < 0 || pid >= 8) ok = 0;
+    }
+    print_int(ok);
+    return ok;
+}

@@ -1,0 +1,167 @@
+/* CertiKOS virtual-memory management module (simplified analog of the
+ * development version's vmm.c analyzed in Table 1).  A physical page
+ * allocator over a page-info table and a two-level page table with
+ * insert / read / reserve operations.  Functions match Table 1: palloc,
+ * pfree, mem_init, pmap_init, pt_free, pt_init, pt_init_kern, pt_insert,
+ * pt_read, pt_resv, plus main. */
+
+#define NPAGES 512
+#define NPMAP 4
+#define NPDE 32
+#define NPTE 32
+#define PAGESIZE 4096
+#define PTE_P 1
+#define PTE_W 2
+#define PG_RESERVED 0
+#define PG_NORMAL 1
+
+typedef unsigned int u32;
+
+/* Page-info table: state and allocation flag per physical page. */
+int page_state[NPAGES];
+int page_used[NPAGES];
+int nps = 0;            /* number of physical pages */
+int palloc_hint = 0;
+
+/* Page-table storage: NPMAP address spaces, NPDE directory entries each,
+ * every directory entry naming a table of NPTE entries. */
+u32 pdir[NPMAP][NPDE];
+u32 ptbl[NPMAP][NPDE][NPTE];
+
+/* Physical page allocator: first-fit scan from the rotating hint. */
+int palloc() {
+    int i, idx;
+    for (i = 0; i < nps; i++) {
+        idx = (palloc_hint + i) % nps;
+        if (page_state[idx] == PG_NORMAL && page_used[idx] == 0) {
+            page_used[idx] = 1;
+            palloc_hint = (idx + 1) % nps;
+            return idx;
+        }
+    }
+    return -1;
+}
+
+void pfree(int idx) {
+    if (idx >= 0 && idx < nps) {
+        page_used[idx] = 0;
+    }
+}
+
+/* Initialize the page-info table; the first pages are reserved for the
+ * kernel image, everything else is normal memory. */
+void mem_init(int mbi_addr) {
+    int i;
+    nps = NPAGES;
+    for (i = 0; i < nps; i++) {
+        if (i < 8) {
+            page_state[i] = PG_RESERVED;
+        } else {
+            page_state[i] = PG_NORMAL;
+        }
+        page_used[i] = 0;
+    }
+    palloc_hint = mbi_addr % nps;
+}
+
+/* Clear one address space's directory and tables. */
+void pt_init(int pmap) {
+    int i, j;
+    for (i = 0; i < NPDE; i++) {
+        pdir[pmap][i] = 0;
+        for (j = 0; j < NPTE; j++) {
+            ptbl[pmap][i][j] = 0;
+        }
+    }
+}
+
+/* Release every frame mapped by an address space. */
+void pt_free(int pmap) {
+    int i, j;
+    u32 pte;
+    for (i = 0; i < NPDE; i++) {
+        if (pdir[pmap][i] & PTE_P) {
+            for (j = 0; j < NPTE; j++) {
+                pte = ptbl[pmap][i][j];
+                if (pte & PTE_P) {
+                    pfree((int)(pte / PAGESIZE));
+                    ptbl[pmap][i][j] = 0;
+                }
+            }
+            pdir[pmap][i] = 0;
+        }
+    }
+}
+
+/* Map virtual address va to physical address pa with permissions perm. */
+int pt_insert(int pmap, u32 va, u32 pa, int perm) {
+    u32 pde = va / (PAGESIZE * NPTE);
+    u32 pte = (va / PAGESIZE) % NPTE;
+    if (pde >= NPDE) return -1;
+    if ((pdir[pmap][pde] & PTE_P) == 0) {
+        pdir[pmap][pde] = PTE_P | PTE_W;
+    }
+    ptbl[pmap][pde][pte] = (pa / PAGESIZE) * PAGESIZE | (u32)perm;
+    return 0;
+}
+
+/* Translate virtual address va; 0 when unmapped. */
+u32 pt_read(int pmap, u32 va) {
+    u32 pde = va / (PAGESIZE * NPTE);
+    u32 pte = (va / PAGESIZE) % NPTE;
+    u32 entry;
+    if (pde >= NPDE) return 0;
+    if ((pdir[pmap][pde] & PTE_P) == 0) return 0;
+    entry = ptbl[pmap][pde][pte];
+    if ((entry & PTE_P) == 0) return 0;
+    return (entry / PAGESIZE) * PAGESIZE + va % PAGESIZE;
+}
+
+/* Reserve: allocate a fresh frame and map it at va. */
+int pt_resv(int pmap, u32 va, int perm) {
+    int page = palloc();
+    if (page < 0) return -1;
+    return pt_insert(pmap, va, (u32)page * PAGESIZE, perm);
+}
+
+/* Identity-map the kernel's low memory in address space 0. */
+void pt_init_kern(int mbi_addr) {
+    u32 va;
+    pt_init(0);
+    for (va = 0; va < 8 * PAGESIZE; va = va + PAGESIZE) {
+        pt_insert(0, va, va, PTE_P | PTE_W);
+    }
+}
+
+/* Bring up the whole memory subsystem. */
+void pmap_init(int mbi_addr) {
+    int i;
+    mem_init(mbi_addr);
+    for (i = 0; i < NPMAP; i++) {
+        pt_init(i);
+    }
+    pt_init_kern(mbi_addr);
+}
+
+int main() {
+    u32 va, pa;
+    int i, ok = 1;
+
+    pmap_init(1234);
+    /* Kernel mappings must be identities. */
+    for (va = 0; va < 8 * PAGESIZE; va = va + PAGESIZE) {
+        if (pt_read(0, va + 16) != va + 16) ok = 0;
+    }
+    /* Reserve pages in user space 1 and read them back. */
+    for (i = 0; i < 20; i++) {
+        va = (u32)(100 + i) * PAGESIZE;
+        if (pt_resv(1, va, PTE_P | PTE_W) != 0) ok = 0;
+        pa = pt_read(1, va);
+        if (pa == 0) ok = 0;  /* frames below 8 are reserved, so pa != 0 */
+    }
+    /* Tear down space 1 and confirm the frames are reusable. */
+    pt_free(1);
+    if (palloc() < 0) ok = 0;
+    print_int(ok);
+    return ok;
+}

@@ -1,0 +1,46 @@
+/* CompCert test suite: mandelbrot.c (adapted).  Computes an
+ * approximation of the Mandelbrot set over a W x H grid; instead of
+ * writing a PBM bitmap it accumulates the packed bytes into a checksum
+ * printed at the end.  Everything happens in main (Table 1 reports the
+ * single bound for main). */
+
+#ifndef W
+#define W 48
+#endif
+#ifndef H
+#define H 48
+#endif
+#define ITER 50
+
+int main() {
+    int x, y, i;
+    int bit_num = 0;
+    int byte_acc = 0;
+    int checksum = 0;
+    double limit = 2.0;
+    double Zr, Zi, Cr, Ci, Tr, Ti;
+
+    for (y = 0; y < H; y++) {
+        for (x = 0; x < W; x++) {
+            Zr = 0.0; Zi = 0.0; Tr = 0.0; Ti = 0.0;
+            Cr = 2.0 * (double)x / W - 1.5;
+            Ci = 2.0 * (double)y / H - 1.0;
+            for (i = 0; i < ITER && Tr + Ti <= limit * limit; i++) {
+                Zi = 2.0 * Zr * Zi + Ci;
+                Zr = Tr - Ti + Cr;
+                Tr = Zr * Zr;
+                Ti = Zi * Zi;
+            }
+            byte_acc = byte_acc << 1;
+            if (Tr + Ti <= limit * limit) byte_acc = byte_acc | 1;
+            bit_num = bit_num + 1;
+            if (bit_num == 8) {
+                checksum = checksum + byte_acc;
+                byte_acc = 0;
+                bit_num = 0;
+            }
+        }
+    }
+    print_int(checksum);
+    return checksum != 0;
+}

@@ -1,0 +1,128 @@
+/* CompCert test suite: nbody.c (adapted).  N-body simulation of the
+ * jovian planets; the literal double constants of the original are set
+ * up in setup_bodies.  Functions match Table 1: advance, energy,
+ * offset_momentum, setup_bodies, main. */
+
+#define NBODIES 5
+#define PI 3.141592653589793
+#define SOLAR_MASS (4.0 * PI * PI)
+#define DAYS_PER_YEAR 365.24
+
+struct planet {
+    double x; double y; double z;
+    double vx; double vy; double vz;
+    double mass;
+};
+
+struct planet bodies[NBODIES];
+
+void advance(int nbodies, double dt) {
+    int i, j;
+    for (i = 0; i < nbodies; i++) {
+        for (j = i + 1; j < nbodies; j++) {
+            double dx = bodies[i].x - bodies[j].x;
+            double dy = bodies[i].y - bodies[j].y;
+            double dz = bodies[i].z - bodies[j].z;
+            double distance = sqrt(dx * dx + dy * dy + dz * dz);
+            double mag = dt / (distance * distance * distance);
+            bodies[i].vx = bodies[i].vx - dx * bodies[j].mass * mag;
+            bodies[i].vy = bodies[i].vy - dy * bodies[j].mass * mag;
+            bodies[i].vz = bodies[i].vz - dz * bodies[j].mass * mag;
+            bodies[j].vx = bodies[j].vx + dx * bodies[i].mass * mag;
+            bodies[j].vy = bodies[j].vy + dy * bodies[i].mass * mag;
+            bodies[j].vz = bodies[j].vz + dz * bodies[i].mass * mag;
+        }
+    }
+    for (i = 0; i < nbodies; i++) {
+        bodies[i].x = bodies[i].x + dt * bodies[i].vx;
+        bodies[i].y = bodies[i].y + dt * bodies[i].vy;
+        bodies[i].z = bodies[i].z + dt * bodies[i].vz;
+    }
+}
+
+double energy(int nbodies) {
+    double e = 0.0;
+    int i, j;
+    for (i = 0; i < nbodies; i++) {
+        e = e + 0.5 * bodies[i].mass *
+            (bodies[i].vx * bodies[i].vx +
+             bodies[i].vy * bodies[i].vy +
+             bodies[i].vz * bodies[i].vz);
+        for (j = i + 1; j < nbodies; j++) {
+            double dx = bodies[i].x - bodies[j].x;
+            double dy = bodies[i].y - bodies[j].y;
+            double dz = bodies[i].z - bodies[j].z;
+            double distance = sqrt(dx * dx + dy * dy + dz * dz);
+            e = e - (bodies[i].mass * bodies[j].mass) / distance;
+        }
+    }
+    return e;
+}
+
+void offset_momentum(int nbodies) {
+    double px = 0.0, py = 0.0, pz = 0.0;
+    int i;
+    for (i = 0; i < nbodies; i++) {
+        px = px + bodies[i].vx * bodies[i].mass;
+        py = py + bodies[i].vy * bodies[i].mass;
+        pz = pz + bodies[i].vz * bodies[i].mass;
+    }
+    bodies[0].vx = -px / SOLAR_MASS;
+    bodies[0].vy = -py / SOLAR_MASS;
+    bodies[0].vz = -pz / SOLAR_MASS;
+}
+
+void setup_bodies() {
+    /* sun */
+    bodies[0].x = 0.0; bodies[0].y = 0.0; bodies[0].z = 0.0;
+    bodies[0].vx = 0.0; bodies[0].vy = 0.0; bodies[0].vz = 0.0;
+    bodies[0].mass = SOLAR_MASS;
+    /* jupiter */
+    bodies[1].x = 4.84143144246472090;
+    bodies[1].y = -1.16032004402742839;
+    bodies[1].z = -0.103622044471123109;
+    bodies[1].vx = 0.00166007664274403694 * DAYS_PER_YEAR;
+    bodies[1].vy = 0.00769901118419740425 * DAYS_PER_YEAR;
+    bodies[1].vz = -0.0000690460016972063023 * DAYS_PER_YEAR;
+    bodies[1].mass = 0.000954791938424326609 * SOLAR_MASS;
+    /* saturn */
+    bodies[2].x = 8.34336671824457987;
+    bodies[2].y = 4.12479856412430479;
+    bodies[2].z = -0.403523417114321381;
+    bodies[2].vx = -0.00276742510726862411 * DAYS_PER_YEAR;
+    bodies[2].vy = 0.00499852801234917238 * DAYS_PER_YEAR;
+    bodies[2].vz = 0.0000230417297573763929 * DAYS_PER_YEAR;
+    bodies[2].mass = 0.000285885980666130812 * SOLAR_MASS;
+    /* uranus */
+    bodies[3].x = 12.8943695621391310;
+    bodies[3].y = -15.1111514016986312;
+    bodies[3].z = -0.223307578892655734;
+    bodies[3].vx = 0.00296460137564761618 * DAYS_PER_YEAR;
+    bodies[3].vy = 0.00237847173959480950 * DAYS_PER_YEAR;
+    bodies[3].vz = -0.0000296589568540237556 * DAYS_PER_YEAR;
+    bodies[3].mass = 0.0000436624404335156298 * SOLAR_MASS;
+    /* neptune */
+    bodies[4].x = 15.3796971148509165;
+    bodies[4].y = -25.9193146099879641;
+    bodies[4].z = 0.179258772950371181;
+    bodies[4].vx = 0.00268067772490389322 * DAYS_PER_YEAR;
+    bodies[4].vy = 0.00162824170038242295 * DAYS_PER_YEAR;
+    bodies[4].vz = -0.0000951592254519715870 * DAYS_PER_YEAR;
+    bodies[4].mass = 0.0000515138902046611451 * SOLAR_MASS;
+}
+
+int main() {
+    int i;
+    double e0, e1;
+    setup_bodies();
+    offset_momentum(NBODIES);
+    e0 = energy(NBODIES);
+    for (i = 0; i < 100; i++) {
+        advance(NBODIES, 0.01);
+    }
+    e1 = energy(NBODIES);
+    print_float(e0);
+    print_float(e1);
+    /* Energy should be roughly conserved by the symplectic step. */
+    return fabs(e0 - e1) < 0.01;
+}

@@ -1,0 +1,26 @@
+"""Access to the packaged benchmark C sources."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_ROOT = Path(__file__).parent
+
+
+def program_path(relative: str) -> Path:
+    """Absolute path of a packaged program, e.g. ``mibench/dijkstra.c``."""
+    path = _ROOT / relative
+    if not path.exists():
+        raise FileNotFoundError(f"no packaged program {relative!r}")
+    return path
+
+
+def load_source(relative: str) -> str:
+    """The text of a packaged program."""
+    return program_path(relative).read_text()
+
+
+def all_programs() -> list[str]:
+    """Relative paths of every packaged ``.c`` source."""
+    return sorted(str(p.relative_to(_ROOT))
+                  for p in _ROOT.rglob("*.c"))

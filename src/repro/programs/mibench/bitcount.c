@@ -1,0 +1,90 @@
+/* MiBench auto/bitcount (adapted).  Seven ways of counting bits, cross-
+ * checked against each other over a stream of pseudo-random words.
+ * Table 1 reports bitcount and bitstring; the other counters are kept to
+ * give the analyzer a realistic call graph. */
+
+#define ITERATIONS 64
+
+typedef unsigned int u32;
+u32 seed = 1234567;
+int bits_table[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+int bitstr[40];
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+/* Kernighan's loop: one iteration per set bit. */
+int bit_count(u32 x) {
+    int n = 0;
+    while (x != 0) {
+        n = n + 1;
+        x = x & (x - 1);
+    }
+    return n;
+}
+
+/* MIT HAKMEM 169 bit counter. */
+int bitcount(u32 i) {
+    u32 tmp;
+    tmp = i - ((i >> 1) & 033333333333) - ((i >> 2) & 011111111111);
+    return (int)(((tmp + (tmp >> 3)) & 030707070707) % 63);
+}
+
+/* Nibble-table lookup. */
+int ntbl_bitcount(u32 x) {
+    return bits_table[x & 0x0F]
+        + bits_table[(x >> 4) & 0x0F]
+        + bits_table[(x >> 8) & 0x0F]
+        + bits_table[(x >> 12) & 0x0F]
+        + bits_table[(x >> 16) & 0x0F]
+        + bits_table[(x >> 20) & 0x0F]
+        + bits_table[(x >> 24) & 0x0F]
+        + bits_table[(x >> 28) & 0x0F];
+}
+
+/* Shift-and-test, one bit per loop iteration. */
+int bit_shifter(u32 x) {
+    int i, n = 0;
+    for (i = 0; x != 0 && i < 32; i++) {
+        n = n + (int)(x & 1);
+        x = x >> 1;
+    }
+    return n;
+}
+
+/* Render the binary representation of x into bitstr (the adaptation of
+ * the original's bitstring(char*, ...) without string buffers); returns
+ * the number of significant digits. */
+int bitstring(u32 x, int bits) {
+    int i;
+    for (i = 0; i < bits; i++) {
+        bitstr[i] = (int)((x >> (bits - 1 - i)) & 1);
+    }
+    return bits;
+}
+
+int main() {
+    int i, j, n0, n1, n2, n3, digits, fromstr, total = 0;
+    u32 x;
+    for (i = 0; i < ITERATIONS; i++) {
+        x = rnd();
+        n0 = bit_count(x);
+        n1 = bitcount(x);
+        n2 = ntbl_bitcount(x);
+        n3 = bit_shifter(x);
+        if (n0 != n1 || n1 != n2 || n2 != n3) {
+            return 0;
+        }
+        digits = bitstring(x, 32);
+        fromstr = 0;
+        for (j = 0; j < digits; j++) fromstr = fromstr + bitstr[j];
+        if (fromstr != n0) {
+            return 0;
+        }
+        total = total + n0;
+    }
+    print_int(total);
+    return total > 0;
+}

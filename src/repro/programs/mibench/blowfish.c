@@ -1,0 +1,120 @@
+/* MiBench security/blowfish (adapted).  Real Blowfish Feistel structure
+ * (18-entry P array, 4 x 256 S-boxes, 16 rounds), with the pages of
+ * hex-digit initializer tables of the original replaced by a pseudo-
+ * random fill that the key schedule then mixes, exactly as the real key
+ * schedule re-encrypts the zero block.  Functions match Table 1:
+ * BF_encrypt, BF_options, BF_ecb_encrypt, plus BF_set_key and main. */
+
+#define BF_ROUNDS 16
+#define NUM_BLOCKS 32
+
+typedef unsigned int u32;
+
+u32 P[BF_ROUNDS + 2];
+u32 S[4 * 256];
+u32 key[4] = {0x27182818, 0x31415926, 0x16180339, 0x14142135};
+u32 data_in[2 * NUM_BLOCKS];
+u32 data_enc[2 * NUM_BLOCKS];
+u32 data_dec[2 * NUM_BLOCKS];
+u32 seed = 0xB10F15;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+/* The Feistel round function F. */
+u32 BF_F(u32 x) {
+    u32 a = (x >> 24) & 0xFF;
+    u32 b = (x >> 16) & 0xFF;
+    u32 c = (x >> 8) & 0xFF;
+    u32 d = x & 0xFF;
+    return ((S[a] + S[256 + b]) ^ S[512 + c]) + S[768 + d];
+}
+
+/* Encrypt (encrypt != 0) or decrypt one 64-bit block in place. */
+void BF_encrypt(u32 *data, int encrypt) {
+    u32 l = data[0];
+    u32 r = data[1];
+    u32 t;
+    int i;
+    if (encrypt) {
+        for (i = 0; i < BF_ROUNDS; i++) {
+            l = l ^ P[i];
+            r = r ^ BF_F(l);
+            t = l; l = r; r = t;
+        }
+        t = l; l = r; r = t;
+        r = r ^ P[BF_ROUNDS];
+        l = l ^ P[BF_ROUNDS + 1];
+    } else {
+        for (i = BF_ROUNDS + 1; i > 1; i--) {
+            l = l ^ P[i];
+            r = r ^ BF_F(l);
+            t = l; l = r; r = t;
+        }
+        t = l; l = r; r = t;
+        r = r ^ P[1];
+        l = l ^ P[0];
+    }
+    data[0] = l;
+    data[1] = r;
+}
+
+/* Key schedule: fill the tables, fold the key into P, then replace all
+ * table entries by successive encryptions of the zero block. */
+void BF_set_key(int keywords) {
+    int i;
+    u32 block[2];
+    for (i = 0; i < BF_ROUNDS + 2; i++) P[i] = rnd();
+    for (i = 0; i < 4 * 256; i++) S[i] = rnd();
+    for (i = 0; i < BF_ROUNDS + 2; i++) {
+        P[i] = P[i] ^ key[i % keywords];
+    }
+    block[0] = 0;
+    block[1] = 0;
+    for (i = 0; i < BF_ROUNDS + 2; i = i + 2) {
+        BF_encrypt(block, 1);
+        P[i] = block[0];
+        P[i + 1] = block[1];
+    }
+    for (i = 0; i < 4 * 256; i = i + 2) {
+        BF_encrypt(block, 1);
+        S[i] = block[0];
+        S[i + 1] = block[1];
+    }
+}
+
+/* Identifies the variant, like the original's version string. */
+int BF_options() {
+    return BF_ROUNDS;
+}
+
+/* Electronic-codebook mode over one block. */
+void BF_ecb_encrypt(u32 *in, u32 *out, int encrypt) {
+    u32 block[2];
+    block[0] = in[0];
+    block[1] = in[1];
+    BF_encrypt(block, encrypt);
+    out[0] = block[0];
+    out[1] = block[1];
+}
+
+int main() {
+    int i, ok = 1;
+    BF_set_key(4);
+    if (BF_options() != 16) return 0;
+    for (i = 0; i < 2 * NUM_BLOCKS; i++) data_in[i] = rnd();
+    for (i = 0; i < NUM_BLOCKS; i++) {
+        BF_ecb_encrypt(&data_in[2 * i], &data_enc[2 * i], 1);
+    }
+    for (i = 0; i < NUM_BLOCKS; i++) {
+        BF_ecb_encrypt(&data_enc[2 * i], &data_dec[2 * i], 0);
+    }
+    for (i = 0; i < 2 * NUM_BLOCKS; i++) {
+        if (data_dec[i] != data_in[i]) ok = 0;
+        if (data_enc[i] == data_in[i]) ok = 0;
+    }
+    print_int(ok);
+    return ok;
+}

@@ -1,0 +1,72 @@
+/* MiBench telecomm/CRC32 (adapted).  The standard reflected CRC-32 with
+ * the 256-entry table computed at startup (the original ships it as a
+ * literal table).  Additional coverage beyond Table 1. */
+
+#define MSG_BYTES 512
+#define POLY 0xEDB88320
+
+typedef unsigned int u32;
+typedef unsigned char u8;
+
+u32 crc_table[256];
+u8 message[MSG_BYTES];
+u32 seed = 0xC4C32;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+void crc32_init() {
+    u32 i, j, c;
+    for (i = 0; i < 256; i++) {
+        c = i;
+        for (j = 0; j < 8; j++) {
+            if (c & 1) {
+                c = POLY ^ (c >> 1);
+            } else {
+                c = c >> 1;
+            }
+        }
+        crc_table[i] = c;
+    }
+}
+
+u32 crc32_update(u32 crc, u8 byte) {
+    return crc_table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+}
+
+u32 crc32_buffer(u8 *buf, u32 len) {
+    u32 crc = 0xFFFFFFFF;
+    u32 i;
+    for (i = 0; i < len; i++) {
+        crc = crc32_update(crc, buf[i]);
+    }
+    return crc ^ 0xFFFFFFFF;
+}
+
+int main() {
+    u32 i, crc, bitwise, c;
+    int j;
+
+    crc32_init();
+    for (i = 0; i < MSG_BYTES; i++) message[i] = (u8)(rnd() & 0xFF);
+    crc = crc32_buffer(message, MSG_BYTES);
+    print_int((int)crc);
+
+    /* Cross-check against the bit-at-a-time definition. */
+    bitwise = 0xFFFFFFFF;
+    for (i = 0; i < MSG_BYTES; i++) {
+        bitwise = bitwise ^ message[i];
+        for (j = 0; j < 8; j++) {
+            if (bitwise & 1) {
+                bitwise = POLY ^ (bitwise >> 1);
+            } else {
+                bitwise = bitwise >> 1;
+            }
+        }
+    }
+    bitwise = bitwise ^ 0xFFFFFFFF;
+    c = bitwise;
+    return crc == c;
+}

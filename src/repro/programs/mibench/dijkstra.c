@@ -1,0 +1,114 @@
+/* MiBench net/dijkstra (adapted).  Single-source shortest paths over a
+ * randomly generated adjacency matrix; the work queue keeps the
+ * original's malloc'd linked-list nodes (malloc is the zero-stack-cost
+ * arena builtin).  Functions match Table 1: enqueue, dequeue, dijkstra,
+ * plus qcount and main. */
+
+#define NUM_NODES 16
+#define NONE 9999
+#define NULL 0
+
+typedef unsigned int u32;
+
+struct QITEM {
+    int iNode;
+    int iDist;
+    int iPrev;
+    struct QITEM *qNext;
+};
+
+struct QITEM *qHead = NULL;
+int AdjMatrix[NUM_NODES][NUM_NODES];
+int g_qCount = 0;
+int rgnNodes_dist[NUM_NODES];
+int rgnNodes_prev[NUM_NODES];
+u32 seed = 2026;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+void enqueue(int iNode, int iDist, int iPrev) {
+    struct QITEM *qNew = (struct QITEM *) malloc(sizeof(struct QITEM));
+    struct QITEM *qLast = qHead;
+    if (qNew == NULL) {
+        abort();
+    }
+    qNew->iNode = iNode;
+    qNew->iDist = iDist;
+    qNew->iPrev = iPrev;
+    qNew->qNext = NULL;
+    if (qLast == NULL) {
+        qHead = qNew;
+    } else {
+        while (qLast->qNext != NULL) qLast = qLast->qNext;
+        qLast->qNext = qNew;
+    }
+    g_qCount = g_qCount + 1;
+}
+
+void dequeue(int *piNode, int *piDist, int *piPrev) {
+    struct QITEM *qKill = qHead;
+    if (qHead != NULL) {
+        *piNode = qHead->iNode;
+        *piDist = qHead->iDist;
+        *piPrev = qHead->iPrev;
+        qHead = qHead->qNext;
+        g_qCount = g_qCount - 1;
+        qKill->qNext = NULL;  /* the arena has no free() */
+    }
+}
+
+int qcount() {
+    return g_qCount;
+}
+
+int dijkstra(int chStart, int chEnd) {
+    int iPrev = NONE, iNode = NONE;
+    int i, iCost, iDist;
+
+    if (chStart == chEnd) {
+        return 0;
+    }
+    for (i = 0; i < NUM_NODES; i++) {
+        rgnNodes_dist[i] = NONE;
+        rgnNodes_prev[i] = NONE;
+    }
+    rgnNodes_dist[chStart] = 0;
+    enqueue(chStart, 0, NONE);
+    while (qcount() > 0) {
+        dequeue(&iNode, &iDist, &iPrev);
+        for (i = 0; i < NUM_NODES; i++) {
+            iCost = AdjMatrix[iNode][i];
+            if (iCost != NONE) {
+                if (rgnNodes_dist[i] == NONE ||
+                    rgnNodes_dist[i] > iCost + iDist) {
+                    rgnNodes_dist[i] = iCost + iDist;
+                    rgnNodes_prev[i] = iNode;
+                    enqueue(i, iDist + iCost, iNode);
+                }
+            }
+        }
+    }
+    return rgnNodes_dist[chEnd];
+}
+
+int main() {
+    int i, j, total = 0;
+    for (i = 0; i < NUM_NODES; i++) {
+        for (j = 0; j < NUM_NODES; j++) {
+            if (i == j) {
+                AdjMatrix[i][j] = NONE;
+            } else {
+                AdjMatrix[i][j] = (int)(rnd() % 50) + 1;
+            }
+        }
+    }
+    for (i = 0; i < NUM_NODES; i++) {
+        j = (int)(rnd() % NUM_NODES);
+        total = total + dijkstra(i, j);
+    }
+    print_int(total);
+    return total >= 0;
+}

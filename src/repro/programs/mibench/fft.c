@@ -1,0 +1,130 @@
+/* MiBench telecomm/fft (adapted).  The radix-2 decimation-in-time FFT of
+ * fourier.c, with the float buffers as globals and the test harness
+ * checking Parseval's identity.  Functions match Table 1: IsPowerOfTwo,
+ * NumberOfBitsNeeded, ReverseBits, fft_float, plus main. */
+
+#define NUM_SAMPLES 256
+#define PI 3.141592653589793
+
+typedef unsigned int u32;
+
+double RealIn[NUM_SAMPLES];
+double ImagIn[NUM_SAMPLES];
+double RealOut[NUM_SAMPLES];
+double ImagOut[NUM_SAMPLES];
+u32 seed = 0xFF7;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+int IsPowerOfTwo(u32 x) {
+    if (x < 2) return 0;
+    if (x & (x - 1)) return 0;
+    return 1;
+}
+
+u32 NumberOfBitsNeeded(u32 PowerOfTwo) {
+    u32 i;
+    for (i = 0; ; i++) {
+        if (PowerOfTwo & (1 << i)) return i;
+    }
+}
+
+u32 ReverseBits(u32 index, u32 NumBits) {
+    u32 i, rev;
+    for (i = rev = 0; i < NumBits; i++) {
+        rev = (rev << 1) | (index & 1);
+        index = index >> 1;
+    }
+    return rev;
+}
+
+void fft_float(u32 NumSamples, int InverseTransform,
+               double *RealInP, double *ImagInP,
+               double *RealOutP, double *ImagOutP) {
+    u32 NumBits;
+    u32 i, j, k, n;
+    u32 BlockSize, BlockEnd;
+    double angle_numerator = 2.0 * PI;
+    double tr, ti;
+
+    if (!IsPowerOfTwo(NumSamples)) {
+        abort();
+    }
+    if (InverseTransform) {
+        angle_numerator = -angle_numerator;
+    }
+    NumBits = NumberOfBitsNeeded(NumSamples);
+
+    for (i = 0; i < NumSamples; i++) {
+        j = ReverseBits(i, NumBits);
+        RealOutP[j] = RealInP[i];
+        ImagOutP[j] = ImagInP[i];
+    }
+
+    BlockEnd = 1;
+    for (BlockSize = 2; BlockSize <= NumSamples; BlockSize = BlockSize << 1) {
+        double delta_angle = angle_numerator / (double)BlockSize;
+        double sm2 = sin(-2.0 * delta_angle);
+        double sm1 = sin(-delta_angle);
+        double cm2 = cos(-2.0 * delta_angle);
+        double cm1 = cos(-delta_angle);
+        double w = 2.0 * cm1;
+        double ar0, ar1, ar2, ai0, ai1, ai2;
+
+        for (i = 0; i < NumSamples; i = i + BlockSize) {
+            ar2 = cm2;
+            ar1 = cm1;
+            ai2 = sm2;
+            ai1 = sm1;
+            for (j = i, n = 0; n < BlockEnd; j++, n++) {
+                ar0 = w * ar1 - ar2;
+                ar2 = ar1;
+                ar1 = ar0;
+                ai0 = w * ai1 - ai2;
+                ai2 = ai1;
+                ai1 = ai0;
+                k = j + BlockEnd;
+                tr = ar0 * RealOutP[k] - ai0 * ImagOutP[k];
+                ti = ar0 * ImagOutP[k] + ai0 * RealOutP[k];
+                RealOutP[k] = RealOutP[j] - tr;
+                ImagOutP[k] = ImagOutP[j] - ti;
+                RealOutP[j] = RealOutP[j] + tr;
+                ImagOutP[j] = ImagOutP[j] + ti;
+            }
+        }
+        BlockEnd = BlockSize;
+    }
+
+    if (InverseTransform) {
+        double denom = (double)NumSamples;
+        for (i = 0; i < NumSamples; i++) {
+            RealOutP[i] = RealOutP[i] / denom;
+            ImagOutP[i] = ImagOutP[i] / denom;
+        }
+    }
+}
+
+int main() {
+    u32 i;
+    double time_energy = 0.0;
+    double freq_energy = 0.0;
+    double ratio;
+
+    for (i = 0; i < NUM_SAMPLES; i++) {
+        RealIn[i] = (double)(rnd() % 1000) / 500.0 - 1.0;
+        ImagIn[i] = 0.0;
+        time_energy = time_energy + RealIn[i] * RealIn[i];
+    }
+    fft_float(NUM_SAMPLES, 0, RealIn, ImagIn, RealOut, ImagOut);
+    for (i = 0; i < NUM_SAMPLES; i++) {
+        freq_energy = freq_energy
+            + RealOut[i] * RealOut[i] + ImagOut[i] * ImagOut[i];
+    }
+    /* Parseval: sum |X_k|^2 = N * sum |x_n|^2. */
+    ratio = freq_energy / ((double)NUM_SAMPLES * time_energy);
+    print_float(ratio);
+    return fabs(ratio - 1.0) < 0.0001;
+}

@@ -1,0 +1,153 @@
+/* MiBench security/pgp/md5 (adapted).  The real MD5 algorithm (RFC 1321)
+ * with the 64-entry sine table computed at startup from the sin builtin
+ * instead of spelled out in hex, and the four unrolled round macros
+ * rewritten as data-driven loops.  Functions match Table 1: MD5Init,
+ * MD5Update, MD5Final, MD5Transform, plus table setup and main. */
+
+#define MSG_BYTES 200
+
+typedef unsigned int u32;
+typedef unsigned char u8;
+
+struct MD5_CTX {
+    u32 state[4];
+    u32 count[2];
+    u8 buffer[64];
+};
+
+u32 T[64];          /* T[i] = floor(2^32 * |sin(i + 1)|) */
+int shifts[16] = {7, 12, 17, 22, 5, 9, 14, 20, 4, 11, 16, 23, 6, 10, 15, 21};
+u8 message[MSG_BYTES];
+u8 digest[16];
+u32 seed = 0x5151;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+void md5_init_tables() {
+    int i;
+    for (i = 0; i < 64; i++) {
+        T[i] = (u32)(floor(fabs(sin((double)(i + 1))) * 4294967296.0));
+    }
+}
+
+u32 rotate_left(u32 x, u32 n) {
+    return (x << n) | (x >> (32 - n));
+}
+
+/* Core block transform: 64 steps in 4 rounds, driven by tables. */
+void MD5Transform(u32 *state, u8 *block) {
+    u32 a = state[0], b = state[1], c = state[2], d = state[3];
+    u32 x[16];
+    u32 f, temp;
+    int i, round, g;
+
+    for (i = 0; i < 16; i++) {
+        x[i] = (u32)block[4 * i]
+            | ((u32)block[4 * i + 1] << 8)
+            | ((u32)block[4 * i + 2] << 16)
+            | ((u32)block[4 * i + 3] << 24);
+    }
+    for (i = 0; i < 64; i++) {
+        round = i / 16;
+        if (round == 0) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (round == 1) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (round == 2) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        temp = d;
+        d = c;
+        c = b;
+        b = b + rotate_left(a + f + x[g] + T[i],
+                            (u32)shifts[4 * round + i % 4]);
+        a = temp;
+    }
+    state[0] = state[0] + a;
+    state[1] = state[1] + b;
+    state[2] = state[2] + c;
+    state[3] = state[3] + d;
+}
+
+void MD5Init(struct MD5_CTX *ctx) {
+    ctx->count[0] = 0;
+    ctx->count[1] = 0;
+    ctx->state[0] = 0x67452301;
+    ctx->state[1] = 0xefcdab89;
+    ctx->state[2] = 0x98badcfe;
+    ctx->state[3] = 0x10325476;
+}
+
+void MD5Update(struct MD5_CTX *ctx, u8 *input, u32 inputLen) {
+    u32 i, index, partLen;
+
+    index = (ctx->count[0] >> 3) & 0x3F;
+    ctx->count[0] = ctx->count[0] + (inputLen << 3);
+    if (ctx->count[0] < (inputLen << 3)) {
+        ctx->count[1] = ctx->count[1] + 1;
+    }
+    ctx->count[1] = ctx->count[1] + (inputLen >> 29);
+    partLen = 64 - index;
+
+    if (inputLen >= partLen) {
+        for (i = 0; i < partLen; i++) ctx->buffer[index + i] = input[i];
+        MD5Transform(ctx->state, ctx->buffer);
+        for (i = partLen; i + 63 < inputLen; i = i + 64) {
+            MD5Transform(ctx->state, &input[i]);
+        }
+        index = 0;
+    } else {
+        i = 0;
+    }
+    while (i < inputLen) {
+        ctx->buffer[index] = input[i];
+        index = index + 1;
+        i = i + 1;
+    }
+}
+
+void MD5Final(u8 *out, struct MD5_CTX *ctx) {
+    u8 bits[8];
+    u8 padding[64];
+    u32 index, padLen, i;
+
+    for (i = 0; i < 64; i++) padding[i] = 0;
+    padding[0] = 0x80;
+    for (i = 0; i < 8; i++) {
+        bits[i] = (u8)((ctx->count[i >> 2] >> ((i & 3) * 8)) & 0xFF);
+    }
+    index = (ctx->count[0] >> 3) & 0x3f;
+    if (index < 56) padLen = 56 - index; else padLen = 120 - index;
+    MD5Update(ctx, padding, padLen);
+    MD5Update(ctx, bits, 8);
+    for (i = 0; i < 4; i++) {
+        out[4 * i] = (u8)(ctx->state[i] & 0xFF);
+        out[4 * i + 1] = (u8)((ctx->state[i] >> 8) & 0xFF);
+        out[4 * i + 2] = (u8)((ctx->state[i] >> 16) & 0xFF);
+        out[4 * i + 3] = (u8)((ctx->state[i] >> 24) & 0xFF);
+    }
+}
+
+int main() {
+    struct MD5_CTX ctx;
+    int i;
+    u32 check = 0;
+
+    md5_init_tables();
+    for (i = 0; i < MSG_BYTES; i++) message[i] = (u8)(rnd() & 0xFF);
+    MD5Init(&ctx);
+    MD5Update(&ctx, message, MSG_BYTES);
+    MD5Final(digest, &ctx);
+    for (i = 0; i < 16; i++) check = check + digest[i];
+    print_int((int)check);
+    return check != 0;
+}

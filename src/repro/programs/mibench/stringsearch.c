@@ -1,0 +1,75 @@
+/* MiBench office/stringsearch (adapted).  Boyer–Moore–Horspool over
+ * byte arrays (the original's C strings become u8 buffers with explicit
+ * lengths).  Additional coverage beyond Table 1. */
+
+#define TEXT_LEN 2048
+#define PAT_LEN 8
+
+typedef unsigned int u32;
+typedef unsigned char u8;
+
+u8 text[TEXT_LEN];
+u8 pattern[PAT_LEN];
+int skip[256];
+u32 seed = 0x57217;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+/* Build the bad-character skip table for the pattern. */
+void init_search(u8 *pat, int patlen) {
+    int i;
+    for (i = 0; i < 256; i++) skip[i] = patlen;
+    for (i = 0; i < patlen - 1; i++) skip[pat[i]] = patlen - i - 1;
+}
+
+/* Horspool scan; returns the first match position or -1. */
+int strsearch(u8 *string, int stringlen, u8 *pat, int patlen) {
+    int i, j, pos;
+    pos = patlen - 1;
+    while (pos < stringlen) {
+        i = pos;
+        j = patlen - 1;
+        while (j >= 0 && string[i] == pat[j]) {
+            i = i - 1;
+            j = j - 1;
+        }
+        if (j < 0) {
+            return i + 1;
+        }
+        pos = pos + skip[string[pos]];
+    }
+    return -1;
+}
+
+/* Reference implementation: naive quadratic scan. */
+int naive_search(u8 *string, int stringlen, u8 *pat, int patlen) {
+    int i, j;
+    for (i = 0; i + patlen <= stringlen; i++) {
+        for (j = 0; j < patlen; j++) {
+            if (string[i + j] != pat[j]) break;
+        }
+        if (j == patlen) return i;
+    }
+    return -1;
+}
+
+int main() {
+    int i, planted, fast, slow, ok = 1;
+
+    for (i = 0; i < TEXT_LEN; i++) text[i] = (u8)(rnd() % 26 + 65);
+    for (i = 0; i < PAT_LEN; i++) pattern[i] = (u8)(rnd() % 26 + 65);
+    /* Plant one guaranteed occurrence. */
+    planted = (int)(rnd() % (TEXT_LEN - PAT_LEN));
+    for (i = 0; i < PAT_LEN; i++) text[planted + i] = pattern[i];
+
+    init_search(pattern, PAT_LEN);
+    fast = strsearch(text, TEXT_LEN, pattern, PAT_LEN);
+    slow = naive_search(text, TEXT_LEN, pattern, PAT_LEN);
+    if (fast != slow) ok = 0;
+    if (fast < 0 || fast > planted) ok = 0;
+    print_int(fast);
+    return ok;
+}

@@ -1,0 +1,44 @@
+/* The illustrative example of the paper's Figure 1: fill an array with a
+ * pseudo-random increasing sequence and binary-search it.  ALEN and SEED
+ * are the two integer parameters; override them with -D style macros
+ * through the driver's `macros` argument. */
+
+#ifndef ALEN
+#define ALEN 1000
+#endif
+#ifndef SEED
+#define SEED 17
+#endif
+
+typedef unsigned int u32;
+u32 a[ALEN];
+u32 seed = SEED;
+
+u32 search(u32 elem, u32 beg, u32 end) {
+    u32 mid = beg + (end - beg) / 2;
+    if (end - beg <= 1) return beg;
+    if (a[mid] > elem) end = mid; else beg = mid;
+    return search(elem, beg, end);
+}
+
+u32 random() {
+    seed = (seed * 1664525) + 1013904223;
+    return seed;
+}
+
+void init() {
+    u32 i, rnd, prev = 0;
+    for (i = 0; i < ALEN; i++) {
+        rnd = random();
+        a[i] = prev + rnd % 17;
+        prev = a[i];
+    }
+}
+
+int main() {
+    u32 idx, elem;
+    init();
+    elem = random() % (17 * ALEN);
+    idx = search(elem, 0, ALEN);
+    return a[idx] == elem;
+}

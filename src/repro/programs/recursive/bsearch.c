@@ -1,0 +1,34 @@
+/* Table 2: bsearch — recursive binary search, logarithmic recursion
+ * depth.  Verified bound: M(bsearch) * (2 + log2(hi - lo)) bytes. */
+
+#ifndef N
+#define N 1000
+#endif
+
+typedef unsigned int u32;
+u32 a[N];
+u32 seed = 13;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+u32 bsearch(u32 x, u32 lo, u32 hi) {
+    u32 m = (lo + hi) / 2;
+    if (hi - lo <= 1) return lo;
+    if (a[m] > x) hi = m; else lo = m;
+    return bsearch(x, lo, hi);
+}
+
+int main() {
+    u32 i, prev = 0, idx, x;
+    for (i = 0; i < N; i++) {
+        a[i] = prev + rnd() % 11;
+        prev = a[i];
+    }
+    x = rnd() % (11 * N);
+    idx = bsearch(x, 0, N);
+    print_int((int)idx);
+    return a[idx] <= x;
+}

@@ -1,0 +1,18 @@
+/* Table 2: fib — the exponential-time Fibonacci recursion (from the
+ * CompCert test suite).  The *stack* is only linear: the two recursive
+ * calls never coexist, so the bound is max(n - 1, 1) * M(fib). */
+
+#ifndef N
+#define N 15
+#endif
+
+int fib(int n) {
+    if (n < 2) return 1;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+    int r = fib(N);
+    print_int(r);
+    return r > 0;
+}

@@ -1,0 +1,54 @@
+/* Table 2: filter_find — keep the elements of one array that occur in a
+ * second (sorted) array of size BL, using the recursive binary search.
+ * Stack shape: linear recursion over the input, with one logarithmic
+ * bsearch chain live at the bottom; the verified bound composes the two:
+ * (hi - lo) * M(filter_find) + M(bsearch) * (2 + log2(BL)). */
+
+#ifndef N
+#define N 60
+#endif
+#ifndef BL
+#define BL 256
+#endif
+
+typedef unsigned int u32;
+u32 haystack[BL];
+u32 needles[N];
+u32 found[N];
+u32 seed = 97;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+u32 bsearch(u32 x, u32 lo, u32 hi) {
+    u32 m = (lo + hi) / 2;
+    if (hi - lo <= 1) return lo;
+    if (haystack[m] > x) hi = m; else lo = m;
+    return bsearch(x, lo, hi);
+}
+
+u32 filter_find(u32 sz, u32 lo, u32 hi) {
+    u32 count, idx;
+    if (lo >= hi) return 0;
+    count = filter_find(sz, lo + 1, hi);
+    idx = bsearch(needles[lo], 0, BL);
+    if (haystack[idx] == needles[lo]) {
+        found[count] = needles[lo];
+        count = count + 1;
+    }
+    return count;
+}
+
+int main() {
+    u32 i, prev = 0, kept;
+    for (i = 0; i < BL; i++) {
+        haystack[i] = prev + 1 + rnd() % 7;
+        prev = haystack[i];
+    }
+    for (i = 0; i < N; i++) needles[i] = rnd() % prev;
+    kept = filter_find(N, 0, N);
+    print_int((int)kept);
+    return kept <= N;
+}

@@ -1,0 +1,38 @@
+/* Table 2: filter_pos — copy all positive elements of the input array
+ * into an output array, by linear recursion over the index range.
+ * Verified bound: (hi - lo) * M(filter_pos) bytes. */
+
+#ifndef N
+#define N 150
+#endif
+
+int input[N];
+int output[N];
+unsigned int seed = 71;
+
+unsigned int rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+int filter_pos(int sz, int lo, int hi) {
+    int count;
+    if (lo >= hi) return 0;
+    count = filter_pos(sz, lo + 1, hi);
+    if (input[lo] > 0) {
+        output[count] = input[lo];
+        count = count + 1;
+    }
+    return count;
+}
+
+int main() {
+    int i, kept;
+    for (i = 0; i < N; i++) input[i] = (int)(rnd() % 200) - 100;
+    kept = filter_pos(N, 0, N);
+    print_int(kept);
+    for (i = 0; i < kept; i++) {
+        if (output[i] <= 0) return 0;
+    }
+    return 1;
+}

@@ -1,0 +1,45 @@
+/* Table 2: qsort — recursive quicksort (from the CompCert test suite).
+ * Worst-case recursion depth is hi - lo, so the verified bound is
+ * (hi - lo) * M(qsort) bytes. */
+
+#ifndef N
+#define N 100
+#endif
+
+typedef unsigned int u32;
+int tab[N];
+u32 seed = 29;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+void qsort(int lo, int hi) {
+    int i, j, pivot, tmp;
+    if (hi - lo <= 1) return;
+    pivot = tab[lo];
+    i = lo;
+    j = hi;
+    while (1) {
+        i = i + 1;
+        while (i < hi && tab[i] < pivot) i = i + 1;
+        j = j - 1;
+        while (j > lo && tab[j] > pivot) j = j - 1;
+        if (i >= j) break;
+        tmp = tab[i]; tab[i] = tab[j]; tab[j] = tmp;
+    }
+    tmp = tab[lo]; tab[lo] = tab[j]; tab[j] = tmp;
+    qsort(lo, j);
+    qsort(j + 1, hi);
+}
+
+int main() {
+    int i;
+    for (i = 0; i < N; i++) tab[i] = (int)(rnd() % 1000);
+    qsort(0, N);
+    for (i = 1; i < N; i++) {
+        if (tab[i - 1] > tab[i]) return 0;
+    }
+    return 1;
+}

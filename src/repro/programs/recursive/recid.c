@@ -1,0 +1,17 @@
+/* Table 2: recid — the identity computed by recursion on its argument.
+ * Verified bound: (a + 1) * M(recid) bytes of stack (linear depth). */
+
+#ifndef N
+#define N 10
+#endif
+
+unsigned int recid(unsigned int a) {
+    if (a == 0) return 0;
+    return 1 + recid(a - 1);
+}
+
+int main() {
+    unsigned int r = recid(N);
+    print_int((int)r);
+    return r == N;
+}

@@ -1,0 +1,31 @@
+/* Table 2: sum — recursive array sum, linear recursion depth.
+ * Verified bound: (hi - lo) * M(sum) bytes. */
+
+#ifndef N
+#define N 200
+#endif
+
+typedef unsigned int u32;
+u32 a[N];
+u32 seed = 5;
+
+u32 rnd() {
+    seed = seed * 1664525 + 1013904223;
+    return seed;
+}
+
+u32 sum(u32 lo, u32 hi) {
+    if (lo >= hi) return 0;
+    return a[lo] + sum(lo + 1, hi);
+}
+
+int main() {
+    u32 i, total = 0, check = 0;
+    for (i = 0; i < N; i++) {
+        a[i] = rnd() % 100;
+        check = check + a[i];
+    }
+    total = sum(0, N);
+    print_int((int)total);
+    return total == check;
+}

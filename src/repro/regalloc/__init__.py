@@ -1,0 +1,18 @@
+"""Register allocation: virtual registers to machine locations.
+
+The target has two register classes (integer and float).  Registers are
+all caller-saved (the paper's pipeline also spills across calls at Mach
+level), so any virtual register live across a call is assigned a stack
+slot outright; the rest are colored greedily on the interference graph,
+spilling on color exhaustion.  Spill slots become part of the Mach frame
+and therefore of the cost metric — register pressure is literally visible
+in the verified stack bounds, which is why the ablation benchmark toggles
+this pass.
+"""
+
+from repro.regalloc.allocator import Allocation, allocate_function
+from repro.regalloc.locations import (FLOAT_REGS, FLOAT_SCRATCH, INT_REGS,
+                                      INT_SCRATCH, LFReg, LReg, LSlot, Loc)
+
+__all__ = ["Loc", "LReg", "LFReg", "LSlot", "INT_REGS", "FLOAT_REGS",
+           "INT_SCRATCH", "FLOAT_SCRATCH", "Allocation", "allocate_function"]

@@ -1,0 +1,124 @@
+"""Constant propagation over RTL (one of CompCert's RTL optimizations).
+
+A forward dataflow over the flat lattice ``UNDEF < const < NAC`` per
+register.  Instructions whose operands are all constants are folded (the
+folding evaluator is the *same* :mod:`repro.ops` the interpreters use, so
+the transformation cannot disagree with the semantics); conditional
+branches on constants become unconditional.
+
+Folding is careful about undefined behavior: if evaluating an operation
+on the inferred constants raises (division by zero, overflowing
+conversion), the result is treated as NAC and the instruction is kept —
+the program keeps its original (wrong) behavior instead of the optimizer
+changing it.
+"""
+
+from __future__ import annotations
+
+from repro import ops
+from repro.errors import DynamicError
+from repro.memory.values import VFloat, VInt, Value
+from repro.rtl import ast as rtl
+from repro.rtl.dataflow import solve_forward
+
+NAC = "NAC"  # not-a-constant (lattice top)
+# Absence from the fact dict means "undefined yet" (lattice bottom).
+
+Fact = dict  # reg -> Value | NAC
+
+
+def _join(a: Fact, b: Fact) -> Fact:
+    out = dict(a)
+    for reg, value in b.items():
+        if reg not in out:
+            out[reg] = value
+        elif out[reg] != value:
+            out[reg] = NAC
+    return out
+
+
+def _equal(a: Fact, b: Fact) -> bool:
+    return a == b
+
+
+def _transfer(_node: int, instr: rtl.Instr, fact: Fact) -> Fact:
+    if isinstance(instr, rtl.Iop):
+        out = dict(fact)
+        out[instr.dest] = _eval(instr.op, [fact.get(r, NAC) for r in instr.args])
+        return out
+    if isinstance(instr, rtl.Iload):
+        out = dict(fact)
+        out[instr.dest] = NAC
+        return out
+    if isinstance(instr, rtl.Icall):
+        out = dict(fact)
+        if instr.dest is not None:
+            out[instr.dest] = NAC
+        return out
+    return fact
+
+
+def _eval(op: tuple, args: list):
+    kind = op[0]
+    if kind == "const":
+        return VInt(op[1])
+    if kind == "constf":
+        return VFloat(op[1])
+    if kind == "move":
+        return args[0]
+    if kind in ("addrglobal", "addrstack"):
+        return NAC  # run-time addresses
+    if any(not isinstance(a, Value) for a in args):
+        return NAC
+    try:
+        if kind == "unop":
+            return ops.eval_unop(op[1], args[0])
+        if kind == "binop":
+            return ops.eval_binop(op[1], args[0], args[1])
+    except DynamicError:
+        return NAC
+    return NAC
+
+
+def constprop(function: rtl.RTLFunction) -> int:
+    """Rewrite ``function`` in place; returns the number of instructions
+    changed (used by tests and the ablation bench)."""
+    # Parameters have unknown run-time values: NAC at entry (leaving them
+    # absent would make them lattice bottom and licence bogus folding).
+    entry_fact = {param: NAC for param in function.params}
+    facts = solve_forward(function, entry_fact, _join, _transfer, _equal)
+    changed = 0
+    for node, instr in list(function.graph.items()):
+        fact = facts.get(node)
+        if fact is None:
+            continue  # unreachable
+        new_instr = _rewrite(instr, fact)
+        if new_instr is not None:
+            function.graph[node] = new_instr
+            changed += 1
+    return changed
+
+
+def _rewrite(instr: rtl.Instr, fact: Fact):
+    if isinstance(instr, rtl.Iop):
+        if instr.op[0] in ("const", "constf"):
+            return None
+        value = _eval(instr.op, [fact.get(r, NAC) for r in instr.args])
+        if isinstance(value, VInt):
+            return rtl.Iop(("const", value.value), [], instr.dest, instr.succ)
+        if isinstance(value, VFloat):
+            return rtl.Iop(("constf", value.value), [], instr.dest, instr.succ)
+        return None
+    if isinstance(instr, rtl.Icond):
+        value = fact.get(instr.arg, NAC)
+        if isinstance(value, VInt):
+            return rtl.Inop(instr.ifso if value.value != 0 else instr.ifnot)
+        if isinstance(value, VFloat):
+            # Conditions are integer-class by construction, but stay safe.
+            return None
+        return None
+    return None
+
+
+def constprop_program(program: rtl.RTLProgram) -> int:
+    return sum(constprop(f) for f in program.functions.values())

@@ -1,0 +1,133 @@
+"""Common-subexpression elimination over RTL (available expressions).
+
+A forward *must* dataflow with two kinds of facts:
+
+* expression availability — ``(op, canonical args) -> holding register``
+  for pure operations, ``("load", chunk, canonical addr)`` for memory
+  reads;
+* copy equivalence — ``("copy", reg) -> canonical register``, maintained
+  across register moves so that re-materialized addresses and values
+  unify (poor man's value numbering).
+
+Joins intersect; redefining a register kills the entries it holds, the
+entries reading it, and its copy links; stores and calls kill all load
+entries (calls may write memory, stores may alias).  An instruction
+whose canonical key is available is rewritten into a register move,
+which the register allocator usually coalesces away.
+
+Like CompCert's CSE this pass is purely value-preserving, so trace
+equality across levels is untouched; its effect on the *bounds* is via
+shrunken live ranges and spill counts (see the ablation bench).
+"""
+
+from __future__ import annotations
+
+from repro.rtl import ast as rtl
+from repro.rtl.dataflow import solve_forward
+
+Fact = dict
+
+# operations never worth caching (cheaper to rematerialize than to hold)
+_CHEAP = {"const", "constf", "move"}
+
+
+def _canon(fact: Fact, reg: int) -> int:
+    return fact.get(("copy", reg), reg)
+
+
+def _key_of(instr: rtl.Instr, fact: Fact):
+    if isinstance(instr, rtl.Iop) and instr.op[0] not in _CHEAP:
+        return (instr.op, tuple(_canon(fact, a) for a in instr.args))
+    if isinstance(instr, rtl.Iload):
+        return ("load", instr.chunk, _canon(fact, instr.addr))
+    return None
+
+
+def _kill_reg(fact: Fact, reg: int) -> Fact:
+    out = {}
+    for key, value in fact.items():
+        if key[0] == "copy":
+            if key[1] == reg or value == reg:
+                continue
+        elif value == reg:
+            continue
+        elif key[0] == "load":
+            if key[2] == reg:
+                continue
+        elif reg in key[1]:
+            continue
+        out[key] = value
+    return out
+
+
+def _kill_loads(fact: Fact) -> Fact:
+    return {key: value for key, value in fact.items() if key[0] != "load"}
+
+
+def _transfer(_node: int, instr: rtl.Instr, fact: Fact) -> Fact:
+    if isinstance(instr, rtl.Iop):
+        key = _key_of(instr, fact)  # canonicalize before the kill
+        if instr.op[0] == "move":
+            source = _canon(fact, instr.args[0])
+            out = _kill_reg(fact, instr.dest)
+            if source != instr.dest:
+                out[("copy", instr.dest)] = source
+            return out
+        holder = fact.get(key) if key is not None else None
+        out = _kill_reg(fact, instr.dest)
+        if holder is not None and holder != instr.dest:
+            # The rewrite will turn this into a move from the holder, so
+            # the destination becomes a copy of it.
+            out[("copy", instr.dest)] = holder
+        elif key is not None and instr.dest not in instr.args:
+            out[key] = instr.dest
+        return out
+    if isinstance(instr, rtl.Iload):
+        key = _key_of(instr, fact)
+        holder = fact.get(key) if key is not None else None
+        out = _kill_reg(fact, instr.dest)
+        if holder is not None and holder != instr.dest:
+            out[("copy", instr.dest)] = holder
+        elif key is not None and instr.dest != instr.addr:
+            out[key] = instr.dest
+        return out
+    if isinstance(instr, rtl.Istore):
+        return _kill_loads(fact)
+    if isinstance(instr, rtl.Icall):
+        out = _kill_loads(fact)
+        if instr.dest is not None:
+            out = _kill_reg(out, instr.dest)
+        return out
+    return fact
+
+
+def _join(a: Fact, b: Fact) -> Fact:
+    return {key: value for key, value in a.items() if b.get(key) == value}
+
+
+def cse_function(function: rtl.RTLFunction) -> int:
+    """Rewrite in place; returns the number of instructions simplified."""
+    facts = solve_forward(function, {}, _join, _transfer,
+                          lambda a, b: a == b)
+    changed = 0
+    for node, instr in list(function.graph.items()):
+        fact = facts.get(node)
+        if fact is None or not isinstance(instr, (rtl.Iop, rtl.Iload)):
+            continue
+        key = _key_of(instr, fact)
+        if key is None:
+            continue
+        holder = fact.get(key)
+        if holder is None:
+            continue
+        if holder == instr.dest:
+            function.graph[node] = rtl.Inop(instr.successors()[0])
+        else:
+            function.graph[node] = rtl.Iop(("move",), [holder], instr.dest,
+                                           instr.successors()[0])
+        changed += 1
+    return changed
+
+
+def cse_program(program: rtl.RTLProgram) -> int:
+    return sum(cse_function(f) for f in program.functions.values())

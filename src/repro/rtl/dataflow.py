@@ -1,0 +1,73 @@
+"""A generic Kildall worklist solver for RTL dataflow problems.
+
+Used by constant propagation (forward) and liveness (backward).  The
+lattice is supplied by the client as a pair of callbacks; the solver only
+needs a join and a transfer function, plus equality on facts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, TypeVar
+
+from repro.rtl import ast as rtl
+
+Fact = TypeVar("Fact")
+
+
+def predecessors(graph: Mapping[int, rtl.Instr]) -> dict[int, list[int]]:
+    preds: dict[int, list[int]] = {node: [] for node in graph}
+    for node, instr in graph.items():
+        for succ in instr.successors():
+            preds.setdefault(succ, []).append(node)
+    return preds
+
+
+def solve_forward(function: rtl.RTLFunction, entry_fact: Fact,
+                  join: Callable[[Fact, Fact], Fact],
+                  transfer: Callable[[int, rtl.Instr, Fact], Fact],
+                  equal: Callable[[Fact, Fact], bool]
+                  ) -> dict[int, Fact]:
+    """Facts *before* each node; unreachable nodes are absent."""
+    facts: dict[int, Fact] = {function.entry: entry_fact}
+    worklist = [function.entry]
+    graph = function.graph
+    while worklist:
+        node = worklist.pop()
+        instr = graph[node]
+        out = transfer(node, instr, facts[node])
+        for succ in instr.successors():
+            if succ not in facts:
+                facts[succ] = out
+                worklist.append(succ)
+            else:
+                merged = join(facts[succ], out)
+                if not equal(merged, facts[succ]):
+                    facts[succ] = merged
+                    worklist.append(succ)
+    return facts
+
+
+def solve_backward(function: rtl.RTLFunction, exit_fact: Fact,
+                   join: Callable[[Fact, Fact], Fact],
+                   transfer: Callable[[int, rtl.Instr, Fact], Fact],
+                   equal: Callable[[Fact, Fact], bool]
+                   ) -> dict[int, Fact]:
+    """Facts *after* each node (the join over successors' before-facts)."""
+    graph = function.graph
+    preds = predecessors(graph)
+    after: dict[int, Fact] = {node: exit_fact for node in graph}
+    before: dict[int, Fact] = {}
+    worklist = list(graph)
+    while worklist:
+        node = worklist.pop()
+        instr = graph[node]
+        new_before = transfer(node, instr, after[node])
+        if node in before and equal(new_before, before[node]):
+            continue
+        before[node] = new_before
+        for pred in preds.get(node, ()):
+            merged = join(after[pred], new_before)
+            if not equal(merged, after[pred]):
+                after[pred] = merged
+                worklist.append(pred)
+    return after

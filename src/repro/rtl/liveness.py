@@ -1,0 +1,50 @@
+"""Backward liveness analysis over RTL.
+
+Produces, for every node, the set of registers live *after* the node
+(`live-out`).  Consumed by dead-code elimination and by the register
+allocator's interference construction.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import ast as rtl
+from repro.rtl.dataflow import solve_backward
+
+Fact = frozenset
+
+
+def has_side_effect(instr: rtl.Instr) -> bool:
+    """Instructions that must be kept even if their result is dead."""
+    return isinstance(instr, (rtl.Istore, rtl.Icall, rtl.Ireturn, rtl.Icond))
+
+
+def _make_transfer(conservative: bool):
+    def transfer(_node: int, instr: rtl.Instr, live_out: Fact) -> Fact:
+        live = set(live_out)
+        defs = instr.defs()
+        # A pure instruction whose destination is dead contributes no
+        # uses: its operands need not stay live (this is what lets DCE
+        # cascade).  The conservative variant — used by the register
+        # allocator, which must stay correct even when dead instructions
+        # are left in the code — keeps such uses live.
+        if not conservative and defs and not has_side_effect(instr) \
+                and not any(d in live_out for d in defs):
+            return frozenset(live - set(defs))
+        for d in defs:
+            live.discard(d)
+        live.update(instr.uses())
+        return frozenset(live)
+
+    return transfer
+
+
+def liveness(function: rtl.RTLFunction,
+             conservative: bool = False) -> dict[int, Fact]:
+    """Map node -> registers live after the node."""
+    return solve_backward(function, frozenset(), lambda a, b: a | b,
+                          _make_transfer(conservative), lambda a, b: a == b)
+
+
+def live_before(instr: rtl.Instr, live_out: Fact,
+                conservative: bool = False) -> Fact:
+    return _make_transfer(conservative)(0, instr, live_out)

@@ -1,0 +1,213 @@
+"""Cminor → RTL: control-flow graph construction.
+
+The builder works backwards, CompCert-style: to lower a statement one
+first knows the node to continue at, then materializes the statement's
+instructions in front of it.  Loops reserve their header node up front to
+tie the cycle.
+
+Conditions are normalized so that :class:`~repro.rtl.ast.Icond` always
+tests an integer-class register: float conditions are compiled to a
+``cmpf_ne 0.0`` first, pointer conditions are already integer-class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clight import ast as cl
+from repro.cminor import CminorProgram, FRAME_VAR
+from repro.errors import LoweringError
+from repro.rtl import ast as rtl
+
+
+def rtl_of_cminor(cminor: CminorProgram) -> rtl.RTLProgram:
+    functions = {}
+    for function in cminor.functions.values():
+        functions[function.name] = _FnBuilder(function).build()
+    return rtl.RTLProgram(cminor.globals, functions,
+                          set(cminor.externals),
+                          cminor.program.main)
+
+
+class _FnBuilder:
+    def __init__(self, function: cl.Function) -> None:
+        self.function = function
+        self.graph: dict[int, rtl.Instr] = {}
+        self.next_node = 1
+        self.next_reg = 1
+        self.float_regs: set[int] = set()
+        self.temp_regs: dict[str, int] = {}
+        if function.stackvars:
+            if len(function.stackvars) != 1 or \
+                    function.stackvars[0].name != FRAME_VAR:
+                raise LoweringError(
+                    f"{function.name}: not in Cminor form (stackvars "
+                    f"{[v.name for v in function.stackvars]})")
+            self.stacksize = function.stackvars[0].size
+        else:
+            self.stacksize = 0
+        for temp in function.temps:
+            self.temp_regs[temp] = self._fresh(temp in function.float_temps)
+
+    def _fresh(self, is_float: bool = False) -> int:
+        reg = self.next_reg
+        self.next_reg += 1
+        if is_float:
+            self.float_regs.add(reg)
+        return reg
+
+    def _add(self, instr: rtl.Instr) -> int:
+        node = self.next_node
+        self.next_node += 1
+        self.graph[node] = instr
+        return node
+
+    def _reserve(self) -> int:
+        node = self.next_node
+        self.next_node += 1
+        return node
+
+    def build(self) -> rtl.RTLFunction:
+        function = self.function
+        ret_node = self._add(rtl.Ireturn(None))
+        entry = self.lower_stmt(function.body, ret_node, None, None)
+        params = [self.temp_regs[p] for p in function.params]
+        return rtl.RTLFunction(
+            function.name, params, self.float_regs, self.stacksize,
+            self.graph, entry, self.next_reg, function.returns_float,
+            function.param_is_float)
+
+    # -- statements ------------------------------------------------------------
+
+    def lower_stmt(self, stmt: cl.Stmt, follow: int,
+                   break_to: Optional[int], continue_to: Optional[int]) -> int:
+        if isinstance(stmt, cl.SSkip):
+            return follow
+        if isinstance(stmt, cl.SSeq):
+            second = self.lower_stmt(stmt.second, follow, break_to, continue_to)
+            return self.lower_stmt(stmt.first, second, break_to, continue_to)
+        if isinstance(stmt, cl.SSet):
+            dest = self.temp_regs[stmt.temp]
+            return self.lower_expr(stmt.expr, dest, follow)
+        if isinstance(stmt, cl.SStore):
+            value_reg = self._operand_reg(stmt.value)
+            addr_reg = self._operand_reg(stmt.addr)
+            store = self._add(rtl.Istore(stmt.chunk, addr_reg, value_reg,
+                                         follow))
+            entry = self._operand_entry(stmt.value, value_reg, store)
+            return self._operand_entry(stmt.addr, addr_reg, entry)
+        if isinstance(stmt, cl.SCall):
+            arg_regs = [self._operand_reg(a) for a in stmt.args]
+            dest = self.temp_regs[stmt.dest] if stmt.dest is not None else None
+            call = self._add(rtl.Icall(dest, stmt.callee, arg_regs, follow))
+            entry = call
+            for arg, reg in reversed(list(zip(stmt.args, arg_regs))):
+                entry = self._operand_entry(arg, reg, entry)
+            return entry
+        if isinstance(stmt, cl.SIf):
+            then = self.lower_stmt(stmt.then, follow, break_to, continue_to)
+            otherwise = self.lower_stmt(stmt.otherwise, follow, break_to,
+                                        continue_to)
+            return self.lower_cond(stmt.cond, then, otherwise)
+        if isinstance(stmt, cl.SLoop):
+            header = self._reserve()
+            post_entry = self.lower_stmt(stmt.post, header, follow, None)
+            body_entry = self.lower_stmt(stmt.body, post_entry, follow,
+                                         post_entry)
+            self.graph[header] = rtl.Inop(body_entry)
+            return header
+        if isinstance(stmt, cl.SBlock):
+            return self.lower_stmt(stmt.body, follow, follow, continue_to)
+        if isinstance(stmt, cl.SBreak):
+            if break_to is None:
+                raise LoweringError("break outside loop/block")
+            return break_to
+        if isinstance(stmt, cl.SContinue):
+            if continue_to is None:
+                raise LoweringError("continue outside loop")
+            return continue_to
+        if isinstance(stmt, cl.SReturn):
+            if stmt.value is None:
+                return self._add(rtl.Ireturn(None))
+            reg = self._fresh(self._expr_is_float(stmt.value))
+            ret = self._add(rtl.Ireturn(reg))
+            return self.lower_expr(stmt.value, reg, ret)
+        raise LoweringError(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def lower_expr(self, expr: cl.Expr, dest: int, follow: int) -> int:
+        """Nodes computing ``expr`` into ``dest``, then jumping to ``follow``."""
+        if isinstance(expr, cl.EConstInt):
+            return self._add(rtl.Iop(("const", expr.value), [], dest, follow))
+        if isinstance(expr, cl.EConstFloat):
+            return self._add(rtl.Iop(("constf", expr.value), [], dest, follow))
+        if isinstance(expr, cl.ETemp):
+            src = self.temp_regs[expr.name]
+            return self._add(rtl.Iop(("move",), [src], dest, follow))
+        if isinstance(expr, cl.EAddrGlobal):
+            return self._add(rtl.Iop(("addrglobal", expr.name), [], dest,
+                                     follow))
+        if isinstance(expr, cl.EAddrStack):
+            if expr.name != FRAME_VAR:
+                raise LoweringError(f"non-Cminor stack variable {expr.name!r}")
+            return self._add(rtl.Iop(("addrstack", 0), [], dest, follow))
+        if isinstance(expr, cl.ELoad):
+            addr = self._operand_reg(expr.addr)
+            load = self._add(rtl.Iload(expr.chunk, addr, dest, follow))
+            return self._operand_entry(expr.addr, addr, load)
+        if isinstance(expr, cl.EUnop):
+            arg = self._operand_reg(expr.arg)
+            node = self._add(rtl.Iop(("unop", expr.op), [arg], dest, follow))
+            return self._operand_entry(expr.arg, arg, node)
+        if isinstance(expr, cl.EBinop):
+            left = self._operand_reg(expr.left)
+            right = self._operand_reg(expr.right)
+            node = self._add(rtl.Iop(("binop", expr.op), [left, right], dest,
+                                     follow))
+            right_entry = self._operand_entry(expr.right, right, node)
+            return self._operand_entry(expr.left, left, right_entry)
+        raise LoweringError(f"unknown expression {type(expr).__name__}")
+
+    # Temporaries already live in a register: use it directly instead of
+    # inserting a fresh copy.  This halves the instruction count and —
+    # more importantly — makes syntactically equal subexpressions produce
+    # identical (op, args) keys, which is what lets CSE fire.
+    def _operand_reg(self, expr: cl.Expr) -> int:
+        if isinstance(expr, cl.ETemp):
+            return self.temp_regs[expr.name]
+        return self._fresh(self._expr_is_float(expr))
+
+    def _operand_entry(self, expr: cl.Expr, reg: int, follow: int) -> int:
+        if isinstance(expr, cl.ETemp):
+            return follow
+        return self.lower_expr(expr, reg, follow)
+
+    def lower_cond(self, expr: cl.Expr, ifso: int, ifnot: int) -> int:
+        if self._expr_is_float(expr):
+            float_reg = self._fresh(True)
+            zero = self._fresh(True)
+            test = self._fresh(False)
+            branch = self._add(rtl.Icond(test, ifso, ifnot))
+            compare = self._add(rtl.Iop(("binop", "cmpf_ne"),
+                                        [float_reg, zero], test, branch))
+            zero_node = self._add(rtl.Iop(("constf", 0.0), [], zero, compare))
+            return self.lower_expr(expr, float_reg, zero_node)
+        reg = self._operand_reg(expr)
+        branch = self._add(rtl.Icond(reg, ifso, ifnot))
+        return self._operand_entry(expr, reg, branch)
+
+    # -- typing of expressions (float vs int class) ----------------------------
+
+    def _expr_is_float(self, expr: cl.Expr) -> bool:
+        if isinstance(expr, cl.EConstFloat):
+            return True
+        if isinstance(expr, cl.ETemp):
+            return expr.name in self.function.float_temps
+        if isinstance(expr, cl.ELoad):
+            return expr.chunk.is_float
+        if isinstance(expr, cl.EUnop):
+            return expr.op in ("negf", "floatofint", "floatofuint")
+        if isinstance(expr, cl.EBinop):
+            return expr.op in ("addf", "subf", "mulf", "divf")
+        return False

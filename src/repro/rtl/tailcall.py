@@ -1,0 +1,117 @@
+"""Tail-call recognition for self-recursive calls.
+
+CompCert's tail-call pass is one of the two optimizations the paper's
+Quantitative CompCert disables (§3.3): it *deletes* call/ret events, so
+plain trace preservation breaks and the full quantitative-refinement
+machinery (weights may only decrease, for every stack metric) is needed.
+This module implements the self-recursive case as the paper's companion
+TR sketches it: a call ``r = f(args)`` inside ``f`` itself whose result is
+immediately returned becomes parameter reassignment plus a jump to the
+entry — the recursion runs in constant stack.
+
+The transformed trace is *pointwise dominated* by the original (strictly
+fewer open calls at every prefix), which the differential tests check
+with :func:`repro.events.refinement.dominates_for_all_metrics` — the
+executable form of ``C(s) <=_Q s`` for an event-deleting pass.
+
+Only exact self tail calls are transformed (``return f(...)`` where the
+returned register is the call's destination, possibly through ``Inop``
+hops).  General tail calls between different functions would need frame
+resizing in the backend; like CompCert we keep the transformation at the
+RTL level where it is a pure graph rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import ast as rtl
+
+
+def _next_free_node(function: rtl.RTLFunction) -> int:
+    return max(function.graph) + 1 if function.graph else 1
+
+
+def _skip_nops(function: rtl.RTLFunction, node: int) -> int:
+    seen = set()
+    while True:
+        instr = function.graph.get(node)
+        if not isinstance(instr, rtl.Inop) or node in seen:
+            return node
+        seen.add(node)
+        node = instr.succ
+
+
+def _is_self_tail_call(function: rtl.RTLFunction,
+                       instr: rtl.Instr) -> bool:
+    """``r = f(args)`` followed (through nops and register moves of ``r``)
+    only by ``return r``."""
+    if not isinstance(instr, rtl.Icall):
+        return False
+    if instr.callee != function.name:
+        return False
+    tracked = instr.dest
+    node = instr.succ
+    for _ in range(64):  # the move chain is tiny; bound the walk
+        node = _skip_nops(function, node)
+        next_instr = function.graph.get(node)
+        if isinstance(next_instr, rtl.Ireturn):
+            return next_instr.arg == tracked
+        if isinstance(next_instr, rtl.Iop) and next_instr.op[0] == "move" \
+                and tracked is not None and next_instr.args == (tracked,):
+            tracked = next_instr.dest
+            node = next_instr.succ
+            continue
+        return False
+    return False
+
+
+def tailcall_function(function: rtl.RTLFunction) -> int:
+    """Rewrite self tail calls in place; returns how many were converted."""
+    if function.stacksize > 0:
+        # Like CompCert, only functions with an empty stack block are
+        # eligible: reusing a frame holding addressable locals would
+        # alias what were distinct per-invocation locals.
+        return 0
+    converted = 0
+    next_node = _next_free_node(function)
+    # Keep the original entry reachable through a stable landing node so
+    # every converted call jumps to the same place.
+    landing: int | None = None
+
+    for node, instr in list(function.graph.items()):
+        if not _is_self_tail_call(function, instr):
+            continue
+        assert isinstance(instr, rtl.Icall)
+        if len(instr.args) != len(function.params):
+            continue  # ill-formed call: leave it to the semantics
+        if landing is None:
+            landing = next_node
+            next_node += 1
+            function.graph[landing] = rtl.Inop(function.entry)
+
+        # Parallel assignment args -> params via fresh intermediates
+        # (an argument may read a parameter that an earlier move would
+        # already have clobbered).
+        temps = []
+        for arg in instr.args:
+            temp = function.fresh_reg(arg in function.float_regs)
+            temps.append(temp)
+        chain_start = landing
+        # Build backwards: temps -> params, then args -> temps.
+        for param, temp in zip(reversed(function.params), reversed(temps)):
+            move = rtl.Iop(("move",), [temp], param, chain_start)
+            function.graph[next_node] = move
+            chain_start = next_node
+            next_node += 1
+        for arg, temp in zip(reversed(instr.args), reversed(temps)):
+            move = rtl.Iop(("move",), [arg], temp, chain_start)
+            function.graph[next_node] = move
+            chain_start = next_node
+            next_node += 1
+        function.graph[node] = rtl.Inop(chain_start)
+        converted += 1
+    return converted
+
+
+def tailcall_program(program: rtl.RTLProgram) -> int:
+    """Apply tail-call recognition to every function."""
+    return sum(tailcall_function(f) for f in program.functions.values())

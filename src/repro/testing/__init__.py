@@ -1,0 +1,12 @@
+"""Test support: random well-typed C program generation.
+
+Used by the property-based tests to exercise the whole pipeline
+differentially — the generated programs are safe by construction (no
+division by zero, masked array indices, bounded loops), so every level's
+behavior must agree and the analyzer's bounds must dominate the observed
+trace weights.
+"""
+
+from repro.testing.progen import ProgramGenerator, generate_program
+
+__all__ = ["ProgramGenerator", "generate_program"]

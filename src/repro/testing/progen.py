@@ -1,0 +1,280 @@
+"""Seeded random generation of safe, well-typed C-subset programs.
+
+Programs are *safe by construction*, so they exercise the non-wrong
+fragment where all the paper's theorems apply:
+
+* every variable is initialized at declaration;
+* array indexing masks into bounds (array sizes are powers of two);
+* divisors are forced non-zero (``(e & 7) + 1``);
+* loops are counted with fixed small bounds, so execution terminates;
+* the call graph is layered (functions only call earlier functions), so
+  the automatic analyzer accepts every generated program.
+
+Observable behavior comes from ``print_int`` calls sprinkled through the
+code and the final checksum return value, making trace comparison across
+compilation levels meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class ProgramGenerator:
+    def __init__(self, seed: int, max_functions: int = 4,
+                 max_stmts: int = 6, max_depth: int = 3,
+                 recursion: bool = False) -> None:
+        self.rng = random.Random(seed)
+        self.max_functions = max_functions
+        self.max_stmts = max_stmts
+        self.max_depth = max_depth
+        self.recursion = recursion
+        self.global_arrays: list[tuple[str, int]] = []
+        self.global_scalars: list[str] = []
+        self.functions: list[tuple[str, int]] = []  # (name, n_params)
+        self._loop_counter = 0
+        self._fvars: list[str] = []      # float locals of the current fn
+        self._float_counter = 0
+
+    # -- float expressions ----------------------------------------------------
+
+    def fexpr(self, variables: list[str], fvariables: list[str],
+              depth: int) -> str:
+        """A double-valued expression.
+
+        Safe by construction: divisions add 1.0 to the (squared, hence
+        non-negative) divisor, and the only int→float direction is the
+        always-defined conversion, so no NaN/∞ can reach an int cast.
+        """
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            choice = rng.random()
+            if choice < 0.4 and fvariables:
+                return rng.choice(fvariables)
+            if choice < 0.6 and variables:
+                return f"(double)({self.expr(variables, 0)})"
+            return f"{rng.uniform(-8.0, 8.0):.4f}"
+        kind = rng.random()
+        left = self.fexpr(variables, fvariables, depth - 1)
+        right = self.fexpr(variables, fvariables, depth - 1)
+        if kind < 0.6:
+            op = rng.choice(["+", "-", "*"])
+            return f"({left} {op} {right})"
+        if kind < 0.8:
+            return f"({left} / (({right}) * ({right}) + 1.0))"
+        return f"(-({left}))"
+
+    def fcompare(self, variables: list[str], fvariables: list[str]) -> str:
+        """An int-valued comparison of two float expressions."""
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        left = self.fexpr(variables, fvariables, 1)
+        right = self.fexpr(variables, fvariables, 1)
+        return f"({left} {op} {right})"
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, variables: list[str], depth: int) -> str:
+        """A safe int-valued expression over the given variables."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            choice = rng.random()
+            if choice < 0.4 and variables:
+                return rng.choice(variables)
+            if choice < 0.6 and self.global_scalars:
+                return rng.choice(self.global_scalars)
+            if choice < 0.8 and self.global_arrays:
+                name, size = rng.choice(self.global_arrays)
+                index = self.expr(variables, 0)
+                return f"{name}[({index}) & {size - 1}]"
+            return str(rng.randint(-100, 100))
+        kind = rng.random()
+        left = self.expr(variables, depth - 1)
+        right = self.expr(variables, depth - 1)
+        if kind < 0.55:
+            op = rng.choice(["+", "-", "*", "^", "&", "|"])
+            return f"({left} {op} {right})"
+        if kind < 0.65:
+            op = rng.choice(["/", "%"])
+            return f"({left} {op} ((({right}) & 7) + 1))"
+        if kind < 0.75:
+            op = rng.choice(["<<", ">>"])
+            return f"(({left} & 1023) {op} (({right}) & 7))"
+        if kind < 0.9:
+            op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+            return f"({left} {op} {right})"
+        if self.functions and kind < 0.94:
+            name, n_params = rng.choice(self.functions)
+            args = [self.expr(variables, depth - 1)
+                    for _ in range(n_params)]
+            if name in getattr(self, "_recursive_names", ()):
+                # bound the recursion depth at every call site
+                args[0] = f"(({args[0]}) & 63)"
+            return f"{name}({', '.join(args)})"
+        if kind < 0.97 and self._fvars:
+            return self.fcompare(variables, self._fvars)
+        return f"(-({left}))"
+
+    # -- statements ---------------------------------------------------------
+
+    def block(self, variables: list[str], depth: int, indent: str,
+              writable: Optional[list[str]] = None) -> str:
+        lines = []
+        for _ in range(self.rng.randint(1, self.max_stmts)):
+            lines.append(self.stmt(variables, depth, indent, writable))
+        return "\n".join(lines)
+
+    def stmt(self, variables: list[str], depth: int, indent: str,
+             writable: Optional[list[str]] = None) -> str:
+        rng = self.rng
+        # Loop counters are readable but never written, so loops always
+        # terminate and the generated programs stay safe by construction.
+        if writable is None:
+            writable = variables
+        kind = rng.random()
+        if kind < 0.35 and writable:
+            target = rng.choice(writable)
+            return f"{indent}{target} = {self.expr(variables, depth)};"
+        if kind < 0.45 and self.global_arrays:
+            name, size = rng.choice(self.global_arrays)
+            index = self.expr(variables, 1)
+            return (f"{indent}{name}[({index}) & {size - 1}] = "
+                    f"{self.expr(variables, depth)};")
+        if kind < 0.55 and self.global_scalars:
+            target = rng.choice(self.global_scalars)
+            return f"{indent}{target} = {self.expr(variables, depth)};"
+        if kind < 0.7 and depth > 0:
+            cond = self.expr(variables, 1)
+            then = self.block(variables, depth - 1, indent + "    ", writable)
+            if rng.random() < 0.5:
+                other = self.block(variables, depth - 1, indent + "    ",
+                                   writable)
+                return (f"{indent}if ({cond}) {{\n{then}\n{indent}}} "
+                        f"else {{\n{other}\n{indent}}}")
+            return f"{indent}if ({cond}) {{\n{then}\n{indent}}}"
+        if kind < 0.82 and depth > 0:
+            self._loop_counter += 1
+            counter = f"it{self._loop_counter}"
+            bound = rng.randint(1, 8)
+            body_vars = variables + [counter]
+            body = self.block(body_vars, depth - 1, indent + "    ", writable)
+            extra = ""
+            if rng.random() < 0.3:
+                extra = f"\n{indent}    if ({counter} == {bound // 2}) continue;"
+            return (f"{indent}for (int {counter} = 0; {counter} < {bound}; "
+                    f"{counter}++) {{{extra}\n{body}\n{indent}}}")
+        if kind < 0.85 and self._fvars:
+            target = rng.choice(self._fvars)
+            value = self.fexpr(variables, self._fvars, depth)
+            return f"{indent}{target} = {value};"
+        if kind < 0.88 and self._fvars:
+            return (f"{indent}print_float("
+                    f"{self.fexpr(variables, self._fvars, 1)});")
+        if kind < 0.9:
+            return f"{indent}print_int({self.expr(variables, 1)});"
+        if writable:
+            target = rng.choice(writable)
+            op = rng.choice(["+=", "-=", "^=", "*="])
+            return f"{indent}{target} {op} {self.expr(variables, depth - 1)};"
+        return f"{indent};"
+
+    # -- declarations -------------------------------------------------------
+
+    def function(self, index: int) -> str:
+        rng = self.rng
+        name = f"fn{index}"
+        n_params = rng.randint(0, 3)
+        params = [f"p{i}" for i in range(n_params)]
+        param_list = ", ".join(f"int {p}" for p in params) or "void"
+        n_locals = rng.randint(1, 3)
+        local_names = [f"v{i}" for i in range(n_locals)]
+        lines = [f"int {name}({param_list}) {{"]
+        variables = list(params)
+        self._fvars = []  # the previous function's doubles are out of scope
+        for local in local_names:
+            lines.append(f"    int {local} = {self.expr(variables, 1)};")
+            variables.append(local)
+        self._fvars = []
+        for _ in range(rng.randint(0, 2)):
+            self._float_counter += 1
+            fname = f"d{self._float_counter}"
+            lines.append(f"    double {fname} = "
+                         f"{self.fexpr(variables, [], 1)};")
+            self._fvars.append(fname)
+        lines.append(self.block(variables, self.max_depth, "    ",
+                                list(variables)))
+        lines.append(f"    return {self.expr(variables, 2)};")
+        lines.append("}")
+        self.functions.append((name, n_params))
+        return "\n".join(lines)
+
+    def recursive_function(self, index: int) -> str:
+        """A structurally recursive function with a decreasing first
+        argument — termination is guaranteed, depth is bounded by the
+        call-site argument, and some of them are tail calls (exercising
+        the tail-call pass when it is enabled)."""
+        rng = self.rng
+        name = f"rec{index}"
+        self._fvars = []
+        acc = self.expr(["n", "acc"], 1)
+        tail = rng.random() < 0.5
+        lines = [f"int {name}(int n, int acc) {{",
+                 f"    if (n <= 0) return acc;"]
+        if tail:
+            lines.append(f"    return {name}(n - 1, acc ^ ({acc}));")
+        else:
+            lines.append(f"    return (acc & 1) + {name}(n - 1, "
+                         f"acc ^ ({acc}));")
+        lines.append("}")
+        self.functions.append((name, 2))
+        # Recursive functions are called with a bounded positive depth.
+        self._recursive_names = getattr(self, "_recursive_names", set())
+        self._recursive_names.add(name)
+        return "\n".join(lines)
+
+    def generate(self) -> str:
+        rng = self.rng
+        parts = ["/* generated by repro.testing.progen */"]
+        n_scalars = rng.randint(1, 3)
+        for i in range(n_scalars):
+            name = f"g{i}"
+            parts.append(f"int {name} = {rng.randint(-50, 50)};")
+            self.global_scalars.append(name)
+        n_arrays = rng.randint(1, 2)
+        for i in range(n_arrays):
+            name = f"arr{i}"
+            size = rng.choice([8, 16, 32])
+            parts.append(f"int {name}[{size}];")
+            self.global_arrays.append((name, size))
+        for i in range(rng.randint(1, self.max_functions)):
+            if self.recursion and rng.random() < 0.4:
+                parts.append(self.recursive_function(i))
+            else:
+                parts.append(self.function(i))
+        # main: initialize arrays, exercise the functions, return checksum.
+        self._fvars = []
+        lines = ["int main() {", "    int acc = 0;",
+                 "    double dm = 0.5;"]
+        self._fvars.append("dm")
+        for name, size in self.global_arrays:
+            self._loop_counter += 1
+            counter = f"it{self._loop_counter}"
+            lines.append(f"    for (int {counter} = 0; {counter} < {size}; "
+                         f"{counter}++) {name}[{counter}] = {counter} * 7;")
+        lines.append(self.block(["acc"], self.max_depth, "    ",
+                                ["acc"]))
+        for name, n_params in self.functions:
+            args = [str(rng.randint(-20, 20)) for _ in range(n_params)]
+            if name in getattr(self, "_recursive_names", ()):
+                args[0] = str(rng.randint(0, 48))
+            lines.append(f"    acc ^= {name}({', '.join(args)});")
+        lines.append("    print_int(acc);")
+        lines.append("    return acc & 0xff;")
+        lines.append("}")
+        parts.append("\n".join(lines))
+        return "\n\n".join(parts)
+
+
+def generate_program(seed: int, **kwargs) -> str:
+    """One safe random program as C source text."""
+    return ProgramGenerator(seed, **kwargs).generate()

@@ -1,0 +1,100 @@
+"""Integration: every packaged benchmark compiles, runs and refines.
+
+This is the executable counterpart of the compiler's per-pass
+quantitative-refinement theorems, checked end to end on the paper's
+benchmark suite: identical call/ret traces from Clight to Mach, identical
+I/O traces on ASMsz, weights bounded by the analyzer's result.
+"""
+
+import pytest
+
+from repro.analyzer import StackAnalyzer
+from repro.clight.semantics import run_program as run_clight
+from repro.driver import compile_c
+from repro.events.refinement import check_quantitative_refinement
+from repro.events.trace import Converges, is_well_bracketed, weight_of_trace
+from repro.mach.semantics import run_program as run_mach
+from repro.measure import measure_compilation
+from repro.programs.catalog import ALL_RUNNABLE, AUTO_ANALYZABLE, TABLE1
+from repro.programs.loader import load_source
+from repro.rtl.semantics import run_program as run_rtl
+
+FUEL = 150_000_000
+
+
+@pytest.fixture(scope="module")
+def compilations():
+    cache = {}
+    for path in ALL_RUNNABLE:
+        cache[path] = compile_c(load_source(path), filename=path)
+    return cache
+
+
+@pytest.mark.parametrize("path", ALL_RUNNABLE)
+def test_converges_on_asm(compilations, path):
+    run = measure_compilation(compilations[path], fuel=FUEL)
+    assert run.converged, run.behavior
+    assert run.measured_bytes > 0
+
+
+@pytest.mark.parametrize("path", ALL_RUNNABLE)
+def test_refinement_chain(compilations, path):
+    compilation = compilations[path]
+    b_clight = run_clight(compilation.clight, fuel=FUEL)
+    assert isinstance(b_clight, Converges), b_clight
+    assert is_well_bracketed(b_clight.trace)
+    b_rtl = run_rtl(compilation.rtl, fuel=FUEL)
+    b_mach = run_mach(compilation.mach, fuel=FUEL)
+    b_asm, _machine = compilation.run(fuel=FUEL)
+    check_quantitative_refinement(b_rtl, b_clight, compilation.metric)
+    check_quantitative_refinement(b_mach, b_rtl, compilation.metric)
+    check_quantitative_refinement(b_asm, b_mach)
+    # Our passes preserve memory events exactly down to Mach.
+    assert b_clight.trace == b_mach.trace
+
+
+@pytest.mark.parametrize("path", AUTO_ANALYZABLE)
+def test_analyzer_bounds_all_functions(compilations, path):
+    compilation = compilations[path]
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    assert set(analysis.functions) == set(compilation.clight.functions)
+    report = analysis.check()
+    assert report.fully_exact
+
+
+@pytest.mark.parametrize("path", AUTO_ANALYZABLE)
+def test_bounds_dominate_observed_weights(compilations, path):
+    compilation = compilations[path]
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    metric = compilation.metric
+    b_mach = run_mach(compilation.mach, fuel=FUEL)
+    observed = weight_of_trace(metric, b_mach.trace)
+    assert observed <= analysis.bound_bytes("main", metric)
+
+
+def test_table1_functions_all_present(compilations):
+    for entry in TABLE1:
+        program = compilations[entry.path].clight
+        for fn in entry.functions:
+            assert fn in program.functions, \
+                f"{entry.path}: missing {fn}"
+
+
+def test_recursive_programs_rejected_by_analyzer(compilations):
+    from repro.errors import AnalysisError
+
+    for path in ALL_RUNNABLE:
+        if not path.startswith("recursive/"):
+            continue
+        with pytest.raises(AnalysisError):
+            StackAnalyzer(compilations[path].clight).analyze()
+
+
+def test_self_checks_pass(compilations):
+    """Every benchmark's own self-check (return code 1) passes, except
+    paper_example whose result depends on the random search outcome."""
+    for path in ALL_RUNNABLE:
+        if path == "paper_example.c":
+            continue
+        run = measure_compilation(compilations[path], fuel=FUEL)
+        assert run.return_code == 1, f"{path}: self-check failed"

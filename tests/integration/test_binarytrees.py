@@ -1,0 +1,92 @@
+"""Integration: binarytrees — stack and heap, verified together.
+
+A Table 2-style manual spec for both recursions plus the heap
+accounting, on one program: the stack side goes through the recurrence
+checker and runtime validation like the Table 2 functions; the heap side
+checks the trace-weight-equals-arena statement across depths.
+"""
+
+import pytest
+
+from repro.clight.semantics import run_program as run_clight
+from repro.driver import compile_c
+from repro.events.heap import heap_usage
+from repro.events.trace import weight_of_trace
+from repro.logic.bexpr import BMul, badd, bconst, bmetric, bparam, evaluate
+from repro.logic.recursion import (CallObligation, RecursiveSpec, SpecTable,
+                                   check_spec)
+from repro.programs.loader import load_source
+
+
+def tree_spec(name):
+    """Both recursions descend one depth level per call, twice (max)."""
+    bound = BMul(bparam("d"), bmetric(name))
+    def obligations(params):
+        if params["d"] <= 0:
+            return []
+        return [CallObligation(name, {"d": params["d"] - 1})]
+    return RecursiveSpec(name, ["d"], bound, obligations,
+                         domain={"d": range(0, 40)})
+
+
+@pytest.fixture(scope="module")
+def compilation():
+    return compile_c(load_source("compcert/binarytrees.c"),
+                     filename="binarytrees.c", macros={"DEPTH": "8"})
+
+
+class TestStackSpecs:
+    def test_build_spec_inductive(self):
+        spec = tree_spec("bottom_up_tree")
+        table = SpecTable()
+        table.add_recursive(spec)
+        report = check_spec(spec, table)
+        assert report.obligation_checks == 39
+
+    def test_check_spec_inductive(self):
+        spec = tree_spec("item_check")
+        table = SpecTable()
+        table.add_recursive(spec)
+        check_spec(spec, table)
+
+    def test_runtime_weight_below_combined_bound(self, compilation):
+        metric = compilation.metric
+        behavior = run_clight(compilation.clight, fuel=100_000_000)
+        observed = weight_of_trace(metric, behavior.trace)
+        build = tree_spec("bottom_up_tree")
+        check = tree_spec("item_check")
+        combined = badd(
+            bmetric("main"),
+            # main calls each recursion once, sequentially: the bound is
+            # the max of the two chains, here written as a sum (sound).
+            badd(bmetric("bottom_up_tree"), build.bound),
+            badd(bmetric("item_check"), check.bound))
+        allowed = evaluate(combined, metric.as_dict(), {"d": 8})
+        assert observed <= allowed
+
+    def test_stack_linear_in_depth(self):
+        source = load_source("compcert/binarytrees.c")
+        usages = []
+        for depth in (4, 8, 12):
+            comp = compile_c(source, macros={"DEPTH": str(depth)})
+            _behavior, machine = comp.run(fuel=200_000_000)
+            usages.append(machine.measured_stack_usage)
+        step1 = usages[1] - usages[0]
+        step2 = usages[2] - usages[1]
+        assert step1 == step2  # exactly linear: one frame per level
+
+
+class TestHeapAccounting:
+    @pytest.mark.parametrize("depth", [0, 1, 5, 9])
+    def test_trace_weight_equals_arena(self, depth):
+        source = load_source("compcert/binarytrees.c")
+        comp = compile_c(source, macros={"DEPTH": str(depth)})
+        behavior = run_clight(comp.clight, fuel=100_000_000)
+        _asm_behavior, machine = comp.run(fuel=200_000_000)
+        assert heap_usage(behavior.trace) == machine.measured_heap_usage
+        # one 12-byte node (aligned to 16) per tree node
+        assert machine.measured_heap_usage == 16 * (2 ** (depth + 1) - 1)
+
+    def test_self_check_passes(self, compilation):
+        behavior, _machine = compilation.run(fuel=200_000_000)
+        assert behavior.return_code == 1

@@ -1,0 +1,50 @@
+"""Integration: the paper's §6 headline accuracy claim.
+
+"All manually and automatically derived bounds over-approximate the
+actual stack-space consumption by exactly 4 bytes."  For the automatic
+bounds this holds whenever the workload drives the worst-case call path,
+which the benchmark mains do by construction.
+"""
+
+import pytest
+
+from repro.analyzer import StackAnalyzer
+from repro.driver import compile_c
+from repro.measure import measure_compilation, minimal_stack
+from repro.programs.catalog import AUTO_ANALYZABLE
+from repro.programs.loader import load_source
+
+FUEL = 150_000_000
+
+
+@pytest.mark.parametrize("path", AUTO_ANALYZABLE)
+def test_gap_is_exactly_four_bytes(path):
+    compilation = compile_c(load_source(path), filename=path)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    bound = analysis.bound_bytes("main", compilation.metric)
+    run = measure_compilation(compilation, fuel=FUEL)
+    assert run.converged
+    assert bound - run.measured_bytes == 4, (
+        f"{path}: bound {bound}, measured {run.measured_bytes}")
+
+
+def test_theorem1_no_overflow_at_bound():
+    """Theorem 1: with sz = verified bound, the program runs on a
+    sz + 4-byte stack without overflow."""
+    path = "certikos/proc.c"
+    compilation = compile_c(load_source(path), filename=path)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    sz = analysis.bound_bytes("main", compilation.metric)
+    behavior, machine = compilation.run(stack_bytes=sz + 4, fuel=FUEL)
+    from repro.events.trace import Converges
+
+    assert isinstance(behavior, Converges)
+    assert machine.measured_stack_usage <= sz
+
+
+def test_minimal_stack_is_bound_minus_four():
+    path = "mibench/bitcount.c"
+    compilation = compile_c(load_source(path), filename=path)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    bound = analysis.bound_bytes("main", compilation.metric)
+    assert minimal_stack(compilation, bound, fuel=FUEL) == bound - 4

@@ -1,0 +1,116 @@
+"""Integration test: the paper's §2 illustrative example (Fig. 1).
+
+Reproduces the derivations sketched in §2: the automatic bound
+``{M(init) + M(random)} init() {M(init) + M(random)}``, the logarithmic
+manual bound for ``search``, and the combined bound for ``main``.
+"""
+
+import pytest
+
+from repro.driver import compile_c
+from repro.clight.semantics import run_program as run_clight
+from repro.events.trace import (CallEvent, Converges, ReturnEvent,
+                                weight_of_trace)
+from repro.logic.bexpr import (BLog2, BMul, badd, bconst, bmax, bmetric,
+                               bparam, evaluate)
+from repro.logic.recursion import CallObligation, RecursiveSpec, SpecTable, \
+    check_spec
+from repro.measure import measure_compilation
+from repro.programs.loader import load_source
+
+ALEN = 512
+
+
+@pytest.fixture(scope="module")
+def compilation():
+    source = load_source("paper_example.c")
+    return compile_c(source, macros={"ALEN": str(ALEN), "SEED": "17"})
+
+
+@pytest.fixture(scope="module")
+def behavior(compilation):
+    return run_clight(compilation.clight)
+
+
+class TestTraceShape:
+    def test_trace_structure_matches_paper(self, behavior):
+        """call(main) call(init) [call(random) ret(random)]* ret(init) ..."""
+        trace = behavior.trace
+        assert trace[0] == CallEvent("main")
+        assert trace[1] == CallEvent("init")
+        assert trace[2] == CallEvent("random")
+        assert trace[-1] == ReturnEvent("main")
+        search_calls = sum(1 for e in trace if e == CallEvent("search"))
+        assert 1 <= search_calls <= 2 + 9  # 2 + log2(512)
+
+    def test_converges(self, behavior):
+        assert isinstance(behavior, Converges)
+
+
+class TestAutomaticPart:
+    def test_init_bound_is_m_init_plus_m_random(self, compilation):
+        from repro.analyzer import auto_bound
+        from repro.logic.assertions import FunContext, FunSpec
+        from repro.logic.bexpr import ZERO, bound_equal
+
+        gamma = FunContext()
+        gamma.add(FunSpec.constant("random", ZERO))
+        init = compilation.clight.function("init")
+        bound, derivation = auto_bound(init.body, gamma,
+                                       set(compilation.clight.externals))
+        total = badd(bmetric("init"), bound)
+        expected = badd(bmetric("init"), bmetric("random"))
+        assert bound_equal(total, expected).holds
+
+
+class TestManualPart:
+    def search_spec(self):
+        bound = BMul(badd(bconst(1), BLog2(bparam("n"))), bmetric("search"))
+        def obligations(p):
+            n = p["n"]
+            if n <= 1:
+                return []
+            return [CallObligation("search", {"n": n - n // 2})]
+        return RecursiveSpec("search", ["n"], bound, obligations,
+                             domain={"n": range(0, 2 * ALEN)})
+
+    def test_search_spec_inductive(self):
+        spec = self.search_spec()
+        table = SpecTable()
+        table.add_recursive(spec)
+        check_spec(spec, table)
+
+    def test_combined_main_bound_sound(self, compilation, behavior):
+        """W(trace) <= M(main) + max(M(init)+M(random), L(ALEN))."""
+        metric = compilation.metric
+        spec = self.search_spec()
+        search_total = badd(bmetric("search"), spec.bound)
+        main_bound = badd(
+            bmetric("main"),
+            bmax(badd(bmetric("init"), bmetric("random")),
+                 badd(search_total, bconst(0))))
+        allowed = evaluate(main_bound, metric.as_dict(), {"n": ALEN})
+        observed = weight_of_trace(metric, behavior.trace)
+        assert observed <= allowed
+
+    def test_end_to_end_measurement(self, compilation):
+        metric = compilation.metric
+        spec = self.search_spec()
+        search_total = badd(bmetric("search"), spec.bound)
+        main_bound = badd(
+            bmetric("main"),
+            bmax(badd(bmetric("init"), bmetric("random")), search_total))
+        allowed = evaluate(main_bound, metric.as_dict(), {"n": ALEN})
+        run = measure_compilation(compilation)
+        assert run.converged
+        assert run.measured_bytes <= allowed - 4
+
+    def test_paper_style_concrete_bounds(self, compilation):
+        """The §2 punchline: concrete byte bounds from the metric."""
+        metric = compilation.metric
+        init_bytes = metric.cost("init") + metric.cost("random")
+        assert init_bytes > 0
+        # main: M(main) + max(M(init)+M(random), M(search)*(2+log2 ALEN))
+        search_bytes = metric.cost("search") * (2 + 9)
+        main_bytes = metric.cost("main") + max(init_bytes, search_bytes)
+        assert main_bytes > init_bytes

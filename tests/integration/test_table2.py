@@ -1,0 +1,126 @@
+"""Integration: the manually verified bounds of Table 2.
+
+Three layers of validation per recursive function, mirroring how the
+paper establishes and then measures the hand-written proofs:
+
+1. the spec's induction step checks over its whole verification domain
+   (exact in the metric for every instance);
+2. the bound dominates the observed trace weight of real executions of
+   the *compiled program's Clight form*, across a sweep of inputs, under
+   the compiler-produced metric;
+3. the end-to-end ASMsz measurement stays below the instantiated bound,
+   with the paper's exactly-4-byte gap on the tight linear specs.
+"""
+
+import pytest
+
+from repro.driver import compile_c
+from repro.logic.recursion import check_spec
+from repro.logic.soundness import validate_call_bound
+from repro.measure import measure_compilation
+from repro.programs.loader import load_source
+from repro.programs.table2 import TABLE2_PROGRAMS, build_spec_table
+
+FUEL = 120_000_000
+
+# function -> (macro name/value for compilation, list of (args, params))
+SWEEPS = {
+    "recid": ("N", 12, [([n], {"n": n}) for n in (0, 1, 5, 12)]),
+    "bsearch": ("N", 256, [([7, 0, n], {"n": n})
+                           for n in (1, 2, 3, 100, 256)]),
+    "fib": ("N", 12, [([n], {"n": n}) for n in (0, 1, 2, 8, 12)]),
+    "qsort": ("N", 64, [([0, n], {"n": n}) for n in (0, 2, 16, 64)]),
+    "sum": ("N", 100, [([0, n], {"n": n}) for n in (0, 1, 50, 100)]),
+    "filter_pos": ("N", 80, [([80, 0, n], {"n": n})
+                             for n in (0, 1, 40, 80)]),
+    "fact_sq": ("N", 7, [([n], {"n": n}) for n in (0, 1, 3, 7)]),
+    "filter_find": ("N", 40, [([40, 0, n], {"n": n, "bl": 256})
+                              for n in (0, 1, 20, 40)]),
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_spec_table()
+
+
+@pytest.fixture(scope="module")
+def compilations():
+    cache = {}
+    for name, path in TABLE2_PROGRAMS.items():
+        macro, value, _sweep = SWEEPS[name]
+        cache[name] = compile_c(load_source(path), filename=path,
+                                macros={macro: str(value)})
+    return cache
+
+
+@pytest.mark.parametrize("function", sorted(TABLE2_PROGRAMS))
+def test_induction_step(table, function):
+    report = check_spec(table.recursive[function], table)
+    assert report.instances > 0
+
+
+@pytest.mark.parametrize("function", sorted(TABLE2_PROGRAMS))
+def test_runtime_soundness_sweep(table, compilations, function):
+    spec = table.recursive[function]
+    compilation = compilations[function]
+    _macro, _value, sweep = SWEEPS[function]
+    for args, params in sweep:
+        validate_call_bound(compilation.clight, function, args,
+                            spec.total_bound(), compilation.metric,
+                            params=params, fuel=FUEL)
+
+
+@pytest.mark.parametrize("function", sorted(TABLE2_PROGRAMS))
+def test_end_to_end_measurement_below_bound(table, compilations, function):
+    spec = table.recursive[function]
+    compilation = compilations[function]
+    _macro, value, _sweep = SWEEPS[function]
+    run = measure_compilation(compilation, fuel=FUEL)
+    assert run.converged
+    params = {"n": value}
+    if function == "filter_find":
+        params["bl"] = 256
+    metric = compilation.metric
+    callee_bound = spec.total_bytes(metric, params)
+    main_bound = metric.cost("main") + callee_bound
+    assert run.measured_bytes <= main_bound - 4
+
+
+@pytest.mark.parametrize("function", ["recid", "sum", "filter_pos"])
+def test_tight_linear_specs_gap_is_exactly_four(table, compilations,
+                                                function):
+    """The linear recursions are driven to their worst case by main, so
+    the paper's exactly-4-bytes observation holds on the nose."""
+    spec = table.recursive[function]
+    compilation = compilations[function]
+    _macro, value, _sweep = SWEEPS[function]
+    run = measure_compilation(compilation, fuel=FUEL)
+    metric = compilation.metric
+    main_bound = metric.cost("main") + spec.total_bytes(metric, {"n": value})
+    assert main_bound - run.measured_bytes == 4
+
+
+def test_fib_two_calls_never_coexist(compilations):
+    """fib's stack is linear even though its time is exponential."""
+    compilation = compilations["fib"]
+    _behavior, machine = compilation.run(fuel=FUEL)
+    frame = compilation.metric.cost("fib")
+    # measured = main frame + at most N nested fib frames
+    assert machine.measured_stack_usage <= \
+        compilation.metric.cost("main") + frame * 13
+
+
+def test_modularity_fact_sq(table):
+    """fact_sq's spec is closed using fact's spec — the logic's
+    modularity claim (paper §6)."""
+    spec = table.recursive["fact_sq"]
+    obligations = spec.obligations({"n": 5})
+    assert [o.callee for o in obligations] == ["fact"]
+    assert obligations[0].args == {"n": 25}
+
+
+def test_filter_find_reuses_bsearch(table):
+    spec = table.recursive["filter_find"]
+    callees = {o.callee for o in spec.obligations({"n": 3, "bl": 16})}
+    assert callees == {"bsearch", "filter_find"}

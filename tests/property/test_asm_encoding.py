@@ -1,0 +1,68 @@
+"""Property tests: the binary ASMsz image round-trips exactly.
+
+``decode(encode(P))`` must reproduce the program instruction-for-
+instruction (checked by the pretty-printed listing) *and* behavior-for-
+behavior (the decoded program runs identically on the machine) — the
+bit-level "what you verify is what you run" check.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm.encode import MAGIC, decode_program, encode_program
+from repro.asm.machine import run_program
+from repro.driver import compile_c
+from repro.programs.catalog import ALL_RUNNABLE
+from repro.programs.loader import load_source
+from repro.testing import generate_program
+
+SETTINGS = settings(max_examples=10, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def roundtrip(compilation):
+    image = encode_program(compilation.asm)
+    assert image[:4] == MAGIC
+    decoded = decode_program(image)
+    assert decoded.pretty() == compilation.asm.pretty()
+    return decoded
+
+
+@SETTINGS
+@given(st.integers(0, 10_000))
+def test_random_program_roundtrip(seed):
+    compilation = compile_c(generate_program(seed, max_functions=2,
+                                             max_depth=2))
+    decoded = roundtrip(compilation)
+    original, _m1 = run_program(compilation.asm, fuel=100_000_000)
+    reloaded, _m2 = run_program(decoded, fuel=100_000_000)
+    assert original == reloaded
+
+
+@pytest.mark.parametrize("path", ["mibench/bitcount.c", "certikos/proc.c",
+                                  "compcert/nbody.c", "recursive/fib.c"])
+def test_benchmark_roundtrip(path):
+    compilation = compile_c(load_source(path), filename=path)
+    decoded = roundtrip(compilation)
+    original, m1 = run_program(compilation.asm, fuel=150_000_000)
+    reloaded, m2 = run_program(decoded, fuel=150_000_000)
+    assert original == reloaded
+    assert m1.measured_stack_usage == m2.measured_stack_usage
+
+
+def test_image_is_compact():
+    compilation = compile_c(load_source("mibench/md5.c"))
+    image = encode_program(compilation.asm)
+    instructions = sum(len(f.body) for f in compilation.asm.functions.values())
+    # A fixed-width encoding: a handful of bytes per instruction plus the
+    # global images.
+    global_bytes = sum(g.size for g in compilation.asm.globals)
+    assert len(image) < 16 * instructions + global_bytes + 4096
+
+
+def test_bad_magic_rejected():
+    from repro.asm.encode import EncodingError
+
+    with pytest.raises(EncodingError):
+        decode_program(b"NOPE" + b"\x00" * 64)

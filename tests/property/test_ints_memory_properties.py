@@ -1,0 +1,129 @@
+"""Property-based tests for machine integers and the memory model."""
+
+import struct
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro import ints
+from repro.memory import Chunk, Memory, VFloat, VInt
+
+u32 = st.integers(0, ints.MAX_UNSIGNED)
+s32 = st.integers(ints.MIN_SIGNED, ints.MAX_SIGNED)
+anyint = st.integers(-(1 << 40), 1 << 40)
+
+
+class TestIntLaws:
+    @given(anyint)
+    def test_wrap_idempotent(self, x):
+        assert ints.wrap(ints.wrap(x)) == ints.wrap(x)
+
+    @given(s32)
+    def test_signed_roundtrip(self, x):
+        assert ints.to_signed(ints.to_unsigned(x)) == x
+
+    @given(u32)
+    def test_unsigned_roundtrip(self, x):
+        assert ints.to_unsigned(ints.to_signed(x)) == x
+
+    @given(u32, u32)
+    def test_add_commutes(self, a, b):
+        assert ints.add(a, b) == ints.add(b, a)
+
+    @given(u32, u32, u32)
+    def test_add_associates(self, a, b, c):
+        assert ints.add(ints.add(a, b), c) == ints.add(a, ints.add(b, c))
+
+    @given(u32)
+    def test_add_neg_is_zero(self, a):
+        assert ints.add(a, ints.neg(a)) == 0
+
+    @given(u32, u32)
+    def test_sub_add_inverse(self, a, b):
+        assert ints.add(ints.sub(a, b), b) == a
+
+    @given(s32, s32)
+    def test_signed_division_euclid(self, a, b):
+        assume(b != 0)
+        assume(not (a == ints.MIN_SIGNED and b == -1))
+        ua, ub = ints.to_unsigned(a), ints.to_unsigned(b)
+        q = ints.to_signed(ints.div_s(ua, ub))
+        r = ints.to_signed(ints.mod_s(ua, ub))
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+        assert r == 0 or (r < 0) == (a < 0)
+
+    @given(u32, u32)
+    def test_unsigned_division_euclid(self, a, b):
+        assume(b != 0)
+        assert ints.div_u(a, b) * b + ints.mod_u(a, b) == a
+
+    @given(u32, st.integers(0, 31))
+    def test_shift_roundtrip_via_mask(self, a, k):
+        masked = ints.and_(a, ints.shr_u(ints.MAX_UNSIGNED, k))
+        assert ints.shr_u(ints.shl(masked, k), k) == masked
+
+    @given(u32, u32)
+    def test_comparison_trichotomy_unsigned(self, a, b):
+        assert ints.lt_u(a, b) + ints.eq(a, b) + ints.gt_u(a, b) == 1
+
+    @given(s32)
+    def test_float_roundtrip(self, x):
+        assert ints.to_signed(ints.of_float_signed(float(x))) == x
+
+    @given(u32)
+    def test_narrow_chains(self, x):
+        assert ints.wrap8(ints.sign_extend8(x)) == ints.wrap8(x)
+        assert ints.wrap16(ints.sign_extend16(x)) == ints.wrap16(x)
+
+
+CHUNK_VALUES = {
+    Chunk.INT8_SIGNED: st.integers(-128, 127),
+    Chunk.INT8_UNSIGNED: st.integers(0, 255),
+    Chunk.INT16_SIGNED: st.integers(-32768, 32767),
+    Chunk.INT16_UNSIGNED: st.integers(0, 65535),
+    Chunk.INT32: s32,
+}
+
+
+class TestMemoryLaws:
+    @given(st.sampled_from(list(CHUNK_VALUES)), st.data())
+    def test_store_load_roundtrip(self, chunk, data):
+        value = data.draw(CHUNK_VALUES[chunk])
+        memory = Memory()
+        ptr = memory.alloc(16)
+        offset = data.draw(st.integers(0, 2)) * chunk.alignment
+        memory.store(chunk, ptr.add(offset), VInt(value))
+        assert memory.load(chunk, ptr.add(offset)) == VInt(value)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_float_roundtrip_bitexact(self, x):
+        memory = Memory()
+        ptr = memory.alloc(8)
+        memory.store(Chunk.FLOAT64, ptr, VFloat(x))
+        loaded = memory.load(Chunk.FLOAT64, ptr)
+        assert struct.pack("<d", loaded.value) == struct.pack("<d", x)
+
+    @given(s32, s32)
+    def test_disjoint_stores_do_not_interfere(self, a, b):
+        memory = Memory()
+        ptr = memory.alloc(8)
+        memory.store(Chunk.INT32, ptr, VInt(a))
+        memory.store(Chunk.INT32, ptr.add(4), VInt(b))
+        assert memory.load(Chunk.INT32, ptr) == VInt(a)
+        assert memory.load(Chunk.INT32, ptr.add(4)) == VInt(b)
+
+    @given(s32)
+    def test_chunk_encoding_matches_flat_machine(self, value):
+        """The block memory and the ASM flat memory share encodings."""
+        raw = Chunk.INT32.encode_int(ints.to_unsigned(value))
+        assert Chunk.INT32.decode_int(raw) == ints.to_unsigned(value)
+
+    @given(st.sampled_from(list(CHUNK_VALUES)), st.data())
+    def test_normalize_matches_store_load(self, chunk, data):
+        value = ints.to_unsigned(data.draw(s32))
+        memory = Memory()
+        ptr = memory.alloc(8)
+        memory.store(chunk, ptr, chunk.normalize(VInt(value)))
+        expected = chunk.normalize(VInt(value))
+        assert memory.load(chunk, ptr) == expected

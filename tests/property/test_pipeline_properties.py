@@ -1,0 +1,120 @@
+"""The flagship property test: randomized end-to-end verification.
+
+For seeded random safe programs (repro.testing.progen), every statement
+of the paper's metatheory is checked on real executions:
+
+* the Clight run converges (programs are safe by construction);
+* each compilation level is a quantitative refinement of the previous
+  one under the compiler's metric (and the memory-event traces agree
+  exactly down to Mach);
+* the automatic analyzer's derivations re-check exactly, and its bound
+  dominates the observed Mach trace weight (Theorem 2);
+* the ASMsz measurement stays at least 4 bytes below the verified bound
+  and the program runs without overflow on a bound-sized stack
+  (Theorem 1).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analyzer import StackAnalyzer
+from repro.clight.semantics import run_program as run_clight
+from repro.driver import CompilerOptions, compile_c
+from repro.events.refinement import check_quantitative_refinement
+from repro.events.trace import Converges, is_well_bracketed, weight_of_trace
+from repro.mach.semantics import run_program as run_mach
+from repro.rtl.semantics import run_program as run_rtl
+from repro.testing import generate_program
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@SETTINGS
+@given(st.integers(0, 10_000))
+def test_pipeline_differential(seed):
+    source = generate_program(seed)
+    compilation = compile_c(source, filename=f"gen{seed}.c")
+    b_clight = run_clight(compilation.clight, fuel=3_000_000)
+    assert isinstance(b_clight, Converges), \
+        f"seed {seed}: {b_clight!r}"
+    assert is_well_bracketed(b_clight.trace)
+    b_rtl = run_rtl(compilation.rtl, fuel=6_000_000)
+    b_mach = run_mach(compilation.mach, fuel=30_000_000)
+    b_asm, machine = compilation.run(fuel=100_000_000)
+    check_quantitative_refinement(b_rtl, b_clight, compilation.metric)
+    check_quantitative_refinement(b_mach, b_rtl, compilation.metric)
+    check_quantitative_refinement(b_asm, b_mach)
+    assert b_clight.trace == b_mach.trace
+
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    assert analysis.check().fully_exact
+    bound = analysis.bound_bytes("main", compilation.metric)
+    assert weight_of_trace(compilation.metric, b_mach.trace) <= bound
+    assert machine.measured_stack_usage <= bound - 4
+
+
+@SETTINGS
+@given(st.integers(0, 10_000))
+def test_theorem1_randomized(seed):
+    """Running on a stack of exactly the verified bound never overflows."""
+    source = generate_program(seed, max_functions=3, max_depth=2)
+    compilation = compile_c(source)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    sz = analysis.bound_bytes("main", compilation.metric)
+    behavior, machine = compilation.run(stack_bytes=sz + 4, fuel=100_000_000)
+    assert isinstance(behavior, Converges), behavior
+    assert machine.measured_stack_usage <= sz
+
+
+@SETTINGS
+@given(st.integers(0, 10_000))
+def test_optimizations_preserve_bounds_soundness(seed):
+    """With every optimization toggled off the bound is still sound (it
+    may differ — frames change — but each configuration's own metric must
+    dominate its own execution)."""
+    source = generate_program(seed, max_functions=2, max_depth=2)
+    for options in (CompilerOptions(constprop=False, deadcode=False),
+                    CompilerOptions(spill_everything=True)):
+        compilation = compile_c(source, options=options)
+        analysis = StackAnalyzer(compilation.clight).analyze()
+        bound = analysis.bound_bytes("main", compilation.metric)
+        behavior, machine = compilation.run(fuel=100_000_000)
+        assert isinstance(behavior, Converges)
+        assert machine.measured_stack_usage <= bound - 4
+
+
+@SETTINGS
+@given(st.integers(0, 10_000))
+def test_recursive_programs_differential(seed):
+    """Recursion-enabled fuzzing: depth-bounded self-recursive functions
+    (some tail-recursive) through both the default pipeline and the
+    tail-call + CSE configuration.  The analyzer rightly rejects these;
+    the compiler must still refine."""
+    from repro.errors import AnalysisError
+
+    source = generate_program(seed, recursion=True)
+    for options in (CompilerOptions(),
+                    CompilerOptions(tailcall=True, cse=True)):
+        compilation = compile_c(source, options=options)
+        b_clight = run_clight(compilation.clight, fuel=5_000_000)
+        assert isinstance(b_clight, Converges), b_clight
+        b_asm, _machine = compilation.run(fuel=150_000_000)
+        check_quantitative_refinement(b_asm, b_clight)
+    if "rec" in source:
+        with pytest.raises(AnalysisError):
+            StackAnalyzer(compilation.clight).analyze()
+
+
+@SETTINGS
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_determinism(seed, _unused):
+    """Compilation and execution are deterministic functions of source."""
+    source = generate_program(seed, max_functions=2, max_depth=2)
+    first = compile_c(source)
+    second = compile_c(source)
+    assert first.frame_sizes == second.frame_sizes
+    b1, _m1 = first.run(fuel=100_000_000)
+    b2, _m2 = second.run(fuel=100_000_000)
+    assert b1 == b2

@@ -1,0 +1,55 @@
+"""Round-trip property: parse → pretty-print → parse is behaviorally
+the identity.
+
+The printed source is re-parsed, re-compiled through the whole pipeline,
+and must produce the *same ASMsz behavior* (trace and return code) as the
+original — a strong joint test of parser, printer and determinism.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.c.parser import parse
+from repro.c.pretty import pretty_program
+from repro.driver import compile_c
+from repro.programs.catalog import ALL_RUNNABLE
+from repro.programs.loader import load_source
+from repro.testing import generate_program
+
+import pytest
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def roundtrip_equal(source, fuel=100_000_000):
+    printed = pretty_program(parse(source))
+    original = compile_c(source)
+    reparsed = compile_c(printed)
+    b1, _m1 = original.run(fuel=fuel)
+    b2, _m2 = reparsed.run(fuel=fuel)
+    assert b1 == b2, f"behaviors differ after round trip:\n{printed[:800]}"
+    return printed
+
+
+@SETTINGS
+@given(st.integers(0, 10_000))
+def test_random_programs_roundtrip(seed):
+    roundtrip_equal(generate_program(seed, max_functions=3, max_depth=2))
+
+
+@pytest.mark.parametrize("path", [p for p in ALL_RUNNABLE
+                                  if p != "paper_example.c"])
+def test_benchmarks_roundtrip(path):
+    # paper_example.c is excluded only because of its #ifndef defaults;
+    # everything else must survive printing verbatim.
+    roundtrip_equal(load_source(path))
+
+
+def test_printer_is_stable():
+    """pretty(parse(pretty(parse(s)))) == pretty(parse(s)) — printing is
+    a normal form."""
+    source = load_source("mibench/bitcount.c")
+    once = pretty_program(parse(source))
+    twice = pretty_program(parse(once))
+    assert once == twice

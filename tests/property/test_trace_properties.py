@@ -1,0 +1,136 @@
+"""Property-based tests on traces, weights and refinement (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import StackMetric, prune
+from repro.events.refinement import dominates_for_all_metrics
+from repro.events.trace import (CallEvent, IOEvent, ReturnEvent,
+                                is_well_bracketed, open_calls, prefixes,
+                                valuation, weight_of_trace)
+
+FUNCTIONS = ("f", "g", "h")
+
+
+@st.composite
+def events(draw):
+    kind = draw(st.integers(0, 2))
+    name = draw(st.sampled_from(FUNCTIONS))
+    if kind == 0:
+        return CallEvent(name)
+    if kind == 1:
+        return ReturnEvent(name)
+    return IOEvent("print_int", [draw(st.integers(-100, 100))], 0)
+
+
+@st.composite
+def traces(draw):
+    return tuple(draw(st.lists(events(), max_size=30)))
+
+
+@st.composite
+def bracketed_traces(draw):
+    """Well-bracketed traces built structurally."""
+    def gen(depth):
+        out = []
+        for _ in range(draw(st.integers(0, 3))):
+            choice = draw(st.integers(0, 1 if depth < 3 else 0))
+            if choice == 1:
+                name = draw(st.sampled_from(FUNCTIONS))
+                out.append(CallEvent(name))
+                out.extend(gen(depth + 1))
+                out.append(ReturnEvent(name))
+            else:
+                out.append(IOEvent("io", [draw(st.integers(0, 9))], 0))
+        return out
+
+    return tuple(gen(0))
+
+
+@st.composite
+def metrics(draw):
+    return StackMetric({name: draw(st.integers(0, 64))
+                        for name in FUNCTIONS})
+
+
+class TestValuationAlgebra:
+    @given(traces(), traces(), metrics())
+    def test_valuation_additive(self, t1, t2, metric):
+        assert valuation(metric, t1 + t2) == \
+            valuation(metric, t1) + valuation(metric, t2)
+
+    @given(traces(), metrics())
+    def test_weight_is_sup_of_prefix_valuations(self, trace, metric):
+        expected = max(valuation(metric, p) for p in prefixes(trace))
+        expected = max(expected, 0)
+        assert weight_of_trace(metric, trace) == expected
+
+    @given(traces(), metrics())
+    def test_weight_nonnegative(self, trace, metric):
+        assert weight_of_trace(metric, trace) >= 0
+
+    @given(traces(), traces(), metrics())
+    def test_weight_of_prefix_bounded(self, t1, t2, metric):
+        assert weight_of_trace(metric, t1) <= weight_of_trace(metric, t1 + t2)
+
+    @given(traces())
+    def test_zero_metric_collapses_weight(self, trace):
+        assert weight_of_trace(StackMetric.zero(), trace) == 0
+
+    @given(bracketed_traces(), metrics())
+    def test_bracketed_trace_valuation_zero(self, trace, metric):
+        assert is_well_bracketed(trace)
+        assert valuation(metric, trace) == 0
+
+
+class TestPrune:
+    @given(traces())
+    def test_prune_idempotent(self, trace):
+        assert prune(prune(trace)) == prune(trace)
+
+    @given(traces())
+    def test_prune_keeps_only_io(self, trace):
+        assert all(isinstance(e, IOEvent) for e in prune(trace))
+
+    @given(traces(), traces())
+    def test_prune_homomorphic(self, t1, t2):
+        assert prune(t1 + t2) == prune(t1) + prune(t2)
+
+    @given(traces(), metrics())
+    def test_pruned_weight_zero(self, trace, metric):
+        assert weight_of_trace(metric, prune(trace)) == 0
+
+
+class TestOpenCalls:
+    @given(traces(), metrics())
+    def test_valuation_decomposes_over_open_calls(self, trace, metric):
+        counts = open_calls(trace)
+        expected = sum(metric.cost(fn) * count
+                       for fn, count in counts.items())
+        assert valuation(metric, trace) == expected
+
+    @given(bracketed_traces())
+    def test_bracketed_has_no_open_calls(self, trace):
+        assert all(v == 0 for v in open_calls(trace).values())
+
+
+class TestDomination:
+    @given(traces())
+    def test_reflexive(self, trace):
+        assert dominates_for_all_metrics(trace, trace)
+
+    @given(traces())
+    def test_empty_always_dominated(self, trace):
+        assert dominates_for_all_metrics((), trace)
+
+    @settings(max_examples=50)
+    @given(traces(), traces(), metrics())
+    def test_domination_implies_weight_inequality(self, target, source,
+                                                  metric):
+        if dominates_for_all_metrics(target, source):
+            assert weight_of_trace(metric, target) <= \
+                weight_of_trace(metric, source)
+
+    @given(traces(), traces())
+    def test_prefix_always_dominated(self, t1, t2):
+        assert dominates_for_all_metrics(t1, t1 + t2)

@@ -1,0 +1,160 @@
+"""Unit tests for the automatic stack analyzer and the call graph."""
+
+import pytest
+
+from repro.analyzer import StackAnalyzer, build_call_graph
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.clight.from_c import clight_of_program
+from repro.errors import AnalysisError
+from repro.events.metrics import StackMetric
+from repro.logic.bexpr import evaluate
+
+
+def lower(source):
+    program = parse(source)
+    env = typecheck(program)
+    return clight_of_program(program, env)
+
+
+def analyze(source):
+    return StackAnalyzer(lower(source)).analyze()
+
+
+class TestCallGraph:
+    def test_simple_edges(self):
+        program = lower("int f() { return 0; } "
+                        "int g() { return f(); } "
+                        "int main() { return g(); }")
+        graph = build_call_graph(program)
+        assert graph.callees("main") == {"g"}
+        assert graph.callees("g") == {"f"}
+        assert graph.callees("f") == set()
+
+    def test_external_calls_separated(self):
+        program = lower("int main() { print_int(1); return 0; }")
+        graph = build_call_graph(program)
+        assert graph.callees("main") == set()
+        assert graph.external_calls["main"] == {"print_int"}
+
+    def test_topological_order(self):
+        program = lower("int f() { return 0; } "
+                        "int g() { return f(); } "
+                        "int main() { return g() + f(); }")
+        order = build_call_graph(program).topological_order()
+        assert order.index("f") < order.index("g") < order.index("main")
+
+    def test_self_recursion_detected(self):
+        program = lower("int f(int n) { return f(n); } "
+                        "int main() { return 0; }")
+        graph = build_call_graph(program)
+        assert graph.recursive_components() == [["f"]]
+        with pytest.raises(AnalysisError):
+            graph.topological_order()
+
+    def test_mutual_recursion_detected(self):
+        program = lower(
+            "int b(int n); int a(int n) { return b(n); } "
+            "int b(int n) { return a(n); } int main() { return 0; }")
+        graph = build_call_graph(program)
+        assert graph.recursive_components() == [["a", "b"]]
+
+    def test_calls_in_all_constructs_found(self):
+        program = lower(
+            "int f() { return 1; } "
+            "int main() { int s = 0; "
+            "if (f()) s++; while (f() < 0) s += f(); "
+            "switch (f()) { case 1: s = f(); } return s; }")
+        graph = build_call_graph(program)
+        assert graph.callees("main") == {"f"}
+
+
+class TestAutoBounds:
+    def test_leaf_function_bound_is_metric(self):
+        result = analyze("int f() { return 1; } int main() { return f(); }")
+        assert repr(result.bound_expr("f")) == "M(f)"
+
+    def test_call_chain_sums(self):
+        result = analyze(
+            "int f() { return 1; } int g() { return f(); } "
+            "int main() { return g(); }")
+        metric = StackMetric({"f": 8, "g": 16, "main": 24})
+        assert result.bound_bytes("f", metric) == 8
+        assert result.bound_bytes("g", metric) == 24
+        assert result.bound_bytes("main", metric) == 48
+
+    def test_branches_take_max(self):
+        result = analyze(
+            "int f() { return 1; } int g() { return 2; } "
+            "int main() { if (1) return f(); else return g(); }")
+        metric = StackMetric({"f": 100, "g": 8, "main": 4})
+        assert result.bound_bytes("main", metric) == 104
+
+    def test_sequential_calls_take_max_not_sum(self):
+        result = analyze(
+            "int f() { return 1; } int g() { return 2; } "
+            "int main() { f(); g(); return 0; }")
+        metric = StackMetric({"f": 40, "g": 24, "main": 8})
+        assert result.bound_bytes("main", metric) == 48
+
+    def test_nested_call_stacks_add(self):
+        result = analyze(
+            "int f() { return 1; } int g() { return f(); } "
+            "int h() { return g(); } int main() { return h(); }")
+        metric = StackMetric.uniform(["f", "g", "h", "main"], 16)
+        assert result.bound_bytes("main", metric) == 64
+
+    def test_loops_do_not_multiply(self):
+        result = analyze(
+            "int f() { return 1; } "
+            "int main() { for (int i = 0; i < 1000; i++) f(); return 0; }")
+        metric = StackMetric({"f": 8, "main": 16})
+        assert result.bound_bytes("main", metric) == 24
+
+    def test_externals_cost_zero(self):
+        result = analyze("int main() { print_int(1); return 0; }")
+        metric = StackMetric({"main": 12})
+        assert result.bound_bytes("main", metric) == 12
+
+    def test_recursion_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze("int f(int n) { if (n) return f(n - 1); return 0; } "
+                    "int main() { return f(3); }")
+
+    def test_switch_bound(self):
+        result = analyze(
+            "int f() { return 1; } int g() { return 2; } "
+            "int main() { switch (1) { case 1: return f(); "
+            "case 2: return g(); } return 0; }")
+        metric = StackMetric({"f": 32, "g": 16, "main": 8})
+        assert result.bound_bytes("main", metric) == 40
+
+    def test_analysis_records_time(self):
+        result = analyze("int main() { return 0; }")
+        assert result.elapsed_seconds >= 0
+
+
+class TestEmittedDerivations:
+    def test_derivations_check_exactly(self):
+        result = analyze(
+            "int f() { return 1; } int g() { return f(); } "
+            "int main() { for (int i = 0; i < 3; i++) g(); "
+            "if (1) f(); return 0; }")
+        report = result.check()
+        assert report.fully_exact
+        assert report.nodes > 10
+
+    def test_tampered_spec_rejected(self):
+        from repro.errors import DerivationError
+        from repro.logic.assertions import FunSpec
+        from repro.logic.bexpr import ZERO
+
+        result = analyze("int f() { return 1; } int main() { return f(); }")
+        # Sabotage Γ: claim main's body needs no stack.
+        result.gamma.add(FunSpec.constant("main", ZERO))
+        with pytest.raises(DerivationError):
+            result.check()
+
+    def test_derivation_sizes_reported(self):
+        result = analyze("int main() { return 0; }")
+        assert result.functions["main"].derivation.size() >= 1

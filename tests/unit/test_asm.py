@@ -1,0 +1,210 @@
+"""Unit tests for ASMsz generation and the finite-stack machine."""
+
+import pytest
+
+from repro.asm import ast as asm
+from repro.asm.machine import AsmMachine, GLOBAL_BASE, run_program
+from repro.driver import compile_c
+from repro.errors import StackOverflowError_
+from repro.events.trace import Converges, GoesWrong, IOEvent
+from repro.memory.chunks import Chunk
+
+
+def compile_(source, **macros):
+    return compile_c(source, macros={k: str(v) for k, v in macros.items()})
+
+
+class TestCodeShape:
+    def test_no_frame_pseudo_instructions(self):
+        # The whole point of ASMsz: frames are plain ESP arithmetic.
+        compilation = compile_(
+            "int f(int x) { int a[4]; a[0] = x; return a[0]; } "
+            "int main() { return f(7); }")
+        f = compilation.asm.functions["f"]
+        kinds = {type(i).__name__ for i in f.body}
+        assert "Pespadd" in kinds
+        assert not any(k.startswith("Palloc") or k.startswith("Pfree")
+                       for k in kinds)
+
+    def test_prologue_matches_frame_size(self):
+        compilation = compile_(
+            "int f(int x) { int a[4]; a[0] = x; return a[0]; } "
+            "int main() { return f(7); }")
+        f = compilation.asm.functions["f"]
+        sf = compilation.frame_sizes["f"]
+        assert isinstance(f.body[0], asm.Pespadd)
+        assert f.body[0].delta == -sf
+
+    def test_leaf_without_frame_has_no_espadd(self):
+        compilation = compile_("int f() { return 1; } "
+                               "int main() { return f(); }")
+        f = compilation.asm.functions["f"]
+        assert not any(isinstance(i, asm.Pespadd) for i in f.body)
+
+    def test_externals_become_builtins(self):
+        compilation = compile_("int main() { print_int(3); return 0; }")
+        main = compilation.asm.functions["main"]
+        builtins = [i for i in main.body if isinstance(i, asm.Pbuiltin)]
+        assert [b.name for b in builtins] == ["print_int"]
+        assert not any(isinstance(i, asm.Pcall) and i.symbol == "print_int"
+                       for i in main.body)
+
+    def test_pretty_prints(self):
+        compilation = compile_("int main() { return 0; }")
+        text = compilation.asm.pretty()
+        assert "main:" in text
+
+
+class TestExecution:
+    def test_return_code(self):
+        compilation = compile_("int main() { return 42; }")
+        behavior, _machine = compilation.run()
+        assert isinstance(behavior, Converges)
+        assert behavior.return_code == 42
+
+    def test_negative_return_code(self):
+        compilation = compile_("int main() { return -3; }")
+        behavior, _machine = compilation.run()
+        assert behavior.return_code == -3
+
+    def test_globals_initialized(self):
+        compilation = compile_(
+            "int g[3] = {10, 20, 30}; int main() { return g[1]; }")
+        behavior, _machine = compilation.run()
+        assert behavior.return_code == 20
+
+    def test_io_events_only(self):
+        compilation = compile_(
+            "int f() { print_int(1); return 0; } "
+            "int main() { f(); return 0; }")
+        behavior, _machine = compilation.run()
+        assert all(isinstance(e, IOEvent) for e in behavior.trace)
+
+    def test_output_collected(self):
+        compilation = compile_(
+            "int main() { print_int(5); print_float(1.5); return 0; }")
+        output = []
+        behavior, _machine = compilation.run(output=output)
+        assert output == [5, 1.5]
+
+    def test_doubles_roundtrip_through_stack(self):
+        compilation = compile_(
+            "double id(double d) { return d; } "
+            "int main() { return id(2.5) == 2.5; }")
+        behavior, _machine = compilation.run()
+        assert behavior.return_code == 1
+
+    def test_malloc_arena(self):
+        compilation = compile_(
+            "int main() { int *p = malloc(12); int *q = malloc(12); "
+            "p[0] = 1; q[0] = 2; return p[0] + q[0] + (p != q); }")
+        behavior, _machine = compilation.run()
+        assert behavior.return_code == 4
+
+    def test_malloc_exhaustion_returns_null(self):
+        compilation = compile_(
+            "int main() { void *p = malloc(0x7fffffff); return p == 0; }")
+        behavior, _machine = compilation.run()
+        assert behavior.return_code == 1
+
+    def test_division_by_zero_goes_wrong(self):
+        compilation = compile_("int z; int main() { return 5 / z; }")
+        behavior, _machine = compilation.run()
+        assert isinstance(behavior, GoesWrong)
+
+    def test_null_access_goes_wrong(self):
+        compilation = compile_("int main() { int *p = 0; return *p; }")
+        behavior, _machine = compilation.run()
+        assert isinstance(behavior, GoesWrong)
+
+
+class TestFiniteStack:
+    def recursion(self, depth):
+        return compile_(
+            "int f(int n) { if (n == 0) return 0; return 1 + f(n - 1); } "
+            "int main() { return f(N); }", N=depth)
+
+    def test_overflow_on_tiny_stack(self):
+        compilation = self.recursion(100)
+        behavior, _machine = compilation.run(stack_bytes=64)
+        assert isinstance(behavior, GoesWrong)
+        assert "overflow" in behavior.reason
+
+    def test_enough_stack_converges(self):
+        compilation = self.recursion(100)
+        behavior, _machine = compilation.run(stack_bytes=1 << 16)
+        assert isinstance(behavior, Converges)
+        assert behavior.return_code == 100
+
+    def test_watermark_grows_with_depth(self):
+        shallow = self.recursion(10)
+        deep = self.recursion(60)
+        _b1, m1 = shallow.run()
+        _b2, m2 = deep.run()
+        assert m2.measured_stack_usage > m1.measured_stack_usage
+        per_frame = (m2.measured_stack_usage - m1.measured_stack_usage) / 50
+        assert per_frame == shallow.metric.cost("f")
+
+    def test_measured_equals_bound_minus_4(self):
+        from repro.analyzer import StackAnalyzer
+
+        compilation = compile_(
+            "int g() { return 1; } int f() { return g(); } "
+            "int main() { return f(); }")
+        analysis = StackAnalyzer(compilation.clight).analyze()
+        bound = analysis.bound_bytes("main", compilation.metric)
+        _behavior, machine = compilation.run()
+        assert machine.measured_stack_usage == bound - 4
+
+    def test_runs_exactly_at_measured_stack(self):
+        compilation = self.recursion(20)
+        _behavior, machine = compilation.run()
+        needed = machine.measured_stack_usage
+        # +4 for main's pushed return address
+        ok, _m = compilation.run(stack_bytes=needed + 4)
+        assert isinstance(ok, Converges)
+        bad, _m = compilation.run(stack_bytes=needed + 3)
+        assert isinstance(bad, GoesWrong)
+
+
+class TestMachineInternals:
+    def test_global_addresses_disjoint_and_aligned(self):
+        compilation = compile_(
+            "double d; char c; int i; int main() { return 0; }")
+        machine = AsmMachine(compilation.asm)
+        addresses = machine.global_addr
+        assert addresses["d"] % 4 == 0
+        assert addresses["i"] % 4 == 0
+        assert len(set(addresses.values())) == 3
+        assert min(addresses.values()) >= GLOBAL_BASE
+
+    def test_memory_bounds_checked(self):
+        compilation = compile_("int main() { return 0; }")
+        machine = AsmMachine(compilation.asm)
+        from repro.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            machine.load(Chunk.INT32, 0)  # NULL page
+        with pytest.raises(MemoryError_):
+            machine.load(Chunk.INT32, len(machine.memory))
+
+    def test_misaligned_access_rejected(self):
+        compilation = compile_("int main() { return 0; }")
+        machine = AsmMachine(compilation.asm)
+        from repro.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            machine.load(Chunk.INT32, GLOBAL_BASE + 2)
+
+    def test_esp_underflow_raises(self):
+        compilation = compile_("int main() { return 0; }")
+        machine = AsmMachine(compilation.asm, stack_bytes=16)
+        machine.start()
+        with pytest.raises(StackOverflowError_):
+            machine._set_esp(machine.stack_base - 1)
+
+    def test_run_program_function(self):
+        compilation = compile_("int main() { return 9; }")
+        behavior, machine = run_program(compilation.asm)
+        assert behavior.return_code == 9
+        assert machine.steps > 0

@@ -1,0 +1,173 @@
+"""Focused unit tests for the Mach → ASMsz expansion discipline."""
+
+import pytest
+
+from repro.asm import ast as asm
+from repro.asm.lower import _Emitter  # tested directly: it is the codegen
+from repro.driver import compile_c
+from repro.mach import ast as mach
+from repro.memory.chunks import Chunk
+from repro.regalloc.locations import LFReg, LReg, LSlot
+
+
+def emitter(out_size=0, int_slots=4, float_slots=2, locals_size=16):
+    frame = mach.FrameInfo(out_size, int_slots, float_slots, locals_size)
+    function = mach.MachFunction("f", [], frame, returns_float=False)
+    return _Emitter(function), frame
+
+
+class TestOperandDiscipline:
+    def test_register_operand_used_directly(self):
+        e, _frame = emitter()
+        out = []
+        assert e.read_int(LReg("eax"), "esi", out) == "eax"
+        assert out == []
+
+    def test_slot_operand_loaded_into_scratch(self):
+        e, frame = emitter()
+        out = []
+        reg = e.read_int(LSlot(1, False), "esi", out)
+        assert reg == "esi"
+        (load,) = out
+        assert isinstance(load, asm.Pload)
+        assert load.addr.offset == frame.slot_offset(LSlot(1, False))
+
+    def test_float_class_checked(self):
+        from repro.errors import LoweringError
+
+        e, _frame = emitter()
+        with pytest.raises(LoweringError):
+            e.read_int(LFReg("xmm0"), "esi", [])
+        with pytest.raises(LoweringError):
+            e.read_float(LReg("eax"), "xmm6", [])
+
+    def test_write_to_slot_stores(self):
+        e, _frame = emitter()
+        out = []
+        e.write_int(LSlot(0, False), "esi", out)
+        (store,) = out
+        assert isinstance(store, asm.Pstore)
+        assert store.chunk is Chunk.INT32
+
+    def test_write_to_same_register_is_noop(self):
+        e, _frame = emitter()
+        out = []
+        e.write_int(LReg("ebx"), "ebx", out)
+        assert out == []
+
+
+class TestInstructionExpansion:
+    def test_binop_never_clobbers_allocatable_regs(self):
+        e, _frame = emitter()
+        instr = mach.MOp(("binop", "add"), [LReg("eax"), LReg("ebx")],
+                         LReg("ecx"))
+        out = e.lower(instr)
+        written = set()
+        for i in out:
+            if isinstance(i, asm.Pmov):
+                written.add(i.dest)
+            if isinstance(i, asm.Pbinop):
+                written.add(i.dest)
+        # only the scratch accumulator and the destination are written
+        assert written <= {"esi", "edi", "ecx"}
+
+    def test_getparam_offset_includes_frame_and_ra(self):
+        e, frame = emitter()
+        instr = mach.MGetParam(8, LReg("eax"), False)
+        out = e.lower(instr)
+        load = next(i for i in out if isinstance(i, asm.Pload))
+        assert load.addr.offset == frame.size + 4 + 8
+
+    def test_storearg_hits_outgoing_area(self):
+        e, _frame = emitter(out_size=16)
+        instr = mach.MStoreArg(LReg("eax"), 4, False)
+        out = e.lower(instr)
+        (store,) = out
+        assert isinstance(store.addr, asm.AStack)
+        assert store.addr.offset == 4
+
+    def test_return_restores_frame(self):
+        e, frame = emitter()
+        out = e.lower(mach.MReturn())
+        assert isinstance(out[0], asm.Pespadd)
+        assert out[0].delta == frame.size
+        assert isinstance(out[1], asm.Pret)
+
+    def test_float_compare_produces_int(self):
+        e, _frame = emitter()
+        instr = mach.MOp(("binop", "cmpf_lt"),
+                         [LFReg("xmm0"), LFReg("xmm1")], LReg("eax"))
+        out = e.lower(instr)
+        cmp = next(i for i in out if isinstance(i, asm.Pcmpf))
+        assert cmp.dest == "eax" or any(
+            isinstance(i, asm.Pmov) and i.dest == "eax" for i in out)
+
+
+class TestWholeProgramInvariants:
+    def extract(self, source):
+        return compile_c(source).asm
+
+    def test_scratch_only_clobbered_locally(self):
+        # Compile something register-heavy and check the ASM never moves
+        # an allocatable register into scratch *across* a call boundary
+        # expecting it to survive (i.e. no reads of scratch right after
+        # a call).
+        program = self.extract(
+            "int f(int a, int b) { return a + b; } "
+            "int main() { int x = 3, y = 4; return f(x, y) + f(y, x); }")
+        for function in program.functions.values():
+            previous = None
+            for instr in function.body:
+                if isinstance(previous, asm.Pcall):
+                    # first use after a call must not read esi/edi
+                    used = []
+                    if isinstance(instr, asm.Pmov):
+                        used = [instr.src]
+                    if isinstance(instr, asm.Pbinop):
+                        used = [instr.src]
+                    assert "esi" not in used and "edi" not in used
+                previous = instr
+
+    def test_all_labels_resolve(self):
+        program = self.extract(
+            "int main() { int s = 0; "
+            "for (int i = 0; i < 9; i++) { if (i % 2) continue; s += i; } "
+            "switch (s) { case 20: return 1; default: return 0; } }")
+        for function in program.functions.values():
+            for instr in function.body:
+                if isinstance(instr, (asm.Pjmp, asm.Pjcc)):
+                    assert instr.label in function.labels
+
+    def test_esp_balanced_on_every_path(self):
+        # Symbolically walk each function: at every Pret the net ESP
+        # delta since entry must be zero.
+        program = self.extract(
+            "int f(int n) { if (n > 0) { int a[4]; a[0] = n; return a[0]; } "
+            "return -n; } int main() { return f(3); }")
+        for function in program.functions.values():
+            self._check_balanced(function)
+
+    @staticmethod
+    def _check_balanced(function):
+        # breadth-first over (index, delta)
+        seen = {}
+        work = [(0, 0)]
+        while work:
+            index, delta = work.pop()
+            if index >= len(function.body):
+                continue
+            if seen.get(index) == delta:
+                continue
+            seen[index] = delta
+            instr = function.body[index]
+            if isinstance(instr, asm.Pespadd):
+                work.append((index + 1, delta + instr.delta))
+            elif isinstance(instr, asm.Pret):
+                assert delta == 0, f"{function.name}: unbalanced ESP"
+            elif isinstance(instr, asm.Pjmp):
+                work.append((function.labels[instr.label], delta))
+            elif isinstance(instr, asm.Pjcc):
+                work.append((function.labels[instr.label], delta))
+                work.append((index + 1, delta))
+            else:
+                work.append((index + 1, delta))

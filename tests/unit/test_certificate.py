@@ -1,0 +1,131 @@
+"""Unit tests for proof certificates (export + independent re-check)."""
+
+import json
+
+import pytest
+
+from repro.analyzer import StackAnalyzer
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.clight.from_c import clight_of_program
+from repro.errors import DerivationError
+from repro.logic import bexpr as bx
+from repro.logic.bexpr import evaluate
+from repro.logic.certificate import (bexpr_from_json, bexpr_to_json,
+                                     export_certificate, load_certificate)
+
+
+def lower(source):
+    program = parse(source)
+    env = typecheck(program)
+    return clight_of_program(program, env)
+
+
+SOURCE = ("int leaf() { return 1; } "
+          "int mid(int n) { int s = 0; "
+          "for (int i = 0; i < n; i++) s += leaf(); return s; } "
+          "int main() { print_int(mid(3)); return 0; }")
+
+
+class TestBexprJson:
+    CASES = [
+        bx.BConst(0),
+        bx.BConst(bx.INFINITY),
+        bx.bmetric("f"),
+        bx.bparam("n"),
+        bx.badd(bx.bmetric("f"), bx.BConst(4)),
+        bx.bmax(bx.bmetric("f"), bx.bmetric("g")),
+        bx.BScale(3, bx.bmetric("f")),
+        bx.BFrameDiff(bx.bmax(bx.bmetric("f"), bx.bmetric("g")),
+                      bx.bmetric("f")),
+        bx.BMul(bx.bparam("n"), bx.bmetric("f")),
+        bx.BLog2(bx.BParamDiff(bx.bparam("hi"), bx.bparam("lo"))),
+        bx.BHalf(bx.bparam("n"), ceil=True),
+    ]
+
+    @pytest.mark.parametrize("expr", CASES, ids=lambda e: repr(e))
+    def test_roundtrip(self, expr):
+        restored = bexpr_from_json(bexpr_to_json(expr))
+        assert repr(restored) == repr(expr)
+
+    def test_roundtrip_evaluates_identically(self):
+        expr = bx.badd(bx.BMul(bx.bparam("n"), bx.bmetric("f")),
+                       bx.bmax(bx.bmetric("g"), bx.BConst(8)))
+        restored = bexpr_from_json(bexpr_to_json(expr))
+        metric = {"f": 4, "g": 16}
+        for n in (0, 3, 9):
+            assert evaluate(expr, metric, {"n": n}) == \
+                evaluate(restored, metric, {"n": n})
+
+
+class TestCertificates:
+    def test_export_is_json(self):
+        program = lower(SOURCE)
+        analysis = StackAnalyzer(program).analyze()
+        text = export_certificate(analysis)
+        data = json.loads(text)
+        assert data["format"] == "repro-stack-certificate"
+        assert set(data["functions"]) == {"leaf", "mid", "main"}
+
+    def test_load_and_recheck(self):
+        program = lower(SOURCE)
+        analysis = StackAnalyzer(program).analyze()
+        text = export_certificate(analysis)
+        gamma, bounds, report = load_certificate(text, program)
+        assert report.fully_exact
+        assert "mid" in gamma
+        metric = {"leaf": 4, "mid": 8, "main": 8}
+        assert evaluate(bounds["main"], metric) == 8 + 8 + 4
+
+    def test_certificate_against_fresh_parse(self):
+        # The consumer has its own copy of the program (a fresh parse of
+        # the same source) — exactly the interoperability scenario.
+        producer_program = lower(SOURCE)
+        analysis = StackAnalyzer(producer_program).analyze()
+        text = export_certificate(analysis)
+        consumer_program = lower(SOURCE)
+        _gamma, _bounds, report = load_certificate(text, consumer_program)
+        assert report.fully_exact
+
+    def test_tampered_bound_rejected(self):
+        program = lower(SOURCE)
+        analysis = StackAnalyzer(program).analyze()
+        data = json.loads(export_certificate(analysis))
+        # Claim main's body needs nothing.
+        data["functions"]["main"]["spec"]["pre"] = {"k": "const", "v": 0}
+        data["functions"]["main"]["spec"]["post"] = {"k": "const", "v": 0}
+        with pytest.raises(DerivationError):
+            load_certificate(json.dumps(data), program)
+
+    def test_certificate_for_different_program_rejected(self):
+        program = lower(SOURCE)
+        analysis = StackAnalyzer(program).analyze()
+        text = export_certificate(analysis)
+        other = lower("int leaf() { return 2; } "
+                      "int mid(int n) { return leaf() + n; } "
+                      "int main() { return mid(1); }")
+        with pytest.raises(DerivationError):
+            load_certificate(text, other)
+
+    def test_unknown_function_rejected(self):
+        program = lower(SOURCE)
+        analysis = StackAnalyzer(program).analyze()
+        data = json.loads(export_certificate(analysis))
+        data["functions"]["ghost"] = data["functions"]["leaf"]
+        with pytest.raises(DerivationError):
+            load_certificate(json.dumps(data), program)
+
+    def test_bad_format_rejected(self):
+        program = lower(SOURCE)
+        with pytest.raises(DerivationError):
+            load_certificate(json.dumps({"format": "nope"}), program)
+
+    def test_certificates_for_benchmarks(self):
+        from repro.programs.loader import load_source
+
+        program = lower(load_source("certikos/proc.c"))
+        analysis = StackAnalyzer(program).analyze()
+        text = export_certificate(analysis)
+        _gamma, bounds, report = load_certificate(text, program)
+        assert report.fully_exact
+        assert set(bounds) == set(program.functions)

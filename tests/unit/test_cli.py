@@ -1,0 +1,125 @@
+"""Unit tests for the command-line driver (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(
+        "#ifndef N\n#define N 3\n#endif\n"
+        "int twice(int x) { return x * 2; }\n"
+        "int main() { print_int(twice(N)); return 0; }\n")
+    return str(path)
+
+
+class TestBounds:
+    def test_prints_table(self, program_file, capsys):
+        assert main(["bounds", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "twice" in out and "main" in out
+        assert "stack requirement" in out
+
+    def test_check_flag(self, program_file, capsys):
+        assert main(["bounds", program_file, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "re-checked" in out and "exact" in out
+
+
+class TestRun:
+    def test_runs_at_verified_bound(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "6" in out
+        assert "measured stack usage" in out
+
+    def test_define_flag(self, program_file, capsys):
+        assert main(["run", program_file, "-D", "N=21"]) == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_explicit_stack_overflow(self, program_file, capsys):
+        code = main(["run", program_file, "--stack", "4"])
+        assert code == 125
+        assert "overflow" in capsys.readouterr().out
+
+    def test_exit_code_propagated(self, tmp_path, capsys):
+        path = tmp_path / "seven.c"
+        path.write_text("int main() { return 7; }\n")
+        assert main(["run", str(path)]) == 7
+
+
+class TestDump:
+    @pytest.mark.parametrize("level", ["clight", "rtl", "linear", "mach",
+                                       "asm"])
+    def test_all_levels(self, program_file, capsys, level):
+        assert main(["dump", program_file, "--level", level]) == 0
+        assert "twice" in capsys.readouterr().out
+
+    def test_single_function(self, program_file, capsys):
+        assert main(["dump", program_file, "--level", "asm",
+                     "--function", "twice"]) == 0
+        out = capsys.readouterr().out
+        assert "twice" in out and "main:" not in out
+
+    def test_pass_toggles(self, program_file, capsys):
+        assert main(["dump", program_file, "--level", "rtl",
+                     "--no-constprop", "--no-deadcode", "--cse",
+                     "--tailcall"]) == 0
+
+
+class TestTrace:
+    def test_events_printed(self, program_file, capsys):
+        assert main(["trace", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "call(main)" in out
+        assert "call(twice)" in out
+        assert "weight under the compiled metric" in out
+
+    def test_limit(self, program_file, capsys):
+        assert main(["trace", program_file, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more events" in out
+
+
+class TestCertify:
+    def test_certify_and_recheck(self, program_file, tmp_path, capsys):
+        cert = str(tmp_path / "prog.cert.json")
+        assert main(["certify", program_file, "-o", cert]) == 0
+        assert main(["check-cert", program_file, cert]) == 0
+        out = capsys.readouterr().out
+        assert "certificate OK" in out and "twice" in out
+
+    def test_certify_to_stdout(self, program_file, capsys):
+        assert main(["certify", program_file]) == 0
+        assert "repro-stack-certificate" in capsys.readouterr().out
+
+    def test_check_cert_against_modified_program(self, program_file,
+                                                 tmp_path, capsys):
+        cert = str(tmp_path / "prog.cert.json")
+        assert main(["certify", program_file, "-o", cert]) == 0
+        other = tmp_path / "other.c"
+        other.write_text("int twice(int x) { return x; } "
+                         "int main() { return twice(twice(1)); }")
+        assert main(["check-cert", str(other), cert]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["bounds", "/nonexistent/x.c"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.c"
+        path.write_text("int main( {")
+        assert main(["bounds", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_recursion_reported(self, tmp_path, capsys):
+        path = tmp_path / "rec.c"
+        path.write_text("int f(int n) { return f(n); } "
+                        "int main() { return 0; }")
+        assert main(["bounds", str(path)]) == 1
+        assert "recursion" in capsys.readouterr().err

@@ -1,0 +1,295 @@
+"""Unit tests for the C→Clight lowering and the Clight small-step machine."""
+
+import pytest
+
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.clight import ast as cl
+from repro.clight.from_c import clight_of_program
+from repro.clight.semantics import run_call, run_program
+from repro.events.trace import (CallEvent, Converges, Diverges, GoesWrong,
+                                IOEvent, ReturnEvent, is_well_bracketed)
+from repro.memory.values import VInt
+
+
+def lower(source):
+    program = parse(source)
+    env = typecheck(program)
+    return clight_of_program(program, env)
+
+
+def run(source, fuel=1_000_000):
+    output = []
+    behavior = run_program(lower(source), fuel=fuel, output=output)
+    return behavior, output
+
+
+def expect_return(source, expected, fuel=1_000_000):
+    behavior, _output = run(source, fuel)
+    assert isinstance(behavior, Converges), behavior
+    assert behavior.return_code == expected
+    return behavior
+
+
+class TestLoweringShapes:
+    def test_scalars_become_temps(self):
+        program = lower("int main() { int x = 1; return x; }")
+        main = program.function("main")
+        assert "x" in main.temps
+        assert not main.stackvars
+
+    def test_arrays_become_stackvars(self):
+        program = lower("int main() { int a[4]; a[0] = 1; return a[0]; }")
+        main = program.function("main")
+        names = [v.name for v in main.stackvars]
+        assert "a" in names
+        assert main.stackvars[0].size == 16
+
+    def test_address_taken_param_gets_copy(self):
+        program = lower("int f(int a) { int *p = &a; return *p; } "
+                        "int main() { return f(3); }")
+        f = program.function("f")
+        assert f.params == ["a$in"]
+        assert [v.name for v in f.stackvars] == ["a"]
+
+    @staticmethod
+    def _flatten(stmt):
+        if isinstance(stmt, cl.SSeq):
+            yield from TestLoweringShapes._flatten(stmt.first)
+            yield from TestLoweringShapes._flatten(stmt.second)
+        else:
+            yield stmt
+
+    def test_while_becomes_loop_with_guard(self):
+        program = lower("int main() { while (0) ; return 1; }")
+        stmts = list(self._flatten(program.function("main").body))
+        loops = [s for s in stmts if isinstance(s, cl.SLoop)]
+        assert len(loops) == 1
+        # The guard is compiled into the loop body as if/break.
+        guard = next(iter(self._flatten(loops[0].body)))
+        assert isinstance(guard, cl.SIf)
+        assert isinstance(guard.otherwise, cl.SBreak)
+
+    def test_switch_becomes_block(self):
+        program = lower(
+            "int main() { switch (2) { case 1: return 10; case 2: break; } "
+            "return 20; }")
+        stmts = list(self._flatten(program.function("main").body))
+        assert any(isinstance(s, cl.SBlock) for s in stmts)
+
+    def test_float_temps_recorded(self):
+        program = lower("int main() { double d = 1.0; return d > 0.0; }")
+        main = program.function("main")
+        assert "d" in main.float_temps
+
+    def test_global_image(self):
+        program = lower("int g = 0x01020304; int main() { return g; }")
+        (var,) = program.globals
+        assert var.image == b"\x04\x03\x02\x01"
+
+    def test_global_array_image_zero_fill(self):
+        program = lower("int a[4] = {1}; int main() { return a[0]; }")
+        (var,) = program.globals
+        assert var.image == b"\x01\x00\x00\x00" + b"\x00" * 12
+
+
+class TestExecution:
+    def test_return_code(self):
+        expect_return("int main() { return 41 + 1; }", 42)
+
+    def test_arithmetic_and_locals(self):
+        expect_return("int main() { int a = 6, b = 7; return a * b; }", 42)
+
+    def test_while_loop(self):
+        expect_return(
+            "int main() { int i = 0, s = 0; "
+            "while (i < 10) { s += i; i++; } return s; }", 45)
+
+    def test_do_while_runs_once(self):
+        expect_return("int main() { int n = 0; do n++; while (0); return n; }",
+                      1)
+
+    def test_for_with_continue(self):
+        expect_return(
+            "int main() { int s = 0; "
+            "for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; } "
+            "return s; }", 20)
+
+    def test_break_leaves_innermost_loop(self):
+        expect_return(
+            "int main() { int n = 0; "
+            "for (int i = 0; i < 3; i++) { "
+            "  for (int j = 0; j < 100; j++) { if (j == 2) break; n++; } } "
+            "return n; }", 6)
+
+    def test_continue_in_switch_targets_loop(self):
+        expect_return(
+            "int main() { int s = 0; "
+            "for (int i = 0; i < 4; i++) { "
+            "  switch (i) { case 1: continue; case 2: s += 10; break; "
+            "  default: s += 1; } } return s; }", 12)
+
+    def test_switch_fallthrough(self):
+        expect_return(
+            "int main() { int s = 0; switch (1) { "
+            "case 1: s += 1; case 2: s += 2; break; case 3: s += 4; } "
+            "return s; }", 3)
+
+    def test_switch_default_position(self):
+        expect_return(
+            "int main() { int s = 0; switch (9) { case 1: s = 1; break; "
+            "default: s = 7; break; case 2: s = 2; break; } return s; }", 7)
+
+    def test_logical_short_circuit(self):
+        expect_return(
+            "int g = 0; int bump() { g++; return 1; } "
+            "int main() { 0 && bump(); 1 || bump(); return g; }", 0)
+
+    def test_conditional_expression(self):
+        expect_return("int main() { return 1 ? 5 : 9; }", 5)
+
+    def test_incdec_semantics(self):
+        expect_return(
+            "int main() { int x = 5; int a = x++; int b = ++x; "
+            "return a * 100 + b * 10 + x; }", 500 + 70 + 7)
+
+    def test_compound_assignment_on_memory(self):
+        expect_return(
+            "int a[2]; int main() { a[1] = 10; a[1] += 5; a[1] <<= 1; "
+            "return a[1]; }", 30)
+
+    def test_char_narrowing(self):
+        expect_return("int main() { char c = 300; return c; }", 44)
+
+    def test_unsigned_char_narrowing(self):
+        expect_return("int main() { unsigned char c = 300; return c; }", 44)
+
+    def test_short_sign_extension(self):
+        expect_return("int main() { short s = -2; return s == -2; }", 1)
+
+    def test_pointer_walk(self):
+        expect_return(
+            "int a[5]; int main() { int *p = a; int s = 0; "
+            "for (int i = 0; i < 5; i++) a[i] = i + 1; "
+            "while (p < a + 5) { s += *p; p++; } return s; }", 15)
+
+    def test_struct_fields(self):
+        expect_return(
+            "struct P { int x; double d; int y; }; struct P p; "
+            "int main() { p.x = 3; p.y = 4; p.d = 0.5; "
+            "return p.x + p.y + (p.d == 0.5); }", 8)
+
+    def test_struct_pointer_access(self):
+        expect_return(
+            "struct P { int v; }; struct P p; "
+            "int f(struct P *q) { q->v = 9; return q->v; } "
+            "int main() { return f(&p); }", 9)
+
+    def test_recursion(self):
+        expect_return(
+            "int f(int n) { if (n == 0) return 0; return n + f(n - 1); } "
+            "int main() { return f(10); }", 55)
+
+    def test_mutual_recursion(self):
+        expect_return(
+            "int odd(int n); "
+            "int even(int n) { if (n == 0) return 1; return odd(n - 1); } "
+            "int odd(int n) { if (n == 0) return 0; return even(n - 1); } "
+            "int main() { return even(10) * 10 + odd(10); }", 10)
+
+    def test_comma_operator(self):
+        expect_return("int main() { int x = (1, 2, 3); return x; }", 3)
+
+    def test_evaluation_order_left_to_right(self):
+        expect_return(
+            "int g = 0; int bump() { g++; return g; } "
+            "int main() { int r = bump() * 10 + bump(); return r; }", 12)
+
+    def test_malloc_builtin(self):
+        expect_return(
+            "int main() { int *p = malloc(8); p[0] = 4; p[1] = 5; "
+            "return p[0] + p[1]; }", 9)
+
+    def test_double_arithmetic(self):
+        expect_return(
+            "int main() { double a = 0.1, b = 0.2; "
+            "return (a + b > 0.29) && (a + b < 0.31); }", 1)
+
+    def test_float_condition(self):
+        expect_return("int main() { double d = 0.5; if (d) return 1; "
+                      "return 0; }", 1)
+
+    def test_not_on_double(self):
+        expect_return("int main() { double d = 0.0; return !d; }", 1)
+
+
+class TestEventsAndTraces:
+    def test_call_events_emitted(self):
+        behavior, _ = run("int f() { return 1; } int main() { return f(); }")
+        assert behavior.trace == (CallEvent("main"), CallEvent("f"),
+                                  ReturnEvent("f"), ReturnEvent("main"))
+
+    def test_io_events_carry_values(self):
+        behavior, output = run("int main() { print_int(-7); return 0; }")
+        assert IOEvent("print_int", [-7], 0) in behavior.trace
+        assert output == [-7]
+
+    def test_traces_well_bracketed(self):
+        behavior, _ = run(
+            "int f(int n) { if (n) return f(n - 1); return 0; } "
+            "int main() { return f(4); }")
+        assert is_well_bracketed(behavior.trace)
+
+    def test_externals_emit_no_memory_events(self):
+        behavior, _ = run("int main() { print_int(1); return 0; }")
+        calls = [e for e in behavior.trace if isinstance(e, CallEvent)]
+        assert calls == [CallEvent("main")]
+
+
+class TestWrongAndDivergent:
+    def test_division_by_zero_goes_wrong(self):
+        behavior, _ = run("int z = 0; int main() { return 1 / z; }")
+        assert isinstance(behavior, GoesWrong)
+
+    def test_null_deref_goes_wrong(self):
+        behavior, _ = run("int main() { int *p = 0; return *p; }")
+        assert isinstance(behavior, GoesWrong)
+
+    def test_dangling_stack_pointer_goes_wrong(self):
+        behavior, _ = run(
+            "int *f() { int x = 1; return &x; } "
+            "int main() { int *p = f(); return *p; }")
+        assert isinstance(behavior, GoesWrong)
+
+    def test_out_of_bounds_goes_wrong(self):
+        behavior, _ = run("int a[2]; int main() { return a[5]; }")
+        assert isinstance(behavior, GoesWrong)
+
+    def test_uninitialized_branch_goes_wrong(self):
+        behavior, _ = run("int main() { int x; if (x) return 1; return 0; }")
+        assert isinstance(behavior, GoesWrong)
+
+    def test_infinite_loop_diverges(self):
+        behavior, _ = run("int main() { while (1) ; return 0; }", fuel=5000)
+        assert isinstance(behavior, Diverges)
+
+    def test_infinite_recursion_diverges_with_trace(self):
+        behavior, _ = run("int f() { return f(); } int main() { return f(); }",
+                          fuel=5000)
+        assert isinstance(behavior, Diverges)
+        assert CallEvent("f") in behavior.trace
+
+
+class TestRunCall:
+    def test_run_call_returns_value(self):
+        program = lower("int add(int a, int b) { return a + b; } "
+                        "int main() { return 0; }")
+        behavior, result = run_call(program, "add", [VInt(2), VInt(3)])
+        assert isinstance(behavior, Converges)
+        assert result == VInt(5)
+
+    def test_run_call_trace_brackets_function(self):
+        program = lower("int id(int x) { return x; } int main() { return 0; }")
+        behavior, _ = run_call(program, "id", [VInt(1)])
+        assert behavior.trace[0] == CallEvent("id")
+        assert behavior.trace[-1] == ReturnEvent("id")

@@ -1,0 +1,94 @@
+"""Direct unit tests for the Kildall worklist solver on hand-built CFGs."""
+
+from repro.rtl import ast as rtl
+from repro.rtl.dataflow import predecessors, solve_backward, solve_forward
+
+
+def diamond():
+    """1: cond -> 2 | 3;  2,3 -> 4;  4: return."""
+    graph = {
+        1: rtl.Icond(10, 2, 3),
+        2: rtl.Iop(("const", 1), [], 11, 4),
+        3: rtl.Iop(("const", 2), [], 11, 4),
+        4: rtl.Ireturn(11),
+    }
+    return rtl.RTLFunction("d", [10], set(), 0, graph, 1, 20, False, [False])
+
+
+def loop():
+    """1 -> 2; 2: cond -> 3 (body) | 4; 3 -> 2; 4: return."""
+    graph = {
+        1: rtl.Iop(("const", 0), [], 5, 2),
+        2: rtl.Icond(5, 3, 4),
+        3: rtl.Iop(("binop", "add"), [5, 5], 5, 2),
+        4: rtl.Ireturn(5),
+    }
+    return rtl.RTLFunction("l", [], set(), 0, graph, 1, 10, False, [])
+
+
+class TestPredecessors:
+    def test_diamond(self):
+        preds = predecessors(diamond().graph)
+        assert sorted(preds[4]) == [2, 3]
+        assert preds[1] == []
+
+    def test_loop_back_edge(self):
+        preds = predecessors(loop().graph)
+        assert sorted(preds[2]) == [1, 3]
+
+
+class TestForward:
+    def test_reaches_all_reachable(self):
+        function = diamond()
+        facts = solve_forward(function, frozenset({"init"}),
+                              lambda a, b: a | b,
+                              lambda n, i, f: f | {n},
+                              lambda a, b: a == b)
+        assert set(facts) == {1, 2, 3, 4}
+        # node 4 merges both branch histories
+        assert {2, 3} <= facts[4]
+
+    def test_unreachable_nodes_absent(self):
+        function = diamond()
+        function.graph[9] = rtl.Ireturn(None)  # orphan
+        facts = solve_forward(function, frozenset(), lambda a, b: a | b,
+                              lambda n, i, f: f, lambda a, b: a == b)
+        assert 9 not in facts
+
+    def test_loop_reaches_fixpoint(self):
+        function = loop()
+        # count-to-saturation lattice: set of nodes seen, capped by frozenset
+        facts = solve_forward(function, frozenset(), lambda a, b: a | b,
+                              lambda n, i, f: f | {n},
+                              lambda a, b: a == b)
+        assert 3 in facts[2]  # the back edge propagated
+
+
+class TestBackward:
+    def test_liveness_shape(self):
+        function = diamond()
+        def transfer(_n, instr, out):
+            live = set(out)
+            for d in instr.defs():
+                live.discard(d)
+            live.update(instr.uses())
+            return frozenset(live)
+        after = solve_backward(function, frozenset(), lambda a, b: a | b,
+                               transfer, lambda a, b: a == b)
+        # r11 is live after nodes 2 and 3 (used by the return).
+        assert 11 in after[2] and 11 in after[3]
+        assert 11 not in after[4]
+
+    def test_loop_backward_fixpoint(self):
+        function = loop()
+        def transfer(_n, instr, out):
+            live = set(out)
+            for d in instr.defs():
+                live.discard(d)
+            live.update(instr.uses())
+            return frozenset(live)
+        after = solve_backward(function, frozenset(), lambda a, b: a | b,
+                               transfer, lambda a, b: a == b)
+        # r5 stays live around the loop.
+        assert 5 in after[1]
+        assert 5 in after[3]

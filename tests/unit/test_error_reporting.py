@@ -1,0 +1,118 @@
+"""Tests for error quality: locations, messages, exception taxonomy.
+
+A tool a developer would adopt must fail precisely; these tests pin the
+front end's source locations and the distinction between static errors,
+unsupported-feature errors, and dynamic (goes-wrong) behaviors.
+"""
+
+import pytest
+
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.errors import (AnalysisError, LexError, ParseError,
+                          StaticError, TypeError_, UnsupportedFeatureError)
+
+
+def check(source, filename="test.c"):
+    program = parse(source, filename)
+    typecheck(program)
+
+
+class TestLocations:
+    def test_lex_error_location(self):
+        with pytest.raises(LexError) as excinfo:
+            parse("int x;\nint @;", "f.c")
+        assert "f.c:2" in str(excinfo.value)
+
+    def test_parse_error_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("int main() {\n  return 1 +;\n}", "g.c")
+        assert "g.c:2" in str(excinfo.value)
+
+    def test_type_error_location(self):
+        with pytest.raises(TypeError_) as excinfo:
+            check("int main() {\n\n  return nope;\n}", "h.c")
+        assert "h.c:3" in str(excinfo.value)
+
+    def test_location_column(self):
+        with pytest.raises(TypeError_) as excinfo:
+            check("int main() { return missing_var; }", "k.c")
+        message = str(excinfo.value)
+        assert "k.c:1:" in message and "missing_var" in message
+
+
+class TestMessages:
+    def test_arity_message_names_function(self):
+        with pytest.raises(TypeError_) as excinfo:
+            check("int f(int a) { return a; } int main() { return f(1, 2); }")
+        assert "'f'" in str(excinfo.value)
+        assert "1 arguments" in str(excinfo.value)
+
+    def test_recursion_error_names_cycle(self):
+        from repro.analyzer import StackAnalyzer
+        from repro.clight.from_c import clight_of_program
+
+        program = parse(
+            "int b(int n); int a(int n) { return b(n); } "
+            "int b(int n) { return a(n); } int main() { return 0; }")
+        env = typecheck(program)
+        clight = clight_of_program(program, env)
+        with pytest.raises(AnalysisError) as excinfo:
+            StackAnalyzer(clight).analyze()
+        message = str(excinfo.value)
+        assert "a" in message and "b" in message
+
+    def test_unsupported_feature_is_static_error(self):
+        with pytest.raises(UnsupportedFeatureError) as excinfo:
+            check("int main() { goto out; out: return 0; }")
+        assert isinstance(excinfo.value, StaticError)
+
+    def test_struct_field_error_names_struct(self):
+        with pytest.raises(TypeError_) as excinfo:
+            check("struct P { int x; }; struct P p; "
+                  "int main() { return p.y; }")
+        assert "P" in str(excinfo.value) and "'y'" in str(excinfo.value)
+
+
+class TestGoesWrongReasons:
+    def run_reason(self, source):
+        from repro.clight.from_c import clight_of_program
+        from repro.clight.semantics import run_program
+        from repro.events.trace import GoesWrong
+
+        program = parse(source)
+        env = typecheck(program)
+        behavior = run_program(clight_of_program(program, env))
+        assert isinstance(behavior, GoesWrong)
+        return behavior.reason
+
+    def test_division_by_zero_reason(self):
+        assert "zero" in self.run_reason(
+            "int z; int main() { return 4 / z; }")
+
+    def test_overflow_division_reason(self):
+        reason = self.run_reason(
+            "int main() { int a = -2147483647 - 1; int b = -1; "
+            "return a / b; }")
+        assert "overflow" in reason
+
+    def test_out_of_bounds_reason(self):
+        reason = self.run_reason("int a[2]; int main() { return a[9]; }")
+        assert "overflows block" in reason
+
+    def test_freed_block_reason(self):
+        reason = self.run_reason(
+            "int *f() { int x = 1; return &x; } "
+            "int main() { return *f(); }")
+        assert "freed" in reason
+
+    def test_stack_overflow_reports_need(self):
+        from repro.driver import compile_c
+        from repro.events.trace import GoesWrong
+
+        compilation = compile_c(
+            "int f(int n) { if (n == 0) return 0; return 1 + f(n - 1); } "
+            "int main() { return f(1000); }")
+        behavior, _machine = compilation.run(stack_bytes=64)
+        assert isinstance(behavior, GoesWrong)
+        assert "overflow" in behavior.reason

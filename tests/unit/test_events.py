@@ -1,0 +1,213 @@
+"""Unit tests for event traces, weights, metrics and refinement."""
+
+import pytest
+
+from repro.events import (CallEvent, Converges, Diverges, GoesWrong, IOEvent,
+                          RefinementFailure, ReturnEvent, StackMetric,
+                          check_quantitative_refinement, check_refinement,
+                          dominates_for_all_metrics, prune, weight,
+                          weight_of_trace)
+from repro.events.trace import (call_depth_profile, is_well_bracketed,
+                                open_calls, prefixes, valuation)
+
+
+def call(name):
+    return CallEvent(name)
+
+
+def ret(name):
+    return ReturnEvent(name)
+
+
+def io(name, *args, result=0):
+    return IOEvent(name, list(args), result)
+
+
+METRIC = StackMetric({"f": 10, "g": 20, "main": 5}, default=8)
+
+# The paper's §2 example trace.
+PAPER_TRACE = (call("main"), call("init"), call("random"), ret("random"),
+               ret("init"), call("search"), call("search"), ret("search"),
+               ret("search"), ret("main"))
+
+
+class TestEvents:
+    def test_event_equality(self):
+        assert call("f") == call("f")
+        assert call("f") != ret("f")
+        assert io("p", 1) == io("p", 1)
+        assert io("p", 1) != io("p", 2)
+
+    def test_memory_event_flag(self):
+        assert call("f").is_memory_event
+        assert ret("f").is_memory_event
+        assert not io("p").is_memory_event
+
+
+class TestTraceOps:
+    def test_prune_removes_memory_events(self):
+        trace = (call("f"), io("p", 1), ret("f"), io("q", 2))
+        assert prune(trace) == (io("p", 1), io("q", 2))
+
+    def test_prune_idempotent(self):
+        trace = (call("f"), io("p", 1), ret("f"))
+        assert prune(prune(trace)) == prune(trace)
+
+    def test_prefixes_count(self):
+        trace = (call("f"), ret("f"))
+        assert len(list(prefixes(trace))) == 3
+
+    def test_well_bracketed(self):
+        assert is_well_bracketed(PAPER_TRACE)
+        assert not is_well_bracketed((ret("f"),))
+        assert not is_well_bracketed((call("f"), ret("g")))
+        assert is_well_bracketed((call("f"),))  # open calls are fine
+
+    def test_depth_profile(self):
+        trace = (call("f"), call("g"), ret("g"), ret("f"))
+        assert call_depth_profile(trace) == [1, 2, 1, 0]
+
+    def test_open_calls(self):
+        trace = (call("f"), call("g"), ret("g"), call("g"))
+        assert open_calls(trace) == {"f": 1, "g": 1}
+
+
+class TestWeights:
+    def test_valuation_empty(self):
+        assert valuation(METRIC, ()) == 0
+
+    def test_valuation_balanced_trace_is_zero(self):
+        assert valuation(METRIC, (call("f"), ret("f"))) == 0
+
+    def test_weight_is_peak_not_final(self):
+        trace = (call("f"), call("g"), ret("g"), ret("f"))
+        assert valuation(METRIC, trace) == 0
+        assert weight_of_trace(METRIC, trace) == 30
+
+    def test_weight_paper_example(self):
+        # W = M(main) + max(M(init)+M(random), 2*M(search))
+        metric = StackMetric({"main": 10, "init": 4, "random": 6,
+                              "search": 8})
+        assert weight_of_trace(metric, PAPER_TRACE) == 10 + max(4 + 6, 16)
+
+    def test_weight_of_behavior(self):
+        behavior = Converges((call("f"),), 0)
+        assert weight(METRIC, behavior) == 10
+
+    def test_io_events_cost_zero(self):
+        assert weight_of_trace(METRIC, (io("p", 3),)) == 0
+
+    def test_weight_nonnegative(self):
+        assert weight_of_trace(METRIC, (ret("f"),)) == 0
+
+
+class TestStackMetric:
+    def test_call_ret_antisymmetric(self):
+        assert METRIC(call("f")) == 10
+        assert METRIC(ret("f")) == -10
+
+    def test_external_costs_zero(self):
+        assert METRIC(io("sin", 1.0, result=0.8)) == 0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            StackMetric({"f": 10})(call("unknown"))
+
+    def test_default(self):
+        metric = StackMetric({"f": 8}, default=2)
+        assert metric(call("zzz")) == 2
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            StackMetric({"f": -1})
+
+    def test_uniform_and_zero(self):
+        uniform = StackMetric.uniform(["a", "b"], 16)
+        assert uniform.cost("a") == uniform.cost("b") == 16
+        assert StackMetric.zero()(call("anything")) == 0
+
+
+class TestBehaviors:
+    def test_pruned_preserves_kind(self):
+        assert isinstance(Converges((call("f"),), 3).pruned(), Converges)
+        assert isinstance(Diverges((call("f"),)).pruned(), Diverges)
+        assert isinstance(GoesWrong((call("f"),), "x").pruned(), GoesWrong)
+
+    def test_converges_equality_includes_return_code(self):
+        assert Converges((), 0) != Converges((), 1)
+
+
+class TestRefinement:
+    def test_identical_behaviors_refine(self):
+        behavior = Converges(PAPER_TRACE, 0)
+        check_refinement(behavior, behavior)
+        check_quantitative_refinement(behavior, behavior, METRIC)
+
+    def test_memory_events_may_differ(self):
+        source = Converges((call("f"), io("p", 1), ret("f")), 0)
+        target = Converges((io("p", 1),), 0)  # assembly level: no call events
+        check_refinement(target, source)
+
+    def test_io_mismatch_fails(self):
+        source = Converges((io("p", 1),), 0)
+        target = Converges((io("p", 2),), 0)
+        with pytest.raises(RefinementFailure):
+            check_refinement(target, source)
+
+    def test_return_code_mismatch_fails(self):
+        with pytest.raises(RefinementFailure):
+            check_refinement(Converges((), 1), Converges((), 0))
+
+    def test_wrong_source_allows_anything(self):
+        source = GoesWrong((), "boom")
+        target = Converges((io("p", 99),), 42)
+        check_refinement(target, source)
+        check_quantitative_refinement(target, source, METRIC)
+
+    def test_wrong_target_fails(self):
+        with pytest.raises(RefinementFailure):
+            check_refinement(GoesWrong((), "boom"), Converges((), 0))
+
+    def test_weight_increase_fails(self):
+        source = Converges((call("f"), ret("f")), 0)
+        target = Converges((call("f"), call("f"), ret("f"), ret("f")), 0)
+        with pytest.raises(RefinementFailure):
+            check_quantitative_refinement(target, source, METRIC)
+
+    def test_weight_decrease_allowed(self):
+        source = Converges((call("f"), call("f"), ret("f"), ret("f")), 0)
+        target = Converges((call("f"), ret("f")), 0)
+        check_quantitative_refinement(target, source, METRIC)
+
+    def test_termination_kind_must_match(self):
+        with pytest.raises(RefinementFailure):
+            check_refinement(Diverges(()), Converges((), 0))
+
+
+class TestAllMetricsDomination:
+    def test_reflexive(self):
+        assert dominates_for_all_metrics(PAPER_TRACE, PAPER_TRACE)
+
+    def test_fewer_calls_dominated(self):
+        assert dominates_for_all_metrics(
+            (call("f"), ret("f")),
+            (call("f"), call("f"), ret("f"), ret("f")))
+
+    def test_deeper_not_dominated(self):
+        assert not dominates_for_all_metrics(
+            (call("f"), call("f")), (call("f"), ret("f")))
+
+    def test_different_function_not_dominated(self):
+        assert not dominates_for_all_metrics((call("g"),), (call("f"),))
+
+    def test_quantitative_refinement_without_metric(self):
+        source = Converges((call("f"), call("g"), ret("g"), ret("f")), 0)
+        target = Converges((call("f"), ret("f")), 0)
+        check_quantitative_refinement(target, source)
+
+    def test_sum_not_dominated_by_either_branch(self):
+        # target holds f and g simultaneously; source never does: with
+        # M(f)=M(g)=1 the target weight 2 exceeds the source weight 1.
+        target = (call("f"), call("g"))
+        source = (call("f"), ret("f"), call("g"), ret("g"))
+        assert not dominates_for_all_metrics(target, source)

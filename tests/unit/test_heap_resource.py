@@ -1,0 +1,89 @@
+"""Tests for the heap-resource instantiation of the event framework.
+
+The paper's §8: the same trace/metric machinery applies to other
+resources.  Here the statement under test is the heap analogue of the
+stack story: the heap weight of the *source-level* trace equals the
+arena consumption of the *compiled* program on ASMsz.
+"""
+
+import pytest
+
+from repro.clight.semantics import run_program as run_clight
+from repro.driver import compile_c
+from repro.events.heap import HeapMetric, allocation_sizes, heap_usage
+from repro.events.trace import IOEvent
+from repro.programs.loader import load_source
+
+
+def compile_and_run(source, **macros):
+    compilation = compile_c(source,
+                            macros={k: str(v) for k, v in macros.items()})
+    clight_behavior = run_clight(compilation.clight, fuel=50_000_000)
+    asm_behavior, machine = compilation.run(fuel=100_000_000)
+    return clight_behavior, asm_behavior, machine
+
+
+class TestHeapEvents:
+    def test_malloc_emits_size_event(self):
+        behavior, _asm, _machine = compile_and_run(
+            "int main() { void *p = malloc(24); return p != 0; }")
+        assert IOEvent("malloc", [24], 0) in behavior.trace
+
+    def test_event_identical_across_levels(self):
+        clight_behavior, asm_behavior, _machine = compile_and_run(
+            "int main() { malloc(8); malloc(40); return 0; }")
+        assert allocation_sizes(clight_behavior.trace) == [8, 40]
+        assert clight_behavior.pruned().trace == asm_behavior.pruned().trace
+
+    def test_pointer_not_in_event(self):
+        behavior, _asm, _machine = compile_and_run(
+            "int main() { int *p = malloc(4); *p = 1; return *p; }")
+        (event,) = [e for e in behavior.trace
+                    if isinstance(e, IOEvent) and e.name == "malloc"]
+        assert event.args == (4,)
+        assert event.result == 0
+
+
+class TestHeapMetric:
+    def test_alignment_pricing(self):
+        metric = HeapMetric()
+        assert metric(IOEvent("malloc", [1], 0)) == 8
+        assert metric(IOEvent("malloc", [8], 0)) == 8
+        assert metric(IOEvent("malloc", [9], 0)) == 16
+        assert metric(IOEvent("malloc", [0], 0)) == 8  # min allocation
+
+    def test_other_events_free(self):
+        metric = HeapMetric()
+        assert metric(IOEvent("print_int", [1], 0)) == 0
+        from repro.events.trace import CallEvent
+
+        assert metric(CallEvent("f")) == 0
+
+    def test_heap_usage_sums(self):
+        trace = (IOEvent("malloc", [8], 0), IOEvent("print_int", [1], 0),
+                 IOEvent("malloc", [20], 0))
+        assert heap_usage(trace) == 8 + 24
+
+
+class TestEndToEnd:
+    def test_trace_weight_equals_arena_consumption(self):
+        clight_behavior, _asm, machine = compile_and_run(
+            "int main() { "
+            "for (int i = 0; i < 10; i++) malloc(12); "
+            "malloc(100); return 0; }")
+        predicted = heap_usage(clight_behavior.trace)
+        assert predicted == machine.measured_heap_usage == 10 * 16 + 104
+
+    def test_dijkstra_queue_allocation_accounted(self):
+        source = load_source("mibench/dijkstra.c")
+        compilation = compile_c(source, filename="dijkstra.c")
+        clight_behavior = run_clight(compilation.clight, fuel=150_000_000)
+        _asm, machine = compilation.run(fuel=150_000_000)
+        predicted = heap_usage(clight_behavior.trace)
+        assert predicted == machine.measured_heap_usage
+        assert predicted > 0  # the work queue mallocs its nodes
+
+    def test_no_mallocs_no_heap(self):
+        _clight, _asm, machine = compile_and_run(
+            "int main() { return 3; }")
+        assert machine.measured_heap_usage == 0

@@ -1,0 +1,272 @@
+"""Unit tests for the quantitative-logic derivation checker.
+
+Each test hand-builds a derivation (the way a proof script would) and
+checks that the checker accepts correct rule applications and rejects
+broken ones — the executable analogue of Coq rejecting a bad proof term.
+"""
+
+import pytest
+
+from repro.clight import ast as cl
+from repro.errors import DerivationError
+from repro.logic import derivation as dv
+from repro.logic.assertions import FunContext, FunSpec, Post
+from repro.logic.bexpr import (BFrameDiff, TOP, ZERO, badd, bconst, bmax,
+                               bmetric)
+from repro.logic.checker import CheckerContext, check_derivation
+from repro.memory.chunks import Chunk
+
+
+def ctx(gamma=None, externals=("print_int",)):
+    return CheckerContext(gamma or FunContext(), externals=externals)
+
+
+def uniform(bound, stmt):
+    return dv.Triple(bound, stmt, Post.uniform(bound))
+
+
+SKIP = cl.SSkip()
+
+
+class TestAxioms:
+    def test_skip_accepts(self):
+        report = check_derivation(dv.DSkip(uniform(ZERO, SKIP)), ctx())
+        assert report.nodes == 1
+
+    def test_skip_with_budget(self):
+        bound = badd(bmetric("f"), bconst(4))
+        check_derivation(dv.DSkip(uniform(bound, SKIP)), ctx())
+
+    def test_skip_wrong_post_rejected(self):
+        triple = dv.Triple(bconst(4), SKIP, Post.uniform(bconst(8)))
+        with pytest.raises(DerivationError):
+            check_derivation(dv.DSkip(triple), ctx())
+
+    def test_skip_on_wrong_statement_rejected(self):
+        with pytest.raises(DerivationError):
+            check_derivation(dv.DSkip(uniform(ZERO, cl.SBreak())), ctx())
+
+    def test_break_checks_break_slot(self):
+        stmt = cl.SBreak()
+        good = dv.Triple(bconst(4), stmt,
+                         Post(TOP, bconst(4), TOP, TOP))
+        check_derivation(dv.DBreak(good), ctx())
+        bad = dv.Triple(bconst(4), stmt, Post(bconst(4), TOP, TOP, TOP))
+        with pytest.raises(DerivationError):
+            check_derivation(dv.DBreak(bad), ctx())
+
+    def test_return_checks_return_slot(self):
+        stmt = cl.SReturn(None)
+        good = dv.Triple(bconst(4), stmt, Post(TOP, TOP, bconst(4), TOP))
+        check_derivation(dv.DReturn(good), ctx())
+
+    def test_set_and_store_cost_nothing(self):
+        set_stmt = cl.SSet("x", cl.EConstInt(1))
+        check_derivation(dv.DSet(uniform(ZERO, set_stmt)), ctx())
+        store = cl.SStore(Chunk.INT32, cl.EAddrGlobal("g"), cl.EConstInt(1))
+        check_derivation(dv.DStore(uniform(ZERO, store)), ctx())
+
+
+class TestCall:
+    def make_gamma(self):
+        gamma = FunContext()
+        gamma.add(FunSpec.constant("f", ZERO))
+        gamma.add(FunSpec.constant("g", bmetric("f")))  # g calls f
+        return gamma
+
+    def test_leaf_call(self):
+        stmt = cl.SCall(None, "f", [])
+        bound = bmetric("f")
+        node = dv.DCall(uniform(bound, stmt), "f", {})
+        check_derivation(node, ctx(self.make_gamma()))
+
+    def test_nested_call_bound(self):
+        stmt = cl.SCall("r", "g", [])
+        bound = badd(bmetric("f"), bmetric("g"))
+        node = dv.DCall(uniform(bound, stmt), "g", {})
+        check_derivation(node, ctx(self.make_gamma()))
+
+    def test_underestimating_call_rejected(self):
+        stmt = cl.SCall(None, "g", [])
+        node = dv.DCall(uniform(bmetric("g"), stmt), "g", {})
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx(self.make_gamma()))
+
+    def test_call_without_spec_rejected(self):
+        stmt = cl.SCall(None, "mystery", [])
+        node = dv.DCall(uniform(bmetric("mystery"), stmt), "mystery", {})
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx(self.make_gamma()))
+
+    def test_external_call_costs_zero(self):
+        stmt = cl.SCall(None, "print_int", [cl.EConstInt(1)])
+        node = dv.DExternal(uniform(ZERO, stmt), "print_int")
+        check_derivation(node, ctx(self.make_gamma()))
+
+    def test_external_rule_on_internal_rejected(self):
+        stmt = cl.SCall(None, "f", [])
+        node = dv.DExternal(uniform(ZERO, stmt), "f")
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx(self.make_gamma()))
+
+    def test_undeclared_external_rejected(self):
+        stmt = cl.SCall(None, "launch_missiles", [])
+        node = dv.DExternal(uniform(ZERO, stmt), "launch_missiles")
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx(self.make_gamma()))
+
+
+class TestSeqAndFrame:
+    def make_figure5(self):
+        """The paper's Fig. 5 derivation: {max(mf,mg)} f(); g() {...}."""
+        gamma = FunContext()
+        gamma.add(FunSpec.constant("f", ZERO))
+        gamma.add(FunSpec.constant("g", ZERO))
+        call_f = cl.SCall(None, "f", [])
+        call_g = cl.SCall(None, "g", [])
+        seq = cl.SSeq(call_f, call_g)
+        mf, mg = bmetric("f"), bmetric("g")
+        total = bmax(mf, mg)
+
+        def framed_call(stmt, name, own):
+            base = dv.DCall(uniform(own, stmt), name, {})
+            diff = BFrameDiff(total, own)
+            lifted = dv.Triple(badd(own, diff), stmt,
+                               Post.uniform(badd(own, diff)))
+            return dv.DFrame(lifted, diff, base)
+
+        node = dv.DSeq(uniform(total, seq),
+                       framed_call(call_f, "f", mf),
+                       framed_call(call_g, "g", mg))
+        return node, gamma
+
+    def test_figure5_accepted_exactly(self):
+        node, gamma = self.make_figure5()
+        report = check_derivation(node, ctx(gamma))
+        assert report.fully_exact
+        assert report.nodes == 5
+
+    def test_seq_mismatched_interface_rejected(self):
+        gamma = FunContext()
+        gamma.add(FunSpec.constant("f", ZERO))
+        call_f = cl.SCall(None, "f", [])
+        skip = cl.SSkip()
+        seq = cl.SSeq(call_f, skip)
+        # First consumes M(f) but claims the whole seq needs 0.
+        node = dv.DSeq(uniform(ZERO, seq),
+                       dv.DCall(uniform(bmetric("f"), call_f), "f", {}),
+                       dv.DSkip(uniform(ZERO, skip)))
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx(gamma))
+
+    def test_seq_wrong_subtree_statement_rejected(self):
+        skip1, skip2 = cl.SSkip(), cl.SSkip()
+        seq = cl.SSeq(skip1, skip2)
+        other = cl.SSkip()
+        node = dv.DSeq(uniform(ZERO, seq),
+                       dv.DSkip(uniform(ZERO, other)),  # wrong object
+                       dv.DSkip(uniform(ZERO, skip2)))
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx())
+
+    def test_frame_negative_constant_impossible(self):
+        # BFrameDiff clamps at 0 so any frame is accepted; a raw negative
+        # constant cannot even be constructed.
+        with pytest.raises(ValueError):
+            bconst(-4)
+
+
+class TestConseq:
+    def test_weakening_precondition(self):
+        stmt = cl.SSkip()
+        inner = dv.DSkip(uniform(bconst(4), stmt))
+        conclusion = dv.Triple(bconst(10), stmt, Post.uniform(bconst(4)))
+        check_derivation(dv.DConseq(conclusion, inner), ctx())
+
+    def test_lowering_postcondition(self):
+        stmt = cl.SSkip()
+        inner = dv.DSkip(uniform(bconst(4), stmt))
+        conclusion = dv.Triple(bconst(4), stmt, Post.uniform(bconst(0)))
+        check_derivation(dv.DConseq(conclusion, inner), ctx())
+
+    def test_strengthening_precondition_rejected(self):
+        stmt = cl.SSkip()
+        inner = dv.DSkip(uniform(bconst(4), stmt))
+        conclusion = dv.Triple(bconst(2), stmt, Post.uniform(bconst(0)))
+        with pytest.raises(DerivationError):
+            check_derivation(dv.DConseq(conclusion, inner), ctx())
+
+    def test_raising_postcondition_rejected(self):
+        stmt = cl.SSkip()
+        inner = dv.DSkip(uniform(bconst(4), stmt))
+        conclusion = dv.Triple(bconst(4), stmt, Post.uniform(bconst(9)))
+        with pytest.raises(DerivationError):
+            check_derivation(dv.DConseq(conclusion, inner), ctx())
+
+
+class TestLoopAndBlock:
+    def test_loop_invariant(self):
+        body = cl.SSkip()
+        post = cl.SSkip()
+        loop = cl.SLoop(body, post)
+        invariant = bconst(8)
+        node = dv.DLoop(
+            dv.Triple(invariant, loop, Post.uniform(invariant)),
+            dv.DSkip(uniform(invariant, body)),
+            dv.DSkip(uniform(invariant, post)))
+        check_derivation(node, ctx())
+
+    def test_loop_broken_invariant_rejected(self):
+        body = cl.SSkip()
+        post = cl.SSkip()
+        loop = cl.SLoop(body, post)
+        node = dv.DLoop(
+            dv.Triple(bconst(8), loop, Post.uniform(bconst(8))),
+            dv.DSkip(uniform(bconst(8), body)),
+            dv.DSkip(uniform(bconst(4), post)))  # post does not restore
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx())
+
+    def test_block(self):
+        inner = cl.SBreak()
+        block = cl.SBlock(inner)
+        bound = bconst(4)
+        node = dv.DBlock(
+            dv.Triple(bound, block, Post.uniform(bound)),
+            dv.DBreak(dv.Triple(bound, inner,
+                                Post(bound, bound, bound, bound))))
+        check_derivation(node, ctx())
+
+
+class TestIf:
+    def test_branches_must_match_interface(self):
+        then, otherwise = cl.SSkip(), cl.SSkip()
+        stmt = cl.SIf(cl.EConstInt(1), then, otherwise)
+        node = dv.DIf(uniform(bconst(4), stmt),
+                      dv.DSkip(uniform(bconst(4), then)),
+                      dv.DSkip(uniform(bconst(4), otherwise)))
+        report = check_derivation(node, ctx())
+        assert report.nodes == 3
+
+    def test_unequal_branch_rejected(self):
+        then, otherwise = cl.SSkip(), cl.SSkip()
+        stmt = cl.SIf(cl.EConstInt(1), then, otherwise)
+        node = dv.DIf(uniform(bconst(4), stmt),
+                      dv.DSkip(uniform(bconst(4), then)),
+                      dv.DSkip(uniform(bconst(2), otherwise)))
+        with pytest.raises(DerivationError):
+            check_derivation(node, ctx())
+
+
+class TestDerivationUtilities:
+    def test_size(self):
+        skip1, skip2 = cl.SSkip(), cl.SSkip()
+        seq = cl.SSeq(skip1, skip2)
+        node = dv.DSeq(uniform(ZERO, seq),
+                       dv.DSkip(uniform(ZERO, skip1)),
+                       dv.DSkip(uniform(ZERO, skip2)))
+        assert node.size() == 3
+
+    def test_pretty_renders_tree(self):
+        node = dv.DSkip(uniform(ZERO, cl.SSkip()))
+        assert "Q:SKIP" in dv.pretty(node)

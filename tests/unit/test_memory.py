@@ -1,0 +1,151 @@
+"""Unit tests for the block memory model."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import Chunk, Memory, VFloat, VInt, VPtr, VUndef
+
+
+@pytest.fixture
+def memory():
+    return Memory()
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_blocks(self, memory):
+        a = memory.alloc(16)
+        b = memory.alloc(16)
+        assert a.block != b.block
+
+    def test_alloc_offset_zero(self, memory):
+        assert memory.alloc(8).offset == 0
+
+    def test_negative_size_rejected(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.alloc(-1)
+
+    def test_free_then_access_goes_wrong(self, memory):
+        ptr = memory.alloc(8)
+        memory.store(Chunk.INT32, ptr, VInt(1))
+        memory.free(ptr)
+        with pytest.raises(MemoryError_):
+            memory.load(Chunk.INT32, ptr)
+        with pytest.raises(MemoryError_):
+            memory.store(Chunk.INT32, ptr, VInt(2))
+
+    def test_free_interior_pointer_rejected(self, memory):
+        ptr = memory.alloc(8)
+        with pytest.raises(MemoryError_):
+            memory.free(ptr.add(4))
+
+    def test_double_free_goes_wrong(self, memory):
+        ptr = memory.alloc(8)
+        memory.free(ptr)
+        with pytest.raises(MemoryError_):
+            memory.free(ptr)
+
+    def test_peak_live_bytes_tracks_watermark(self, memory):
+        a = memory.alloc(100)
+        memory.free(a)
+        memory.alloc(50)
+        assert memory.peak_live_bytes == 100
+        assert memory.live_bytes == 50
+
+
+class TestScalarAccess:
+    def test_int32_roundtrip(self, memory):
+        ptr = memory.alloc(4)
+        memory.store(Chunk.INT32, ptr, VInt(-123456))
+        assert memory.load(Chunk.INT32, ptr) == VInt(-123456)
+
+    def test_float64_roundtrip(self, memory):
+        ptr = memory.alloc(8)
+        memory.store(Chunk.FLOAT64, ptr, VFloat(3.25))
+        assert memory.load(Chunk.FLOAT64, ptr) == VFloat(3.25)
+
+    def test_int8_signed_truncates_and_extends(self, memory):
+        ptr = memory.alloc(1)
+        memory.store(Chunk.INT8_SIGNED, ptr, VInt(0x1FF))
+        assert memory.load(Chunk.INT8_SIGNED, ptr) == VInt(-1)
+        assert memory.load(Chunk.INT8_UNSIGNED, ptr) == VInt(0xFF)
+
+    def test_int16_roundtrip(self, memory):
+        ptr = memory.alloc(2)
+        memory.store(Chunk.INT16_UNSIGNED, ptr, VInt(0x12345))
+        assert memory.load(Chunk.INT16_UNSIGNED, ptr) == VInt(0x2345)
+        assert memory.load(Chunk.INT16_SIGNED, ptr) == VInt(0x2345)
+
+    def test_uninitialized_reads_undef(self, memory):
+        ptr = memory.alloc(4)
+        assert memory.load(Chunk.INT32, ptr) == VUndef()
+
+    def test_out_of_bounds_rejected(self, memory):
+        ptr = memory.alloc(4)
+        with pytest.raises(MemoryError_):
+            memory.load(Chunk.INT32, ptr.add(1))  # also misaligned
+        with pytest.raises(MemoryError_):
+            memory.load(Chunk.INT32, ptr.add(4))
+
+    def test_misaligned_access_rejected(self, memory):
+        ptr = memory.alloc(16)
+        with pytest.raises(MemoryError_):
+            memory.load(Chunk.INT32, ptr.add(2))
+        with pytest.raises(MemoryError_):
+            memory.store(Chunk.FLOAT64, ptr.add(2), VFloat(1.0))
+
+    def test_float64_alignment_is_4(self, memory):
+        # CompCert's IA32 ABI: float64 chunks align to 4, not 8.
+        ptr = memory.alloc(16)
+        memory.store(Chunk.FLOAT64, ptr.add(4), VFloat(1.5))
+        assert memory.load(Chunk.FLOAT64, ptr.add(4)) == VFloat(1.5)
+
+    def test_wrong_class_store_rejected(self, memory):
+        ptr = memory.alloc(8)
+        with pytest.raises(MemoryError_):
+            memory.store(Chunk.FLOAT64, ptr, VInt(1))
+        with pytest.raises(MemoryError_):
+            memory.store(Chunk.INT32, ptr, VFloat(1.0))
+
+
+class TestPointerValues:
+    def test_pointer_roundtrip_through_memory(self, memory):
+        target = memory.alloc(4)
+        cell = memory.alloc(4)
+        memory.store(Chunk.INT32, cell, target.add(0))
+        assert memory.load(Chunk.INT32, cell) == VPtr(target.block, 0)
+
+    def test_partial_pointer_overwrite_reads_undef(self, memory):
+        target = memory.alloc(4)
+        cell = memory.alloc(4)
+        memory.store(Chunk.INT32, cell, target)
+        memory.store(Chunk.INT8_UNSIGNED, cell, VInt(7))
+        assert memory.load(Chunk.INT32, cell) == VUndef()
+
+    def test_pointer_through_narrow_chunk_rejected(self, memory):
+        cell = memory.alloc(4)
+        with pytest.raises(MemoryError_):
+            memory.store(Chunk.INT16_UNSIGNED, cell, VPtr(1, 0))
+
+    def test_overlapping_int_store_clobbers(self, memory):
+        ptr = memory.alloc(8)
+        memory.store(Chunk.INT32, ptr, VInt(0x11223344))
+        memory.store(Chunk.INT8_UNSIGNED, ptr.add(1), VInt(0xAA))
+        assert memory.load(Chunk.INT32, ptr) == VInt(0x1122AA44)
+
+
+class TestRawBytes:
+    def test_store_load_bytes(self, memory):
+        ptr = memory.alloc(4)
+        memory.store_bytes(ptr, b"\x01\x02\x03\x04")
+        assert memory.load_bytes(ptr, 4) == b"\x01\x02\x03\x04"
+        assert memory.load(Chunk.INT32, ptr) == VInt(0x04030201)
+
+    def test_load_bytes_of_undef_rejected(self, memory):
+        ptr = memory.alloc(4)
+        with pytest.raises(MemoryError_):
+            memory.load_bytes(ptr, 4)
+
+    def test_store_bytes_out_of_range(self, memory):
+        ptr = memory.alloc(2)
+        with pytest.raises(MemoryError_):
+            memory.store_bytes(ptr, b"\x00\x01\x02")

@@ -1,0 +1,133 @@
+"""Unit tests for the shared operator semantics (repro.ops)."""
+
+import pytest
+
+from repro import ops
+from repro.errors import UndefinedBehaviorError
+from repro.memory.values import VFloat, VInt, VPtr, VUndef
+
+
+class TestUnops:
+    def test_neg(self):
+        assert ops.eval_unop("neg", VInt(5)) == VInt(-5)
+
+    def test_notint(self):
+        assert ops.eval_unop("notint", VInt(0)) == VInt(-1)
+
+    def test_notbool_on_int(self):
+        assert ops.eval_unop("notbool", VInt(0)) == VInt(1)
+        assert ops.eval_unop("notbool", VInt(7)) == VInt(0)
+
+    def test_notbool_on_pointer(self):
+        assert ops.eval_unop("notbool", VPtr(1, 0)) == VInt(0)
+
+    def test_negf(self):
+        assert ops.eval_unop("negf", VFloat(2.5)) == VFloat(-2.5)
+
+    def test_conversions(self):
+        assert ops.eval_unop("intoffloat", VFloat(-3.7)) == VInt(-3)
+        assert ops.eval_unop("floatofint", VInt(-3)) == VFloat(-3.0)
+        assert ops.eval_unop("floatofuint", VInt(-1)) == \
+            VFloat(float(2 ** 32 - 1))
+        assert ops.eval_unop("uintoffloat", VFloat(4e9)) == VInt(4_000_000_000)
+
+    def test_uintoffloat_range_checks(self):
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_unop("uintoffloat", VFloat(-1.0))
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_unop("uintoffloat", VFloat(2.0 ** 33))
+
+    def test_narrowing_casts(self):
+        assert ops.eval_unop("cast8signed", VInt(0xFF)) == VInt(-1)
+        assert ops.eval_unop("cast8unsigned", VInt(0x1FF)) == VInt(0xFF)
+        assert ops.eval_unop("cast16signed", VInt(0x8000)) == VInt(-32768)
+        assert ops.eval_unop("cast16unsigned", VInt(0x18000)) == VInt(0x8000)
+
+    def test_undef_operand_goes_wrong(self):
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_unop("neg", VUndef())
+
+    def test_wrong_class_goes_wrong(self):
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_unop("neg", VFloat(1.0))
+
+
+class TestIntBinops:
+    def test_arithmetic(self):
+        assert ops.eval_binop("add", VInt(2), VInt(3)) == VInt(5)
+        assert ops.eval_binop("sub", VInt(2), VInt(3)) == VInt(-1)
+        assert ops.eval_binop("mul", VInt(-2), VInt(3)) == VInt(-6)
+
+    def test_division_signedness(self):
+        assert ops.eval_binop("divs", VInt(-7), VInt(2)) == VInt(-3)
+        assert ops.eval_binop("divu", VInt(-7), VInt(2)) == \
+            VInt((2 ** 32 - 7) // 2)
+
+    def test_division_by_zero(self):
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_binop("divs", VInt(1), VInt(0))
+
+    def test_shifts(self):
+        assert ops.eval_binop("shl", VInt(1), VInt(4)) == VInt(16)
+        assert ops.eval_binop("shrs", VInt(-8), VInt(1)) == VInt(-4)
+        assert ops.eval_binop("shru", VInt(-8), VInt(1)) == VInt(0x7FFFFFFC)
+
+    def test_comparisons(self):
+        assert ops.eval_binop("cmp_lts", VInt(-1), VInt(0)) == VInt(1)
+        assert ops.eval_binop("cmp_ltu", VInt(-1), VInt(0)) == VInt(0)
+        assert ops.eval_binop("cmp_eq", VInt(4), VInt(4)) == VInt(1)
+
+
+class TestFloatBinops:
+    def test_arithmetic(self):
+        assert ops.eval_binop("addf", VFloat(1.5), VFloat(2.5)) == VFloat(4.0)
+        assert ops.eval_binop("mulf", VFloat(3.0), VFloat(2.0)) == VFloat(6.0)
+
+    def test_division_by_zero_is_ieee(self):
+        inf = ops.eval_binop("divf", VFloat(1.0), VFloat(0.0))
+        assert inf.value == float("inf")
+        neg_inf = ops.eval_binop("divf", VFloat(-1.0), VFloat(0.0))
+        assert neg_inf.value == float("-inf")
+        nan = ops.eval_binop("divf", VFloat(0.0), VFloat(0.0))
+        assert nan.value != nan.value
+
+    def test_comparisons(self):
+        assert ops.eval_binop("cmpf_lt", VFloat(1.0), VFloat(2.0)) == VInt(1)
+        assert ops.eval_binop("cmpf_ge", VFloat(1.0), VFloat(2.0)) == VInt(0)
+
+    def test_nan_compares_false(self):
+        nan = VFloat(float("nan"))
+        assert ops.eval_binop("cmpf_eq", nan, nan) == VInt(0)
+        assert ops.eval_binop("cmpf_ne", nan, nan) == VInt(1)
+
+
+class TestPointerOps:
+    def test_pointer_plus_int(self):
+        ptr = VPtr(3, 8)
+        assert ops.eval_binop("add", ptr, VInt(4)) == VPtr(3, 12)
+        assert ops.eval_binop("add", VInt(4), ptr) == VPtr(3, 12)
+
+    def test_pointer_minus_int(self):
+        assert ops.eval_binop("sub", VPtr(3, 8), VInt(4)) == VPtr(3, 4)
+
+    def test_pointer_difference_same_block(self):
+        assert ops.eval_binop("sub", VPtr(3, 12), VPtr(3, 4)) == VInt(8)
+
+    def test_pointer_difference_cross_block_is_ub(self):
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_binop("sub", VPtr(3, 0), VPtr(4, 0))
+
+    def test_same_block_ordering(self):
+        assert ops.eval_binop("cmp_ltu", VPtr(1, 0), VPtr(1, 4)) == VInt(1)
+
+    def test_cross_block_equality_is_false(self):
+        assert ops.eval_binop("cmp_eq", VPtr(1, 0), VPtr(2, 0)) == VInt(0)
+        assert ops.eval_binop("cmp_ne", VPtr(1, 0), VPtr(2, 0)) == VInt(1)
+
+    def test_cross_block_ordering_is_ub(self):
+        with pytest.raises(UndefinedBehaviorError):
+            ops.eval_binop("cmp_ltu", VPtr(1, 0), VPtr(2, 0))
+
+    def test_null_comparison(self):
+        assert ops.eval_binop("cmp_eq", VPtr(1, 0), VInt(0)) == VInt(0)
+        assert ops.eval_binop("cmp_ne", VInt(0), VPtr(1, 0)) == VInt(1)

@@ -1,0 +1,254 @@
+"""Unit tests for the C parser."""
+
+import pytest
+
+from repro.c import ast
+from repro.c import types as ct
+from repro.c.parser import parse
+from repro.errors import ParseError, UnsupportedFeatureError
+
+
+def parse_expr_stmt(expr_text):
+    program = parse(f"int main() {{ {expr_text}; }}")
+    stmt = program.functions[0].body.body[0]
+    assert isinstance(stmt, ast.SExpr)
+    return stmt.expr
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        program = parse("int x = 5;")
+        assert program.globals[0].name == "x"
+        assert program.globals[0].ctype == ct.INT
+
+    def test_global_array(self):
+        program = parse("unsigned int a[10];")
+        decl = program.globals[0]
+        assert decl.ctype == ct.TArray(ct.UINT, 10)
+
+    def test_multi_dimensional_array(self):
+        program = parse("int m[3][4];")
+        assert program.globals[0].ctype == ct.TArray(ct.TArray(ct.INT, 4), 3)
+
+    def test_array_size_constant_expression(self):
+        program = parse("#define N 4\nint a[N * 2 + 1];")
+        assert program.globals[0].ctype.length == 9
+
+    def test_pointer_declarator(self):
+        program = parse("int *p;")
+        assert program.globals[0].ctype == ct.TPointer(ct.INT)
+
+    def test_multiple_globals_one_line(self):
+        program = parse("int a, b = 2;")
+        assert [g.name for g in program.globals] == ["a", "b"]
+
+    def test_typedef(self):
+        program = parse("typedef unsigned int u32; u32 x;")
+        assert program.globals[0].ctype == ct.UINT
+
+    def test_function_definition(self):
+        program = parse("int f(int a, double b) { return a; }")
+        function = program.functions[0]
+        assert function.name == "f"
+        assert [p.ctype for p in function.params] == [ct.INT, ct.DOUBLE]
+
+    def test_void_params(self):
+        program = parse("int f(void) { return 0; }")
+        assert program.functions[0].params == []
+
+    def test_forward_declaration_becomes_extern(self):
+        program = parse("int f(int x);")
+        assert program.externs[0].name == "f"
+
+    def test_array_param_decays(self):
+        program = parse("int f(int a[]) { return a[0]; }")
+        assert program.functions[0].params[0].ctype == ct.TPointer(ct.INT)
+
+    def test_struct_definition(self):
+        program = parse("struct P { int x; double y; };")
+        struct = program.structs["P"]
+        assert struct.field("x").offset == 0
+        assert struct.field("y").offset == 4  # double aligns to 4 on IA32
+
+    def test_struct_self_reference_through_pointer(self):
+        program = parse("struct N { int v; struct N *next; };")
+        struct = program.structs["N"]
+        assert struct.field("next").ctype == ct.TPointer(struct)
+        assert struct.size == 8
+
+    def test_struct_use_before_definition_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("struct X y;")
+
+    def test_struct_redefinition_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct A { int x; }; struct A { int y; };")
+
+    def test_initializer_list(self):
+        program = parse("int a[3] = {1, 2, 3};")
+        init = program.globals[0].init
+        assert isinstance(init, ast.InitList)
+        assert len(init.items) == 3
+
+    def test_trailing_comma_in_initializer(self):
+        program = parse("int a[2] = {1, 2,};")
+        assert len(program.globals[0].init.items) == 2
+
+
+class TestUnsupportedFeatures:
+    def test_goto_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int main() { goto end; }")
+
+    def test_function_pointer_declarator_rejected(self):
+        # Function-pointer declarators are outside the grammar entirely.
+        with pytest.raises((ParseError, UnsupportedFeatureError)):
+            parse("int main() { int (*f)(void); }")
+
+    def test_union_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("union U { int a; };")
+
+    def test_long_long_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("long long x;")
+
+    def test_call_through_expression_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("int a[2]; int main() { (a[0])(); }")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr_stmt("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_shift_vs_add(self):
+        expr = parse_expr_stmt("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_assignment_right_associative(self):
+        program = parse("int main() { int a; int b; a = b = 1; }")
+        stmt = program.functions[0].body.body[2]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_conditional_expression(self):
+        expr = parse_expr_stmt("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_logical_operators(self):
+        expr = parse_expr_stmt("1 && 2 || 3")
+        assert isinstance(expr, ast.Logical) and expr.op == "||"
+
+    def test_unary_chain(self):
+        expr = parse_expr_stmt("-~!1")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_postfix_chain(self):
+        expr = parse_expr_stmt("a[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_member_access(self):
+        expr = parse_expr_stmt("p->f.g")
+        assert isinstance(expr, ast.Member) and not expr.through_pointer
+        assert expr.base.through_pointer
+
+    def test_cast(self):
+        expr = parse_expr_stmt("(double)1")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ct.DOUBLE
+
+    def test_parenthesized_not_cast(self):
+        expr = parse_expr_stmt("(1) + 2")
+        assert isinstance(expr, ast.Binary)
+
+    def test_sizeof_type(self):
+        expr = parse_expr_stmt("sizeof(int)")
+        assert isinstance(expr, ast.SizeOf)
+        assert expr.arg_type == ct.INT
+
+    def test_sizeof_expression(self):
+        program = parse("int x; int main() { sizeof x; }")
+        expr = program.functions[0].body.body[0].expr
+        assert expr.arg_expr is not None
+
+    def test_incdec_forms(self):
+        pre = parse_expr_stmt("++x")
+        post = parse_expr_stmt("x--")
+        assert pre.is_prefix and not post.is_prefix
+
+    def test_comma_expression(self):
+        expr = parse_expr_stmt("1, 2")
+        assert isinstance(expr, ast.Comma)
+
+    def test_compound_assignments(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                   "<<=", ">>="):
+            expr = parse_expr_stmt(f"x {op} 1")
+            assert isinstance(expr, ast.Assign) and expr.op == op
+
+
+class TestStatements:
+    def body(self, text):
+        return parse(f"int main() {{ {text} }}").functions[0].body.body
+
+    def test_if_else(self):
+        (stmt,) = self.body("if (1) ; else ;")
+        assert isinstance(stmt, ast.SIf) and stmt.otherwise is not None
+
+    def test_dangling_else(self):
+        (stmt,) = self.body("if (1) if (2) ; else ;")
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_while(self):
+        (stmt,) = self.body("while (1) break;")
+        assert isinstance(stmt, ast.SWhile)
+
+    def test_do_while(self):
+        (stmt,) = self.body("do ; while (0);")
+        assert isinstance(stmt, ast.SDoWhile)
+
+    def test_for_full(self):
+        (stmt,) = self.body("for (int i = 0; i < 3; i++) continue;")
+        assert isinstance(stmt, ast.SFor)
+        assert isinstance(stmt.init, ast.SDecl)
+
+    def test_for_empty_parts(self):
+        (stmt,) = self.body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch(self):
+        (stmt,) = self.body(
+            "switch (1) { case 1: break; case 2: case 3: break; default: ; }")
+        assert isinstance(stmt, ast.SSwitch)
+        values = [v for v, _stmts in stmt.cases]
+        assert values == [1, 2, 3, None]
+
+    def test_return_forms(self):
+        stmts = self.body("return; return 1;")
+        assert stmts[0].value is None
+        assert stmts[1].value is not None
+
+    def test_decl_group(self):
+        (stmt,) = self.body("int a = 1, b = 2;")
+        assert isinstance(stmt, ast.SDeclGroup)
+        assert len(stmt.decls) == 2
+
+    def test_nested_blocks(self):
+        (stmt,) = self.body("{ int x = 1; { int y = 2; } }")
+        assert isinstance(stmt, ast.SBlock)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse("int main() { if (1) { }")

@@ -1,0 +1,239 @@
+"""Unit tests for the extension passes: CSE, tail-call recognition, and
+the interactive body-level prover."""
+
+import pytest
+
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.clight.from_c import clight_of_program
+from repro.clight.semantics import run_program as run_clight
+from repro.cminor import cminor_of_clight
+from repro.driver import CompilerOptions, compile_c
+from repro.errors import AnalysisError, DerivationError
+from repro.events.refinement import (check_quantitative_refinement,
+                                     dominates_for_all_metrics)
+from repro.events.trace import CallEvent
+from repro.rtl import ast as rtl
+from repro.rtl.cse import cse_function, cse_program
+from repro.rtl.lower import rtl_of_cminor
+from repro.rtl.semantics import run_program as run_rtl
+from repro.rtl.tailcall import tailcall_function, tailcall_program
+
+
+def lower(source):
+    program = parse(source)
+    env = typecheck(program)
+    return clight_of_program(program, env)
+
+
+def to_rtl(source):
+    return rtl_of_cminor(cminor_of_clight(lower(source)))
+
+
+class TestCSE:
+    def test_repeated_expression_eliminated(self):
+        program = to_rtl(
+            "int f(int a, int b) { return (a * b) + (a * b); } "
+            "int main() { return f(6, 7); }")
+        changed = cse_program(program)
+        assert changed >= 1
+        assert run_rtl(program).return_code == 84
+
+    def test_redefinition_kills_availability(self):
+        program = to_rtl(
+            "int f(int a) { int x = a * a; a = a + 1; int y = a * a; "
+            "return x + y; } int main() { return f(3); }")
+        cse_program(program)
+        assert run_rtl(program).return_code == 9 + 16
+
+    def test_store_kills_loads(self):
+        program = to_rtl(
+            "int g[2]; int main() { g[0] = 1; int a = g[0]; g[0] = 2; "
+            "int b = g[0]; return a * 10 + b; }")
+        cse_program(program)
+        assert run_rtl(program).return_code == 12
+
+    def test_call_kills_loads(self):
+        program = to_rtl(
+            "int g; void set() { g = 9; } "
+            "int main() { g = 1; int a = g; set(); int b = g; "
+            "return a * 10 + b; }")
+        cse_program(program)
+        assert run_rtl(program).return_code == 19
+
+    def test_load_reused_when_safe(self):
+        program = to_rtl(
+            "int g; int main() { g = 5; int a = g; int b = g; "
+            "return a + b; }")
+        before = sum(1 for f in program.functions.values()
+                     for i in f.graph.values() if isinstance(i, rtl.Iload))
+        changed = cse_program(program)
+        after = sum(1 for f in program.functions.values()
+                    for i in f.graph.values() if isinstance(i, rtl.Iload))
+        assert changed >= 1 and after < before
+        assert run_rtl(program).return_code == 10
+
+    def test_branch_join_intersects(self):
+        program = to_rtl(
+            "int f(int c, int a) { int r; "
+            "if (c) r = a * a; else r = a + a; "
+            "return r + a * a; } "
+            "int main() { return f(1, 4) + f(0, 4); }")
+        cse_program(program)
+        # f(1,4)=32, f(0,4)=24
+        assert run_rtl(program).return_code == 56
+
+    def test_behavior_preserved_on_benchmarks(self):
+        source = ("int h(int x) { return x * x + x * x; } "
+                  "int main() { int s = 0; "
+                  "for (int i = 0; i < 5; i++) s += h(i); return s; }")
+        plain = compile_c(source, options=CompilerOptions(cse=False))
+        csed = compile_c(source, options=CompilerOptions(cse=True))
+        b1, _m = plain.run()
+        b2, _m = csed.run()
+        assert b1.return_code == b2.return_code == 60
+
+
+SELF_TAIL = ("int gcd(int a, int b) { if (b == 0) return a; "
+             "return gcd(b, a % b); } "
+             "int main() { return gcd(252, 105); }")
+
+
+class TestTailcall:
+    def test_self_tail_call_converted(self):
+        program = to_rtl(SELF_TAIL)
+        converted = tailcall_program(program)
+        assert converted == 1
+        behavior = run_rtl(program)
+        assert behavior.return_code == 21
+
+    def test_call_events_deleted(self):
+        program = to_rtl(SELF_TAIL)
+        baseline = run_rtl(to_rtl(SELF_TAIL))
+        tailcall_program(program)
+        optimized = run_rtl(program)
+        calls_before = sum(1 for e in baseline.trace
+                           if e == CallEvent("gcd"))
+        calls_after = sum(1 for e in optimized.trace
+                          if e == CallEvent("gcd"))
+        assert calls_before > 1
+        assert calls_after == 1
+
+    def test_quantitative_refinement_holds(self):
+        program = to_rtl(SELF_TAIL)
+        baseline = run_rtl(to_rtl(SELF_TAIL))
+        tailcall_program(program)
+        optimized = run_rtl(program)
+        assert dominates_for_all_metrics(optimized.trace, baseline.trace)
+        check_quantitative_refinement(optimized, baseline)
+
+    def test_non_tail_recursion_untouched(self):
+        source = ("int fact(int n) { if (n <= 1) return 1; "
+                  "return n * fact(n - 1); } "
+                  "int main() { return fact(6); }")
+        program = to_rtl(source)
+        assert tailcall_program(program) == 0
+        assert run_rtl(program).return_code == 720
+
+    def test_functions_with_frames_excluded(self):
+        source = ("int f(int n) { int a[2]; a[0] = n; "
+                  "if (n == 0) return a[0]; return f(n - 1); } "
+                  "int main() { return f(3); }")
+        program = to_rtl(source)
+        assert tailcall_program(program) == 0
+
+    def test_argument_swap_handled(self):
+        # gcd(b, a % b) swaps its arguments: the parallel-move temps must
+        # prevent the first assignment from clobbering the second's input.
+        source = ("int sub(int a, int b) { if (a == 0) return b; "
+                  "return sub(a - 1, b + a); } "
+                  "int main() { return sub(4, 0); }")
+        program = to_rtl(source)
+        assert tailcall_program(program) == 1
+        assert run_rtl(program).return_code == 10
+
+    def test_constant_stack_end_to_end(self):
+        from repro.measure import measure_compilation
+
+        source = ("int count(int n, int acc) { if (n == 0) return acc; "
+                  "return count(n - 1, acc + 1); } "
+                  "int main() { return count(N, 0) == N; }")
+        shallow = compile_c(source, macros={"N": "8"},
+                            options=CompilerOptions(tailcall=True))
+        deep = compile_c(source, macros={"N": "800"},
+                         options=CompilerOptions(tailcall=True))
+        r1 = measure_compilation(shallow)
+        r2 = measure_compilation(deep)
+        assert r1.return_code == r2.return_code == 1
+        assert r1.measured_bytes == r2.measured_bytes  # constant stack
+
+
+class TestInteractiveProver:
+    def prove_recid(self, bound_factor_extra=0):
+        from repro.analyzer.interactive import prove_function
+        from repro.logic.assertions import FunContext, FunSpec
+        from repro.logic.bexpr import (BMul, BParamDiff, badd, bconst,
+                                       bmetric, bparam)
+        from repro.programs.loader import load_source
+
+        program = lower(load_source("recursive/recid.c"))
+        depth = bparam("n") if bound_factor_extra == 0 else \
+            badd(bparam("n"), bconst(bound_factor_extra))
+        spec = FunSpec("recid", ["n"], BMul(depth, bmetric("recid")))
+        gamma = FunContext()
+        gamma.add(spec)
+        hints = {"recid": lambda call: {
+            "n": BParamDiff(bparam("n"), bconst(1))}}
+        return prove_function(program, spec, gamma, hints,
+                              param_domains={"n": range(0, 64)})
+
+    def test_recid_body_proof_checks(self):
+        derivation, report = self.prove_recid()
+        assert report is not None
+        assert report.nodes > 5
+        assert report.sampled_conditions > 0  # parametric side conditions
+
+    def test_unsound_hint_rejected(self):
+        from repro.analyzer.interactive import prove_function
+        from repro.logic.assertions import FunContext, FunSpec
+        from repro.logic.bexpr import BMul, bmetric, bparam
+        from repro.programs.loader import load_source
+
+        program = lower(load_source("recursive/recid.c"))
+        spec = FunSpec("recid", ["n"], BMul(bparam("n"), bmetric("recid")))
+        gamma = FunContext()
+        gamma.add(spec)
+        # identity hint claims the callee needs as much as the caller —
+        # the induction does not go through.
+        hints = {"recid": lambda call: {"n": bparam("n")}}
+        with pytest.raises(DerivationError):
+            prove_function(program, spec, gamma, hints,
+                           param_domains={"n": range(0, 64)})
+
+    def test_missing_hint_rejected(self):
+        from repro.analyzer.interactive import prove_function
+        from repro.logic.assertions import FunContext, FunSpec
+        from repro.logic.bexpr import BMul, bmetric, bparam
+        from repro.programs.loader import load_source
+
+        program = lower(load_source("recursive/recid.c"))
+        spec = FunSpec("recid", ["n"], BMul(bparam("n"), bmetric("recid")))
+        gamma = FunContext()
+        gamma.add(spec)
+        with pytest.raises(AnalysisError):
+            prove_function(program, spec, gamma, hints={},
+                           param_domains={"n": range(0, 8)})
+
+    def test_proved_bound_sound_at_runtime(self):
+        from repro.logic.soundness import validate_call_bound
+        from repro.logic.bexpr import BMul, badd, bmetric, bparam
+        from repro.programs.loader import load_source
+
+        _derivation, _report = self.prove_recid()
+        source = load_source("recursive/recid.c")
+        compilation = compile_c(source, macros={"N": "20"})
+        bound = badd(bmetric("recid"),
+                     BMul(bparam("n"), bmetric("recid")))
+        for n in (0, 1, 7, 20):
+            validate_call_bound(compilation.clight, "recid", [n], bound,
+                                compilation.metric, params={"n": n})

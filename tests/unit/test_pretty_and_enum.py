@@ -1,0 +1,112 @@
+"""Unit tests for the C pretty-printer and enum support."""
+
+import pytest
+
+from repro.c.parser import parse
+from repro.c.pretty import pretty_program
+from repro.driver import compile_c
+from repro.errors import ParseError
+
+
+def run_source(source):
+    behavior, _machine = compile_c(source).run()
+    return behavior.return_code
+
+
+class TestEnum:
+    def test_sequential_values(self):
+        assert run_source(
+            "enum E { A, B, C }; int main() { return A * 100 + B * 10 + C; }"
+        ) == 12
+
+    def test_explicit_values_and_continuation(self):
+        assert run_source(
+            "enum E { A = 5, B, C = 20, D }; "
+            "int main() { return A + B + C + D; }") == 5 + 6 + 20 + 21
+
+    def test_enumerator_referencing_earlier(self):
+        assert run_source(
+            "enum E { A = 3, B = A * 2 }; int main() { return B; }") == 6
+
+    def test_enum_as_type_is_int(self):
+        assert run_source(
+            "enum Color { RED, GREEN }; enum Color c = GREEN; "
+            "int main() { return c + sizeof(c) * 0; }") == 1
+
+    def test_enum_in_switch_case(self):
+        assert run_source(
+            "enum E { X = 7 }; int main() { "
+            "switch (7) { case X: return 1; } return 0; }") == 1
+
+    def test_trailing_comma(self):
+        assert run_source("enum E { A, B, }; int main() { return B; }") == 1
+
+    def test_duplicate_enumerator_rejected(self):
+        with pytest.raises(ParseError):
+            parse("enum E { A, A };")
+
+    def test_anonymous_enum(self):
+        assert run_source(
+            "enum { K = 9 }; int main() { return K; }") == 9
+
+    def test_enum_constant_in_array_size(self):
+        assert run_source(
+            "enum { N = 4 }; int a[N]; "
+            "int main() { a[N - 1] = 5; return a[3]; }") == 5
+
+
+class TestPrettyPrinter:
+    def roundtrip(self, source):
+        printed = pretty_program(parse(source))
+        original, _m1 = compile_c(source).run()
+        reprinted, _m2 = compile_c(printed).run()
+        assert original == reprinted
+        return printed
+
+    def test_simple_function(self):
+        printed = self.roundtrip("int main() { return 1 + 2 * 3; }")
+        assert "int main" in printed
+
+    def test_struct_definition_printed(self):
+        printed = self.roundtrip(
+            "struct P { int x; double y; }; struct P p; "
+            "int main() { p.x = 1; return p.x; }")
+        assert "struct P {" in printed
+
+    def test_pointers_and_arrays(self):
+        self.roundtrip(
+            "int a[3]; int main() { int *p = &a[1]; *p = 4; return a[1]; }")
+
+    def test_control_flow_forms(self):
+        self.roundtrip(
+            "int main() { int s = 0; "
+            "for (int i = 0; i < 4; i++) { if (i == 2) continue; s += i; } "
+            "while (s > 5) { s--; } do s++; while (0); "
+            "switch (s) { case 5: return s; default: return 0; } }")
+
+    def test_multi_declarator_for_init(self):
+        self.roundtrip(
+            "int main() { int s = 0; "
+            "for (int i = 0, j = 4; i < j; i++) s += i; return s; }")
+
+    def test_float_literals(self):
+        self.roundtrip(
+            "int main() { double d = 1.5e-3; return d > 0.0; }")
+
+    def test_casts_and_sizeof(self):
+        self.roundtrip(
+            "int main() { double d = (double)3; "
+            "return (int)d + (int)sizeof(int); }")
+
+    def test_extern_declaration_printed(self):
+        printed = self.roundtrip(
+            "int helper(int x); int main() { return helper(2); } "
+            "int helper(int x) { return x * 2; }")
+        assert "int helper(int p0);" in printed
+
+    def test_stable_normal_form(self):
+        source = ("int g = 3; int f(int a, int b) { return a % b; } "
+                  "int main() { return f(g, 2); }")
+        once = pretty_program(parse(source))
+        twice = pretty_program(parse(once))
+        assert once == twice

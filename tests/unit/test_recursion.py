@@ -1,0 +1,138 @@
+"""Unit tests for recursive specs and the induction checker."""
+
+import pytest
+
+from repro.errors import DerivationError
+from repro.events.metrics import StackMetric
+from repro.logic.bexpr import BMul, badd, bconst, bmetric, bparam
+from repro.logic.recursion import (CallObligation, RecursiveSpec, SpecTable,
+                                   check_spec, check_table)
+from repro.programs.table2 import build_spec_table
+
+
+def linear_spec(name="f", factor_extra=0):
+    bound = BMul(badd(bparam("n"), bconst(factor_extra)), bmetric(name))
+    def obligations(p):
+        if p["n"] <= 0:
+            return []
+        return [CallObligation(name, {"n": p["n"] - 1})]
+    return RecursiveSpec(name, ["n"], bound, obligations,
+                         domain={"n": range(0, 100)})
+
+
+class TestInduction:
+    def test_linear_spec_checks(self):
+        table = SpecTable()
+        spec = linear_spec()
+        table.add_recursive(spec)
+        report = check_spec(spec, table)
+        assert report.instances == 100
+        assert report.obligation_checks == 99
+
+    def test_too_small_bound_rejected(self):
+        # P(n) = M(f) is not inductive for linear recursion.
+        bound = bmetric("f")
+        def obligations(p):
+            return [CallObligation("f", {"n": p["n"] - 1})] if p["n"] else []
+        spec = RecursiveSpec("f", ["n"], bound, obligations,
+                             domain={"n": range(0, 10)})
+        table = SpecTable()
+        table.add_recursive(spec)
+        with pytest.raises(DerivationError):
+            check_spec(spec, table)
+
+    def test_off_by_one_rejected(self):
+        # P(n) = (n-1) * M fails at the call from n=1 to n=0... actually
+        # at every n: P(n) >= M + P(n-1) iff n-1 >= 1 + n-2, which holds;
+        # make it genuinely wrong: callee argument stays n.
+        bound = BMul(bparam("n"), bmetric("f"))
+        def obligations(p):
+            return [CallObligation("f", {"n": p["n"]})] if p["n"] else []
+        spec = RecursiveSpec("f", ["n"], bound, obligations,
+                             domain={"n": range(0, 10)})
+        table = SpecTable()
+        table.add_recursive(spec)
+        with pytest.raises(DerivationError):
+            check_spec(spec, table)
+
+    def test_missing_callee_spec_rejected(self):
+        spec = RecursiveSpec(
+            "f", ["n"], bmetric("f"),
+            lambda p: [CallObligation("helper", {})],
+            domain={"n": range(0, 3)})
+        table = SpecTable()
+        table.add_recursive(spec)
+        with pytest.raises(DerivationError):
+            check_spec(spec, table)
+
+    def test_ground_callee_composes(self):
+        table = SpecTable()
+        table.add_ground("helper", bmetric("inner"))
+        spec = RecursiveSpec(
+            "f", ["n"],
+            badd(bmetric("helper"), bmetric("inner")),
+            lambda p: [CallObligation("helper", {})],
+            domain={"n": range(0, 3)})
+        table.add_recursive(spec)
+        check_spec(spec, table)
+
+    def test_total_bound_adds_own_frame(self):
+        spec = linear_spec()
+        metric = StackMetric({"f": 10})
+        assert spec.total_bytes(metric, {"n": 4}) == 50
+
+    def test_fun_spec_export(self):
+        spec = linear_spec()
+        fun_spec = spec.fun_spec()
+        assert fun_spec.params == ["n"]
+
+
+class TestTable2Specs:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_spec_table()
+
+    def test_all_specs_check(self, table):
+        reports = check_table(table)
+        assert set(reports) == {"recid", "bsearch", "fib", "qsort", "sum",
+                                "filter_pos", "fact", "fact_sq",
+                                "filter_find"}
+        for report in reports.values():
+            assert report.instances > 0
+
+    def test_bsearch_is_logarithmic(self, table):
+        spec = table.recursive["bsearch"]
+        metric = StackMetric({"bsearch": 40})
+        # Paper shape: 40 * (2 + log2 n); doubling n adds one frame.
+        at_1024 = spec.total_bytes(metric, {"n": 1024})
+        at_2048 = spec.total_bytes(metric, {"n": 2048})
+        assert at_2048 - at_1024 == 40
+        assert at_1024 == 40 * (2 + 10)
+
+    def test_recid_is_linear(self, table):
+        spec = table.recursive["recid"]
+        metric = StackMetric({"recid": 8})
+        assert spec.total_bytes(metric, {"n": 10}) - \
+            spec.total_bytes(metric, {"n": 9}) == 8
+
+    def test_fact_sq_is_quadratic(self, table):
+        spec = table.recursive["fact_sq"]
+        metric = StackMetric({"fact_sq": 16, "fact": 24})
+        # M(fact_sq) + M(fact) * (1 + n^2)
+        assert spec.total_bytes(metric, {"n": 10}) == 16 + 24 * 101
+
+    def test_filter_find_composes_bsearch(self, table):
+        spec = table.recursive["filter_find"]
+        metric = StackMetric({"filter_find": 48, "bsearch": 40})
+        total = spec.total_bytes(metric, {"n": 10, "bl": 256})
+        # 48*(10+1) + 40*(2+8)
+        assert total == 48 * 11 + 40 * 10
+
+    def test_spec_table_closed_under_obligations(self, table):
+        for spec in table.recursive.values():
+            sample = {name: values[0]
+                      for name, values in spec.domain.items()}
+            for obligation in spec.obligations(
+                    {k: max(v) for k, v in spec.domain.items()}):
+                table.callee_bound(obligation.callee, obligation.args)
+            del sample

@@ -1,0 +1,228 @@
+"""Unit tests for the type checker."""
+
+import pytest
+
+from repro.c import ast
+from repro.c import types as ct
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.errors import TypeError_, UnsupportedFeatureError
+
+
+def check(source):
+    program = parse(source)
+    env = typecheck(program)
+    return program, env
+
+
+def main_of(source):
+    program, _env = check(source)
+    return program.function("main")
+
+
+class TestGlobals:
+    def test_environment_populated(self):
+        _program, env = check("int g; double h; int main() { return 0; }")
+        assert env.globals["g"] == ct.INT
+        assert env.globals["h"] == ct.DOUBLE
+        assert "main" in env.functions
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int g; int g;")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int f() { return 0; } int f() { return 1; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(TypeError_):
+            check("void v;")
+
+    def test_builtins_predeclared(self):
+        _program, env = check("int main() { print_int(1); return 0; }")
+        assert "print_int" in env.externals
+
+    def test_defined_function_shadows_builtin(self):
+        _program, env = check("double sin(double x) { return x; } "
+                              "int main() { return 0; }")
+        assert "sin" in env.functions
+        assert "sin" not in env.externals
+
+
+class TestNameResolution:
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeError_):
+            check("int main() { return nope; }")
+
+    def test_block_scoping_with_shadowing(self):
+        main = main_of(
+            "int main() { int x = 1; { int x = 2; print_int(x); } return x; }")
+        names = set(main.locals_types)
+        assert len(names) == 2  # alpha-renamed apart
+
+    def test_function_name_as_value_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            check("int f() { return 0; } int main() { return f; }")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int f(int a, int a) { return a; }")
+
+
+class TestConversions:
+    def first_assignment_value(self, source):
+        main = main_of(source)
+        for stmt in main.body.body:
+            if isinstance(stmt, ast.SDecl) and stmt.init is not None:
+                return stmt.init.expr
+        raise AssertionError("no declaration found")
+
+    def test_int_to_double_cast_inserted(self):
+        expr = self.first_assignment_value(
+            "int main() { double d = 1; return 0; }")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ct.DOUBLE
+
+    def test_usual_arithmetic_unsigned_wins(self):
+        program, _env = check(
+            "unsigned int u; int main() { int s = 0; return (u + s) > 0; }")
+        # the comparison operand type must have become unsigned: result
+        # of u + s is UINT, and the relational converts both sides.
+        main = program.function("main")
+        ret = main.body.body[-1]
+        assert ret.value.ty == ct.INT  # comparisons produce int
+
+    def test_pointer_from_int_zero_ok(self):
+        check("int main() { int *p = 0; return p == 0; }")
+
+    def test_pointer_from_nonzero_int_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { int *p = 1; return 0; }")
+
+    def test_incompatible_pointers_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { int x; double *p = &x; return 0; }")
+
+    def test_void_pointer_compatible(self):
+        check("int main() { int x; void *p = &x; int *q = p; return 0; }")
+
+    def test_modulo_on_floats_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { double d = 1.0 % 2.0; return 0; }")
+
+    def test_pointer_arithmetic_typed(self):
+        check("int a[4]; int main() { int *p = a + 1; return *(p - 1); }")
+
+    def test_pointer_difference_is_int(self):
+        main = main_of("int a[4]; int main() { return &a[3] - &a[0]; }")
+        assert main.body.body[0].value.ty == ct.INT
+
+
+class TestLvalues:
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { 1 = 2; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            check("int a[2]; int b[2]; int main() { a = b; return 0; }")
+
+    def test_address_of_literal_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { int *p = &1; return 0; }")
+
+    def test_incdec_on_rvalue_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { (1 + 2)++; return 0; }")
+
+
+class TestAddressable:
+    def test_address_taken_scalar(self):
+        main = main_of("int main() { int x = 0; int *p = &x; return *p; }")
+        assert "x" in main.addressable
+
+    def test_arrays_always_addressable(self):
+        main = main_of("int main() { int a[4]; return 0; }")
+        assert "a" in main.addressable
+
+    def test_plain_scalars_not_addressable(self):
+        main = main_of("int main() { int x = 1; return x; }")
+        assert "x" not in main.addressable
+
+    def test_address_taken_param_copied(self):
+        program, _env = check(
+            "void f(int *p) { *p = 1; } "
+            "int g(int a) { f(&a); return a; } "
+            "int main() { return g(1); }")
+        g = program.function("g")
+        assert "a" in g.param_copies
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeError_):
+            check("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_argument_conversion(self):
+        check("double f(double d) { return d; } "
+              "int main() { return f(1) > 0.0; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeError_):
+            check("int main() { return mystery(); }")
+
+    def test_call_to_forward_declared(self):
+        check("int f(int x); int main() { return f(1); } "
+              "int f(int x) { return x; }")
+
+
+class TestStatementChecks:
+    def test_break_outside_loop(self):
+        with pytest.raises(TypeError_):
+            check("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(TypeError_):
+            check("int main() { continue; return 0; }")
+
+    def test_break_in_switch_ok(self):
+        check("int main() { switch (1) { case 1: break; } return 0; }")
+
+    def test_return_value_in_void_function(self):
+        with pytest.raises(TypeError_):
+            check("void f() { return 1; } int main() { return 0; }")
+
+    def test_return_missing_value(self):
+        with pytest.raises(TypeError_):
+            check("int f() { return; } int main() { return 0; }")
+
+    def test_switch_on_double_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { switch (1.0) { case 1: ; } return 0; }")
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(TypeError_):
+            check("int main() { switch (1) { case 1: ; case 1: ; } return 0; }")
+
+
+class TestStructs:
+    def test_member_access(self):
+        check("struct P { int x; int y; }; struct P p; "
+              "int main() { p.x = 1; return p.x + p.y; }")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        with pytest.raises(TypeError_):
+            check("struct P { int x; }; struct P p; "
+                  "int main() { return p->x; }")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError_):
+            check("struct P { int x; }; struct P p; "
+                  "int main() { return p.z; }")
+
+    def test_struct_return_rejected(self):
+        with pytest.raises((TypeError_, UnsupportedFeatureError)):
+            check("struct P { int x; }; "
+                  "struct P f() { struct P p; return p; } "
+                  "int main() { return 0; }")
