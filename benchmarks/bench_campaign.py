@@ -1,0 +1,80 @@
+"""Throughput of the differential-testing campaign engine.
+
+Measures the three regimes that matter for campaign sizing: the cost of
+one seed through the full oracle hierarchy, the warm-cache fast path
+(generation + hash + cache hit), and the pool speedup of a multi-worker
+campaign over a serial one.
+
+    pytest benchmarks/bench_campaign.py --benchmark-only
+    python benchmarks/bench_campaign.py          # prints the scaling table
+
+Pool scaling tracks the machine: on a single-CPU container the 4-worker
+row shows only fork/IPC overhead, while the warm-cache row is CPU-count
+independent (two orders of magnitude over a cold run).
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.testing import CampaignConfig, check_seed, run_campaign
+
+
+def test_single_seed_oracle_hierarchy(benchmark):
+    """One seed, all five ablations, probes included (the unit of work a
+    campaign worker performs)."""
+    counter = iter(range(10_000))
+
+    def one_seed():
+        return check_seed(next(counter))
+
+    verdict = benchmark(one_seed)
+    assert verdict.ok
+
+
+def test_warm_cache_seed(benchmark):
+    """The corpus-cache fast path: generation plus one hash lookup."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-corpus")
+    try:
+        config = CampaignConfig(seeds=8, jobs=1, cache_dir=cache_dir)
+        run_campaign(config)  # populate
+
+        def warm():
+            return run_campaign(config)
+
+        report = benchmark(warm)
+        assert report.cache_hits == 8 and not report.failures
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_pool_scaling(benchmark, jobs):
+    """Cold 12-seed campaign at 1 vs 4 workers (compare the two rows)."""
+    config = CampaignConfig(seeds=12, jobs=jobs, cache_dir=None,
+                            shrink=False)
+    report = benchmark.pedantic(lambda: run_campaign(config),
+                                rounds=1, iterations=1)
+    assert not report.failures
+    benchmark.extra_info["seeds_per_s"] = round(report.throughput, 2)
+
+
+def scaling_table(seeds: int = 24) -> None:
+    print(f"{'jobs':>6} {'elapsed':>10} {'seeds/s':>9} {'speedup':>9}")
+    serial = None
+    for jobs in (1, 2, 4):
+        config = CampaignConfig(seeds=seeds, jobs=jobs, cache_dir=None,
+                                shrink=False)
+        started = time.perf_counter()
+        report = run_campaign(config)
+        elapsed = time.perf_counter() - started
+        assert not report.failures
+        serial = serial or elapsed
+        print(f"{jobs:6d} {elapsed:9.2f}s {report.throughput:9.2f} "
+              f"{serial / elapsed:8.2f}x")
+
+
+if __name__ == "__main__":
+    scaling_table()

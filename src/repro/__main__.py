@@ -4,6 +4,7 @@
     python -m repro run     prog.c          # execute on ASMsz + measure
     python -m repro dump    prog.c --level asm
     python -m repro trace   prog.c          # event trace of the execution
+    python -m repro fuzz --seeds 200 --jobs 4   # differential campaign
 
 Common flags: ``-D NAME=VALUE`` feeds the preprocessor, ``--no-constprop``
 / ``--no-deadcode`` / ``--cse`` / ``--tailcall`` / ``--spill-all`` toggle
@@ -75,6 +76,44 @@ def _build_parser() -> argparse.ArgumentParser:
     check = add_common(sub.add_parser(
         "check-cert", help="re-check a certificate against a program"))
     check.add_argument("certificate", help="certificate JSON file")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run the differential-testing campaign on generated "
+                     "programs (see docs/TESTING.md)")
+    fuzz.add_argument("--seeds", type=int, default=50,
+                      help="number of generated programs to check")
+    fuzz.add_argument("--start", type=int, default=0,
+                      help="first seed of the campaign")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="J",
+                      help="worker processes (1 = run in-process)")
+    fuzz.add_argument("--metric", default="compiler",
+                      choices=["compiler", "uniform", "zero"],
+                      help="stack metric for the weight/bound oracles")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="small time-boxed CI campaign (overrides --seeds)")
+    fuzz.add_argument("--deep", action="store_true",
+                      help="also interpret the RTL and Mach levels")
+    fuzz.add_argument("--recursion", action="store_true",
+                      help="generate (bounded) recursive programs too")
+    fuzz.add_argument("--no-probes", action="store_true",
+                      help="skip the bound-tightness stack probes")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="do not minimize failing seeds")
+    fuzz.add_argument("--plant", default=None, choices=["drop-ra"],
+                      help="inject a known metric bug (campaign self-test)")
+    fuzz.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="corpus cache directory (default "
+                           ".repro-cache/corpus)")
+    fuzz.add_argument("--no-cache", action="store_true",
+                      help="disable the corpus cache")
+    fuzz.add_argument("--report", default=None, metavar="FILE",
+                      help="write a JSONL campaign report here")
+    fuzz.add_argument("--repro-dir", default=None, metavar="DIR",
+                      help="write minimized .c reproducers here "
+                           "(default: repro-failures/ when a seed fails)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS", help="stop after this much wall "
+                                              "clock")
     return parser
 
 
@@ -214,11 +253,59 @@ def cmd_check_cert(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.testing.campaign import (DEFAULT_CACHE_DIR, CampaignConfig,
+                                        run_campaign, run_smoke_campaign)
+
+    if args.smoke:
+        report = run_smoke_campaign()
+    else:
+        cache_dir = None if args.no_cache else (args.cache_dir
+                                                or DEFAULT_CACHE_DIR)
+        repro_dir = args.repro_dir or "repro-failures"
+        gen_kwargs = {"recursion": True} if args.recursion else {}
+        config = CampaignConfig(
+            seeds=args.seeds, start=args.start, jobs=args.jobs,
+            metric=args.metric, plant=args.plant, gen_kwargs=gen_kwargs,
+            probes=not args.no_probes, deep=args.deep,
+            shrink=not args.no_shrink, cache_dir=cache_dir,
+            report_path=args.report, repro_dir=repro_dir,
+            time_budget=args.time_budget)
+
+        def progress(verdict):
+            if not verdict.ok:
+                print(f"FAIL seed {verdict.seed}: [{verdict.oracle}"
+                      f"@{verdict.ablation}] {verdict.detail}")
+
+        report = run_campaign(config, progress=progress)
+
+    summary = report.summary()
+    print(f"# checked {summary['seeds']} seeds "
+          f"({summary['cache_hits']} cached) in {summary['elapsed_s']}s "
+          f"({summary['seeds_per_s']} seeds/s)")
+    stages = ", ".join(f"{k} {v}s"
+                       for k, v in summary["stage_seconds"].items())
+    if stages:
+        print(f"# worker time by stage: {stages}")
+    for verdict in report.failures:
+        repro = report.repro_files.get(verdict.seed)
+        shrunk = report.shrunk.get(verdict.seed)
+        note = (f" (minimized to {shrunk.gen_kwargs}"
+                f" in {shrunk.attempts} attempts)" if shrunk else "")
+        print(f"# seed {verdict.seed}: [{verdict.oracle}@{verdict.ablation}]"
+              + (f" repro: {repro}" if repro else "") + note)
+    if report.failures:
+        print(f"# {len(report.failures)} failing seed(s)")
+        return 1
+    print("# all oracles held")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"bounds": cmd_bounds, "run": cmd_run, "dump": cmd_dump,
                "trace": cmd_trace, "certify": cmd_certify,
-               "check-cert": cmd_check_cert}[args.command]
+               "check-cert": cmd_check_cert, "fuzz": cmd_fuzz}[args.command]
     try:
         return handler(args)
     except ReproError as exc:

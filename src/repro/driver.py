@@ -177,5 +177,9 @@ def verify_stack_bounds(source: str, filename: str = "<string>",
     analysis = StackAnalyzer(compilation.clight).analyze()
     if check_derivations:
         report = analysis.check()
-        assert report.fully_exact, "analyzer emitted a sampled condition"
+        # Not an assert: the guarantee must survive ``python -O``.
+        if not report.fully_exact:
+            raise AnalysisError(
+                "analyzer emitted a sampled side condition; the derivation "
+                f"re-check is not exact ({report!r})")
     return VerifiedBounds(compilation, analysis)

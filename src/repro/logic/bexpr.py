@@ -574,6 +574,193 @@ def _merge_atoms(left: frozenset, right: frozenset) -> frozenset:
     return frozenset(counts.items())
 
 
+def _term_covered(small: tuple, large_terms: Iterable[tuple]) -> bool:
+    """Exact coverage: ``small <= max(large_terms)`` pointwise on metrics.
+
+    Termwise domination (:func:`_term_le`) misses inequalities that need a
+    case split over the metric — e.g. ``M(f) + 1 <= max(2*M(f), 1)``,
+    which holds (take ``1`` at ``M(f) = 0`` and ``2*M(f)`` otherwise) but
+    has no single dominating term.  The failure region
+
+        { x >= 0 : large_j(x) <= small(x) - 1  for every j }
+
+    is a rational polyhedron (metrics are integer-valued, so a strict
+    violation means a gap of at least 1); if it is empty over the reals it
+    contains no integer metric either, and the inequality holds.
+    Emptiness is decided by Fourier–Motzkin elimination.
+    """
+    const_s, atoms_s = small
+    if const_s == INFINITY:
+        return False
+    small_counts = dict(atoms_s)
+    variables: set[str] = set(small_counts)
+    # Each constraint is (coeffs, const) meaning sum(coeffs*x) + const <= 0.
+    constraints: list[tuple[dict, Number]] = []
+    for const_l, atoms_l in large_terms:
+        if const_l == INFINITY:
+            return True
+        coeffs: dict[str, Number] = {}
+        for name, mult in atoms_l:
+            coeffs[name] = coeffs.get(name, 0) + mult
+        for name, mult in small_counts.items():
+            coeffs[name] = coeffs.get(name, 0) - mult
+        coeffs = {name: c for name, c in coeffs.items() if c != 0}
+        variables.update(coeffs)
+        constraints.append((coeffs, const_l - const_s + 1))
+    for name in variables:
+        constraints.append(({name: -1}, 0))
+    return not _fm_feasible(constraints, sorted(variables))
+
+
+def _fm_feasible(constraints: list, variables: list[str],
+                 limit: int = 4096) -> bool:
+    """Real feasibility of ``{x : sum(coeffs*x) + const <= 0 for all}``.
+
+    Conservatively reports *feasible* if elimination blows past ``limit``
+    constraints (the caller then refuses the comparison, which is the
+    sound direction).
+    """
+    from fractions import Fraction
+
+    for var in variables:
+        pos, neg, rest = [], [], []
+        for coeffs, const in constraints:
+            a = coeffs.get(var, 0)
+            (pos if a > 0 else neg if a < 0 else rest).append((coeffs, const))
+        new = rest
+        for cp, kp in pos:
+            ap = cp[var]
+            for cn, kn in neg:
+                an = -cn[var]
+                coeffs = {}
+                for name, val in cp.items():
+                    if name != var:
+                        coeffs[name] = coeffs.get(name, 0) + Fraction(val, ap)
+                for name, val in cn.items():
+                    if name != var:
+                        coeffs[name] = coeffs.get(name, 0) + Fraction(val, an)
+                coeffs = {name: c for name, c in coeffs.items() if c != 0}
+                new.append((coeffs, Fraction(kp, ap) + Fraction(kn, an)))
+        if len(new) > limit:
+            return True
+        constraints = new
+    return all(const <= 0 for _coeffs, const in constraints)
+
+
+def _fm_solve(constraints: list, variables: list[str],
+              limit: int = 4096) -> Optional[dict]:
+    """A rational point of ``{x : sum(coeffs*x) + const <= 0}``, or None.
+
+    Recursive Fourier–Motzkin with back-substitution; integer coordinates
+    are preferred when the feasible interval allows one.
+    """
+    from fractions import Fraction
+
+    if not variables:
+        return {} if all(const <= 0 for _c, const in constraints) else None
+    var, rest_vars = variables[0], variables[1:]
+    pos, neg, rest = [], [], []
+    for coeffs, const in constraints:
+        a = coeffs.get(var, 0)
+        (pos if a > 0 else neg if a < 0 else rest).append((coeffs, const))
+    new = list(rest)
+    for cp, kp in pos:
+        ap = cp[var]
+        for cn, kn in neg:
+            an = -cn[var]
+            coeffs = {}
+            for name, val in cp.items():
+                if name != var:
+                    coeffs[name] = coeffs.get(name, 0) + Fraction(val, ap)
+            for name, val in cn.items():
+                if name != var:
+                    coeffs[name] = coeffs.get(name, 0) + Fraction(val, an)
+            coeffs = {name: c for name, c in coeffs.items() if c != 0}
+            new.append((coeffs, Fraction(kp, ap) + Fraction(kn, an)))
+    if len(new) > limit:
+        return None
+    solution = _fm_solve(new, rest_vars, limit)
+    if solution is None:
+        return None
+
+    def residual(coeffs, const):
+        return const + sum(Fraction(c) * solution[n]
+                           for n, c in coeffs.items() if n != var)
+
+    upper = None
+    for coeffs, const in pos:  # a*var <= -residual
+        bound = Fraction(-residual(coeffs, const), coeffs[var])
+        upper = bound if upper is None else min(upper, bound)
+    lower = Fraction(0)
+    for coeffs, const in neg:  # a*var >= residual  (a = -coeff > 0)
+        bound = Fraction(residual(coeffs, const), -coeffs[var])
+        lower = max(lower, bound)
+    value = Fraction(math.ceil(lower))
+    if upper is not None and value > upper:
+        value = (lower + upper) / 2
+    solution[var] = value
+    return solution
+
+
+def find_violation_metric(small: BExpr, large: BExpr) -> Optional[dict]:
+    """An integer metric witnessing ``small > large``, or ``None``.
+
+    Only meaningful after :func:`bound_le` refused a ground comparison;
+    tests use it to certify that a refusal is justified by evaluation.
+    """
+    small = _rewrite_frames(small)
+    large = _rewrite_frames(large)
+    try:
+        small_terms = maxplus_normal_form(small)
+        large_terms = maxplus_normal_form(large)
+    except NotGround:
+        return None
+    atoms = sorted(metric_atoms(small) | metric_atoms(large))
+    zero = {name: 0 for name in atoms}
+    if any(const == INFINITY for const, _a in small_terms) and \
+            not any(const == INFINITY for const, _a in large_terms):
+        return zero
+    for const_s, atoms_s in small_terms:
+        if const_s == INFINITY:
+            continue
+        small_counts = dict(atoms_s)
+        variables: set[str] = set(small_counts)
+        constraints: list[tuple[dict, Number]] = []
+        infinite_cover = False
+        for const_l, atoms_l in large_terms:
+            if const_l == INFINITY:
+                infinite_cover = True
+                break
+            coeffs: dict[str, Number] = {}
+            for name, mult in atoms_l:
+                coeffs[name] = coeffs.get(name, 0) + mult
+            for name, mult in small_counts.items():
+                coeffs[name] = coeffs.get(name, 0) - mult
+            coeffs = {name: c for name, c in coeffs.items() if c != 0}
+            variables.update(coeffs)
+            constraints.append((coeffs, const_l - const_s + 1))
+        if infinite_cover:
+            continue
+        for name in variables:
+            constraints.append(({name: -1}, 0))
+        point = _fm_solve(constraints, sorted(variables))
+        if point is None:
+            continue
+        # Search the integer neighborhood of the rational point.
+        axes = []
+        for name in sorted(variables):
+            value = point[name]
+            floor = max(0, math.floor(value))
+            axes.append(sorted({floor, floor + 1, max(0, floor - 1),
+                                math.ceil(value)}))
+        for combo in itertools.product(*axes):
+            metric = dict(zero)
+            metric.update(zip(sorted(variables), combo))
+            if evaluate(small, metric) > evaluate(large, metric):
+                return metric
+    return None
+
+
 def _term_le(small: tuple, large: tuple) -> bool:
     const_s, atoms_s = small
     const_l, atoms_l = large
@@ -669,7 +856,8 @@ def bound_le(small: BExpr, large: BExpr,
         return _bound_le_sampled(small, large, param_domains, metric_samples)
     for term in small_terms:
         if not any(_term_le(term, other) for other in large_terms):
-            return CompareResult(False, True)
+            if not _term_covered(term, large_terms):
+                return CompareResult(False, True)
     return CompareResult(True, True)
 
 

@@ -47,6 +47,50 @@ def measure_c_program(source: str, macros: Optional[dict[str, str]] = None,
     return measure_compilation(compilation, stack_bytes=stack_bytes)
 
 
+class TightnessProbe:
+    """Result of probing a verified bound on the finite-stack machine."""
+
+    def __init__(self, bound: int, at_bound: MeasuredRun,
+                 underprovisioned: Optional[MeasuredRun]) -> None:
+        self.bound = bound
+        self.at_bound = at_bound
+        self.underprovisioned = underprovisioned
+
+    @property
+    def sound(self) -> bool:
+        """The bound-sized stack converged within the bound."""
+        return (self.at_bound.converged
+                and self.at_bound.measured_bytes <= self.bound)
+
+    @property
+    def overflow_detected(self) -> bool:
+        """The underprovisioned stack did *not* converge (so the machine's
+        overflow detection is live, not silently disabled)."""
+        return (self.underprovisioned is not None
+                and not self.underprovisioned.converged)
+
+
+def probe_bound_tightness(compilation: Compilation, bound: int,
+                          fuel: int = 50_000_000) -> TightnessProbe:
+    """Theorem 1, run twice: once at the verified bound and once 4 bytes
+    below the measured requirement.
+
+    A stack block of ``bound + 4`` total bytes (the +4 for main's pushed
+    return address) must converge with usage at most ``bound``; rerunning
+    with 4 bytes fewer than the measured requirement must overflow.  The
+    differential campaign uses this to reject bounds that only "hold"
+    because overflow was never going to trigger.
+    """
+    at_bound = measure_compilation(compilation, stack_bytes=bound + 4,
+                                   fuel=fuel)
+    underprovisioned = None
+    if at_bound.converged:
+        needed = at_bound.measured_bytes + 4
+        underprovisioned = measure_compilation(
+            compilation, stack_bytes=needed - 4, fuel=fuel)
+    return TightnessProbe(bound, at_bound, underprovisioned)
+
+
 def minimal_stack(compilation: Compilation, upper_bound: int,
                   fuel: int = 50_000_000) -> int:
     """The smallest stack block (in bytes) on which the program converges.

@@ -1,12 +1,24 @@
-"""Test support: random well-typed C program generation.
+"""Test support: program generation and the differential campaign engine.
 
-Used by the property-based tests to exercise the whole pipeline
-differentially — the generated programs are safe by construction (no
-division by zero, masked array indices, bounded loops), so every level's
-behavior must agree and the analyzer's bounds must dominate the observed
-trace weights.
+``progen`` generates random well-typed C programs that are safe by
+construction (no division by zero, masked array indices, bounded loops),
+so every compilation level's behavior must agree and the analyzer's
+bounds must dominate the observed trace weights.  ``oracles`` turns that
+metatheory into runnable checks, ``campaign`` fans them over a worker
+pool with corpus caching and failure shrinking (``python -m repro
+fuzz``), and ``shrink`` minimizes failing seeds.  See docs/TESTING.md.
 """
 
+from repro.testing.campaign import (CampaignConfig, CampaignReport,
+                                    run_campaign, run_smoke_campaign)
+from repro.testing.oracles import (ABLATIONS, OracleViolation, SeedVerdict,
+                                   check_seed)
 from repro.testing.progen import ProgramGenerator, generate_program
+from repro.testing.shrink import ShrinkResult, shrink_failure
 
-__all__ = ["ProgramGenerator", "generate_program"]
+__all__ = [
+    "ABLATIONS", "CampaignConfig", "CampaignReport", "OracleViolation",
+    "ProgramGenerator", "SeedVerdict", "ShrinkResult", "check_seed",
+    "generate_program", "run_campaign", "run_smoke_campaign",
+    "shrink_failure",
+]

@@ -1,0 +1,226 @@
+"""Parallel differential-testing campaign engine.
+
+``run_campaign`` fans generated seeds over a ``multiprocessing`` pool;
+each worker runs the full oracle hierarchy of ``repro.testing.oracles``
+for its seed.  Failing seeds are shrunk to minimal generator parameters
+and written out as standalone ``.c`` reproducers; every seed contributes
+one JSONL record (verdict, timings, throughput inputs) to the campaign
+report.  A content-hash corpus cache skips seeds whose exact source was
+already verified under the same oracle configuration, so warm re-runs
+cost one generation plus one hash per seed.
+
+The CLI front end is ``python -m repro fuzz``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import Pool
+from typing import Optional
+
+from repro.testing.oracles import (ABLATIONS, ORACLE_VERSION, SeedVerdict,
+                                   check_seed)
+from repro.testing.progen import generate_program
+from repro.testing.shrink import ShrinkResult, shrink_failure
+
+DEFAULT_CACHE_DIR = os.path.join(".repro-cache", "corpus")
+
+
+@dataclass
+class CampaignConfig:
+    """Everything one campaign run needs (picklable: workers receive it)."""
+
+    seeds: int = 50                 #: number of seeds to check
+    start: int = 0                  #: first seed (campaign = [start, start+seeds))
+    jobs: int = 1                   #: worker processes (1 = in-process, no pool)
+    metric: str = "compiler"        #: oracle metric (compiler | uniform | zero)
+    plant: Optional[str] = None     #: planted bug for self-tests ("drop-ra")
+    gen_kwargs: dict = field(default_factory=dict)
+    ablations: Optional[list[str]] = None   #: None = all of oracles.ABLATIONS
+    probes: bool = True             #: bound-tightness stack probes
+    deep: bool = False              #: interpret RTL/Mach levels too
+    shrink: bool = True             #: minimize failing seeds
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR   #: None disables the cache
+    report_path: Optional[str] = None              #: JSONL campaign report
+    repro_dir: Optional[str] = None                #: minimized .c reproducers
+    time_budget: Optional[float] = None            #: wall-clock cap, seconds
+
+    def cache_key(self, source: str) -> str:
+        """Content hash identifying (source, oracle configuration)."""
+        tag = json.dumps({
+            "v": ORACLE_VERSION, "metric": self.metric, "plant": self.plant,
+            "ablations": sorted(self.ablations or ABLATIONS),
+            "probes": self.probes, "deep": self.deep,
+        }, sort_keys=True)
+        return hashlib.sha256((tag + "\0" + source).encode()).hexdigest()
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate result of a campaign run."""
+
+    config: CampaignConfig
+    verdicts: list[SeedVerdict]
+    shrunk: dict[int, ShrinkResult]
+    elapsed: float
+    repro_files: dict[int, str]
+
+    @property
+    def failures(self) -> list[SeedVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for v in self.verdicts if v.cached)
+
+    @property
+    def throughput(self) -> float:
+        """Seeds checked per second of wall clock."""
+        return len(self.verdicts) / self.elapsed if self.elapsed else 0.0
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Cumulative per-stage worker time across all seeds."""
+        total: dict[str, float] = {}
+        for verdict in self.verdicts:
+            for key, value in verdict.timings.items():
+                total[key] = total.get(key, 0.0) + value
+        return total
+
+    def summary(self) -> dict:
+        record = {
+            "seeds": len(self.verdicts),
+            "failures": len(self.failures),
+            "cache_hits": self.cache_hits,
+            "elapsed_s": round(self.elapsed, 3),
+            "seeds_per_s": round(self.throughput, 2),
+            "stage_seconds": {k: round(v, 3)
+                              for k, v in sorted(self.stage_seconds().items())},
+        }
+        if self.failures:
+            record["failing_seeds"] = [
+                {"seed": v.seed, "oracle": v.oracle, "ablation": v.ablation,
+                 "repro": self.repro_files.get(v.seed)}
+                for v in self.failures]
+        return record
+
+
+def _check_one(payload: tuple[int, CampaignConfig]) -> SeedVerdict:
+    """Pool worker: cache lookup, then the full oracle hierarchy."""
+    seed, config = payload
+    source = generate_program(seed, **config.gen_kwargs)
+    cache_file = None
+    if config.cache_dir is not None:
+        cache_file = os.path.join(config.cache_dir,
+                                  config.cache_key(source) + ".ok")
+        if os.path.exists(cache_file):
+            return SeedVerdict(seed=seed, ok=True, cached=True,
+                               gen_kwargs=dict(config.gen_kwargs))
+    verdict = check_seed(seed, gen_kwargs=config.gen_kwargs,
+                         ablations=config.ablations,
+                         metric_name=config.metric, plant=config.plant,
+                         probes=config.probes, deep=config.deep,
+                         source=source)
+    if verdict.ok:
+        # Only verified seeds enter the corpus: failures must re-run so a
+        # fixed oracle (bumping ORACLE_VERSION) re-judges them.
+        if cache_file is not None:
+            os.makedirs(config.cache_dir, exist_ok=True)
+            tmp = cache_file + f".tmp{os.getpid()}"
+            with open(tmp, "w") as handle:
+                json.dump({"seed": seed, "events": verdict.events}, handle)
+            os.replace(tmp, cache_file)
+        verdict.source = None    # keep pool pickles small
+    return verdict
+
+
+def run_campaign(config: CampaignConfig,
+                 progress=None) -> CampaignReport:
+    """Run one campaign; returns the aggregate report.
+
+    ``progress`` is an optional callable invoked with each
+    ``SeedVerdict`` as it arrives (out of order under a pool).
+    """
+    started = time.perf_counter()
+    work = [(seed, config)
+            for seed in range(config.start, config.start + config.seeds)]
+    verdicts: list[SeedVerdict] = []
+
+    def deadline_hit() -> bool:
+        return (config.time_budget is not None
+                and time.perf_counter() - started > config.time_budget)
+
+    if config.jobs <= 1:
+        for payload in work:
+            verdicts.append(_check_one(payload))
+            if progress:
+                progress(verdicts[-1])
+            if deadline_hit():
+                break
+    else:
+        with Pool(processes=config.jobs) as pool:
+            for verdict in pool.imap_unordered(_check_one, work):
+                verdicts.append(verdict)
+                if progress:
+                    progress(verdict)
+                if deadline_hit():
+                    pool.terminate()
+                    break
+    verdicts.sort(key=lambda v: v.seed)
+
+    shrunk: dict[int, ShrinkResult] = {}
+    repro_files: dict[int, str] = {}
+    for verdict in verdicts:
+        if verdict.ok:
+            continue
+        if config.shrink and verdict.oracle != "internal-error":
+            result = shrink_failure(verdict, metric_name=config.metric,
+                                    plant=config.plant, deep=config.deep)
+            shrunk[verdict.seed] = result
+            source = result.source
+            kwargs = result.gen_kwargs
+        else:
+            source = verdict.source or generate_program(
+                verdict.seed, **verdict.gen_kwargs)
+            kwargs = verdict.gen_kwargs
+        if config.repro_dir is not None:
+            os.makedirs(config.repro_dir, exist_ok=True)
+            path = os.path.join(config.repro_dir,
+                                f"seed{verdict.seed}_{verdict.oracle}.c")
+            header = (f"/* seed {verdict.seed}; oracle {verdict.oracle}"
+                      f"@{verdict.ablation}; gen_kwargs {kwargs!r}\n"
+                      f"   {verdict.detail}\n"
+                      f"   re-check: python -m repro bounds <this file> */\n")
+            with open(path, "w") as handle:
+                handle.write(header + source)
+            repro_files[verdict.seed] = path
+
+    elapsed = time.perf_counter() - started
+    report = CampaignReport(config=config, verdicts=verdicts, shrunk=shrunk,
+                            elapsed=elapsed, repro_files=repro_files)
+    if config.report_path is not None:
+        report_dir = os.path.dirname(config.report_path)
+        if report_dir:
+            os.makedirs(report_dir, exist_ok=True)
+        with open(config.report_path, "w") as handle:
+            for verdict in verdicts:
+                record = verdict.as_json()
+                if verdict.seed in repro_files:
+                    record["repro"] = repro_files[verdict.seed]
+                handle.write(json.dumps(record) + "\n")
+            handle.write(json.dumps({"summary": report.summary()}) + "\n")
+    return report
+
+
+def run_smoke_campaign(seeds: int = 12, jobs: int = 2,
+                       time_budget: float = 60.0,
+                       cache_dir: Optional[str] = None) -> CampaignReport:
+    """The CI smoke entry: a small, time-boxed campaign (also used by the
+    pytest self-test).  Uses a cold cache by default so CI always
+    exercises the oracles."""
+    config = CampaignConfig(seeds=seeds, jobs=jobs, cache_dir=cache_dir,
+                            time_budget=time_budget)
+    return run_campaign(config)

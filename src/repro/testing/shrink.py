@@ -1,0 +1,74 @@
+"""Shrink a failing campaign seed to a minimal reproducer.
+
+Generated programs are parameterized, not token streams, so shrinking is
+greedy descent over the generator parameters: repeatedly try reducing
+``max_functions``, ``max_stmts`` and ``max_depth`` by one and keep any
+reduction for which the *same oracle* still fires on the same seed.  The
+result is the smallest parameter vector (and its generated C source)
+that reproduces the original verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.testing.oracles import SeedVerdict, check_seed
+from repro.testing.progen import generate_program
+
+#: Parameters the shrinker descends over, with their floor values.
+SHRINK_AXES = (("max_functions", 1), ("max_stmts", 1), ("max_depth", 0))
+
+DEFAULTS = {"max_functions": 4, "max_stmts": 6, "max_depth": 3}
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing seed."""
+
+    verdict: SeedVerdict          #: verdict at the minimized parameters
+    gen_kwargs: dict              #: minimized generator parameters
+    source: str                   #: minimized C source
+    attempts: int                 #: candidate re-checks performed
+    reduced: bool                 #: whether any axis actually shrank
+
+
+def shrink_failure(verdict: SeedVerdict,
+                   metric_name: str = "compiler",
+                   plant: Optional[str] = None,
+                   deep: bool = False,
+                   max_attempts: int = 32) -> ShrinkResult:
+    """Minimize the generator parameters behind a failing verdict.
+
+    A candidate is accepted when re-checking the same seed at the smaller
+    parameters violates the *same oracle* (the ablation may differ — the
+    bug, not its first observation point, is what must survive).
+    """
+    if verdict.ok:
+        raise ValueError("shrink_failure needs a failing verdict")
+    kwargs = {**DEFAULTS, **verdict.gen_kwargs}
+    best = verdict
+    attempts = 0
+    reduced = False
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for axis, floor in SHRINK_AXES:
+            if kwargs[axis] <= floor:
+                continue
+            candidate = dict(kwargs)
+            candidate[axis] = kwargs[axis] - 1
+            attempts += 1
+            trial = check_seed(verdict.seed, gen_kwargs=candidate,
+                               metric_name=metric_name, plant=plant,
+                               deep=deep)
+            if not trial.ok and trial.oracle == verdict.oracle:
+                kwargs = candidate
+                best = trial
+                progress = True
+                reduced = True
+            if attempts >= max_attempts:
+                break
+    source = best.source or generate_program(verdict.seed, **kwargs)
+    return ShrinkResult(verdict=best, gen_kwargs=kwargs, source=source,
+                        attempts=attempts, reduced=reduced)

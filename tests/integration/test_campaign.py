@@ -1,0 +1,127 @@
+"""Integration tests for the differential-testing campaign engine.
+
+Includes the campaign's *self-test*: a compiler-option fixture that
+deliberately miscomputes the cost metric (dropping the 4 return-address
+bytes from ``M(f)``) must be caught by the oracle hierarchy within a
+small seed budget — if the campaign cannot find a planted bug of the
+exact shape it exists to catch, it is not testing anything.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.testing import (CampaignConfig, check_seed, run_campaign,
+                           run_smoke_campaign, shrink_failure)
+from repro.testing.oracles import ABLATIONS
+
+#: Seed budget within which the planted metric bug must be flagged.
+SELF_TEST_BUDGET = 5
+
+
+class TestOracles:
+    def test_clean_seeds_pass_every_oracle(self):
+        for seed in range(3):
+            verdict = check_seed(seed)
+            assert verdict.ok, (verdict.oracle, verdict.detail)
+            assert verdict.configs_checked == len(ABLATIONS)
+            assert verdict.events > 0
+
+    def test_deep_mode_interprets_intermediate_levels(self):
+        verdict = check_seed(0, deep=True)
+        assert verdict.ok, (verdict.oracle, verdict.detail)
+        assert "deep" in verdict.timings
+
+    def test_recursive_seeds_skip_the_analyzer(self):
+        verdict = check_seed(1, gen_kwargs={"recursion": True})
+        assert verdict.ok, (verdict.oracle, verdict.detail)
+
+    def test_planted_metric_bug_is_flagged(self):
+        """The self-test fixture: M(f) = SF(f) (return address dropped)
+        must violate bound-soundness within SELF_TEST_BUDGET seeds."""
+        flagged = [check_seed(seed, plant="drop-ra")
+                   for seed in range(SELF_TEST_BUDGET)]
+        failures = [v for v in flagged if not v.ok]
+        assert failures, ("campaign self-test: the planted drop-ra bug "
+                          f"survived {SELF_TEST_BUDGET} seeds")
+        assert all(v.oracle == "bound-soundness" for v in failures), \
+            [(v.seed, v.oracle) for v in failures]
+
+
+class TestShrinking:
+    def test_shrunk_repro_preserves_the_verdict(self):
+        """Shrinker contract: the minimized parameters still violate the
+        same oracle as the original failure."""
+        verdict = check_seed(0, plant="drop-ra")
+        assert not verdict.ok
+        result = shrink_failure(verdict, plant="drop-ra")
+        assert not result.verdict.ok
+        assert result.verdict.oracle == verdict.oracle
+        assert result.reduced
+        # drop-ra fires on any program with a call, so the minimum is the
+        # parameter floor.
+        assert result.gen_kwargs["max_functions"] == 1
+        assert result.source.strip()
+
+    def test_shrink_rejects_passing_verdicts(self):
+        with pytest.raises(ValueError):
+            shrink_failure(check_seed(0))
+
+
+class TestCampaign:
+    def test_smoke_campaign_is_clean(self):
+        """The CI smoke entry: a small pool-based campaign with zero
+        oracle violations."""
+        report = run_smoke_campaign(seeds=4, jobs=2)
+        assert len(report.verdicts) == 4
+        assert not report.failures, report.summary()
+        assert report.throughput > 0
+
+    def test_corpus_cache_skips_verified_seeds(self, tmp_path):
+        config = CampaignConfig(seeds=2, jobs=1,
+                                cache_dir=str(tmp_path / "corpus"))
+        cold = run_campaign(config)
+        assert cold.cache_hits == 0 and not cold.failures
+        warm = run_campaign(config)
+        assert warm.cache_hits == 2 and not warm.failures
+        # A different oracle configuration must miss the cache.
+        other = CampaignConfig(seeds=2, jobs=1, metric="uniform",
+                               cache_dir=str(tmp_path / "corpus"))
+        assert run_campaign(other).cache_hits == 0
+
+    def test_failures_never_enter_the_cache(self, tmp_path):
+        config = CampaignConfig(seeds=1, jobs=1, plant="drop-ra",
+                                shrink=False, probes=False,
+                                cache_dir=str(tmp_path / "corpus"))
+        first = run_campaign(config)
+        assert first.failures
+        again = run_campaign(config)
+        assert again.failures and again.cache_hits == 0
+
+    def test_report_and_repros_written(self, tmp_path):
+        report_path = tmp_path / "report.jsonl"
+        config = CampaignConfig(seeds=2, jobs=1, plant="drop-ra",
+                                probes=False, cache_dir=None,
+                                report_path=str(report_path),
+                                repro_dir=str(tmp_path / "repros"))
+        report = run_campaign(config)
+        assert len(report.failures) == 2
+        lines = [json.loads(line)
+                 for line in report_path.read_text().splitlines()]
+        assert lines[-1]["summary"]["failures"] == 2
+        per_seed = [record for record in lines if "seed" in record]
+        assert len(per_seed) == 2
+        for record in per_seed:
+            assert record["oracle"] == "bound-soundness"
+            assert os.path.exists(record["repro"])
+        for seed, path in report.repro_files.items():
+            with open(path) as handle:
+                text = handle.read()
+            assert f"seed {seed}" in text and "int main" in text
+
+    def test_time_budget_stops_early(self):
+        config = CampaignConfig(seeds=500, jobs=1, cache_dir=None,
+                                time_budget=0.0)
+        report = run_campaign(config)
+        assert len(report.verdicts) < 500

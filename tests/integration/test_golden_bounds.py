@@ -1,0 +1,176 @@
+"""Golden-bound regression tests (paper Tables 1 and 2 as snapshots).
+
+Every packaged program's verified byte bounds — and every Table 2 spec's
+symbolic bound — are snapshotted under ``tests/golden/``.  A compiler or
+analyzer change that silently inflates (or deflates) any verified bound
+fails these tests with a per-function diff.
+
+To bless an intentional change:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_bounds.py -q
+
+then commit the rewritten JSON together with the change that caused it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.driver import compile_c, verify_stack_bounds
+from repro.logic.bexpr import evaluate
+from repro.programs.catalog import TABLE1
+from repro.programs.loader import load_source
+from repro.programs.table2 import TABLE2_PROGRAMS, build_spec_table
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
+TABLE1_GOLDEN = os.path.join(GOLDEN_DIR, "table1_bounds.json")
+TABLE2_GOLDEN = os.path.join(GOLDEN_DIR, "table2_bounds.json")
+
+#: Canonical evaluation point for the parametric Table 2 bounds.
+SPEC_PARAMS = {"n": 100, "bl": 256}
+
+
+def _regen() -> bool:
+    return bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def _load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _save(path, data) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _diff(expected: dict, actual: dict, context: str) -> list[str]:
+    """Human-readable per-key diff between two flat mappings."""
+    lines = []
+    for key in sorted(set(expected) | set(actual)):
+        want, got = expected.get(key), actual.get(key)
+        if want == got:
+            continue
+        if want is None:
+            lines.append(f"  {context}/{key}: new entry {got!r} "
+                         "(not in golden)")
+        elif got is None:
+            lines.append(f"  {context}/{key}: missing (golden {want!r})")
+        else:
+            delta = (f" ({got - want:+d} bytes)"
+                     if isinstance(want, int) and isinstance(got, int)
+                     else "")
+            lines.append(f"  {context}/{key}: golden {want!r} -> {got!r}"
+                         f"{delta}")
+    return lines
+
+
+def compute_table1_entry(entry) -> dict:
+    """Verified byte bounds for one catalog program (default options)."""
+    bounds = verify_stack_bounds(load_source(entry.path),
+                                 filename=entry.path, macros=entry.macros)
+    record = {"functions": {name: int(value)
+                            for name, value in bounds.all_bytes().items()},
+              "stack_requirement": int(bounds.stack_requirement())}
+    return record
+
+
+def compute_table2_entry(name, spec) -> dict:
+    """Symbolic bound plus its byte value under the compiled metric."""
+    # ``fact`` has no standalone program: its spec is exercised (and its
+    # frame compiled) by fact_sq.c.
+    path = TABLE2_PROGRAMS.get(name, TABLE2_PROGRAMS["fact_sq"])
+    compilation = compile_c(load_source(path), filename=path)
+    metric = compilation.metric.as_dict()
+    params = {p: SPEC_PARAMS[p if p in SPEC_PARAMS else "n"]
+              for p in spec.params}
+    return {
+        "params": list(spec.params),
+        "symbolic": repr(spec.total_bound()),
+        "description": spec.description,
+        "bytes_at": {repr(params): int(evaluate(spec.total_bound(), metric,
+                                                params))},
+    }
+
+
+class TestTable1Golden:
+    """Byte bounds of every auto-analyzed catalog program are pinned."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        if not _regen() and not os.path.exists(TABLE1_GOLDEN):
+            pytest.fail(f"golden file missing: {TABLE1_GOLDEN} "
+                        "(run with REPRO_REGEN_GOLDEN=1 to create)")
+        return {} if _regen() else _load(TABLE1_GOLDEN)
+
+    # Class-level accumulator so regeneration writes one file at the end.
+    _regenerated: dict = {}
+
+    @pytest.mark.parametrize("entry", TABLE1, ids=lambda e: e.path)
+    def test_bounds_match_golden(self, entry, golden):
+        actual = compute_table1_entry(entry)
+        if _regen():
+            TestTable1Golden._regenerated[entry.path] = actual
+            if len(TestTable1Golden._regenerated) == len(TABLE1):
+                _save(TABLE1_GOLDEN, TestTable1Golden._regenerated)
+            return
+        assert entry.path in golden, \
+            f"{entry.path} not in golden file (regenerate to add)"
+        expected = golden[entry.path]
+        lines = _diff(expected["functions"], actual["functions"], entry.path)
+        if expected["stack_requirement"] != actual["stack_requirement"]:
+            lines.append(
+                f"  {entry.path}/stack_requirement: golden "
+                f"{expected['stack_requirement']} -> "
+                f"{actual['stack_requirement']}")
+        assert not lines, ("verified bounds changed "
+                           "(REPRO_REGEN_GOLDEN=1 to bless):\n"
+                           + "\n".join(lines))
+
+    def test_every_reported_function_is_bounded(self, golden):
+        if _regen():
+            pytest.skip("regenerating")
+        for entry in TABLE1:
+            for function in entry.functions:
+                assert function in golden[entry.path]["functions"], \
+                    f"{entry.path}: Table 1 reports {function} but the " \
+                    "golden snapshot has no bound for it"
+
+
+class TestTable2Golden:
+    """Symbolic Table 2 bounds (and one byte instantiation) are pinned."""
+
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return dict(build_spec_table().recursive)
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        if not _regen() and not os.path.exists(TABLE2_GOLDEN):
+            pytest.fail(f"golden file missing: {TABLE2_GOLDEN} "
+                        "(run with REPRO_REGEN_GOLDEN=1 to create)")
+        return {} if _regen() else _load(TABLE2_GOLDEN)
+
+    def test_symbolic_bounds_match_golden(self, specs, golden):
+        actual = {name: compute_table2_entry(name, spec)
+                  for name, spec in specs.items()}
+        if _regen():
+            _save(TABLE2_GOLDEN, actual)
+            return
+        lines = []
+        for name in sorted(set(golden) | set(actual)):
+            want, got = golden.get(name), actual.get(name)
+            if want is None or got is None:
+                lines.append(f"  {name}: {'added' if want is None else 'removed'}")
+                continue
+            lines.extend(_diff(
+                {"symbolic": want["symbolic"], **want["bytes_at"]},
+                {"symbolic": got["symbolic"], **got["bytes_at"]},
+                name))
+        assert not lines, ("Table 2 specs changed "
+                           "(REPRO_REGEN_GOLDEN=1 to bless):\n"
+                           + "\n".join(lines))

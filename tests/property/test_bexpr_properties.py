@@ -10,7 +10,8 @@ from hypothesis import strategies as st
 
 from repro.logic.bexpr import (BConst, BFrameDiff, BScale, badd, bmax,
                                bmetric, bound_le, evaluate,
-                               fold_with_params, maxplus_normal_form)
+                               find_violation_metric, fold_with_params,
+                               maxplus_normal_form)
 
 ATOMS = ("f", "g", "h")
 
@@ -61,30 +62,37 @@ class TestComparatorSoundnessCompleteness:
 
     @settings(max_examples=100)
     @given(ground_bounds(), ground_bounds())
-    def test_le_complete_on_unit_metrics(self, a, b):
-        """If a <= b pointwise on a crafted family of metrics but the
-        comparator refuses, the refusal must be justified by *some*
-        metric: search for a witness."""
+    def test_le_refusals_have_witnesses(self, a, b):
+        """Every refusal of the comparator is certified by evaluation: a
+        concrete metric on which ``a > b`` (extracted from the failure
+        polyhedron by Fourier–Motzkin back-substitution)."""
         result = bound_le(a, b)
         if result.holds:
             return
-        # find a counterexample metric among a structured family
-        found = False
-        candidates = [
-            {name: 0 for name in ATOMS},
-            {name: 1 for name in ATOMS},
-            {name: 100 for name in ATOMS},
-        ]
-        for special in ATOMS:
-            candidates.append({n: (1000 if n == special else 0)
-                               for n in ATOMS})
-            candidates.append({n: (1000 if n == special else 1)
-                               for n in ATOMS})
-        for metric in candidates:
-            if evaluate(a, metric) > evaluate(b, metric):
-                found = True
-                break
-        assert found, (a, b)
+        metric = find_violation_metric(a, b)
+        assert metric is not None, (a, b)
+        full = {name: 0 for name in ATOMS}
+        full.update(metric)
+        assert evaluate(a, full) > evaluate(b, full), (a, b, full)
+
+    def test_le_case_split_completeness(self):
+        """Inequalities needing a case split over the metric are decided
+        (the termwise check alone refuses them); regression for a latent
+        incompleteness found by hypothesis."""
+        f, g = bmetric("f"), bmetric("g")
+        # M(f)+1 <= max(2*M(f), 1): take 1 at M(f)=0, 2*M(f) otherwise.
+        assert bound_le(badd(f, BConst(1)), bmax(badd(f, f), BConst(1))).holds
+        # Same shape over two atoms.
+        assert bound_le(badd(f, g, BConst(1)),
+                        bmax(badd(f, f, g, g), BConst(1))).holds
+        # A genuine violation in a narrow window (M(f)=2..4) is refused
+        # and certified.
+        a = badd(f, BConst(4))
+        b = bmax(badd(f, f), BConst(5))
+        assert not bound_le(a, b).holds
+        witness = find_violation_metric(a, b)
+        assert witness is not None and evaluate(a, witness) > \
+            evaluate(b, witness)
 
     @given(ground_bounds())
     def test_le_reflexive(self, a):

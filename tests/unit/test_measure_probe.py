@@ -1,0 +1,33 @@
+"""Unit tests for the bound-tightness probe of the stack monitor."""
+
+from repro.driver import compile_c, verify_stack_bounds
+from repro.measure.monitor import probe_bound_tightness
+
+SOURCE = ("int helper(int x) { return x + 1; } "
+          "int main() { print_int(helper(41)); return 0; }")
+
+
+class TestTightnessProbe:
+    def test_verified_bound_probes_clean(self):
+        bounds = verify_stack_bounds(SOURCE)
+        probe = probe_bound_tightness(bounds.compilation,
+                                      bounds.stack_requirement())
+        assert probe.sound
+        assert probe.overflow_detected
+        # The paper's 4-byte gap, as seen by the probe.
+        assert probe.at_bound.measured_bytes == probe.bound - 4
+
+    def test_inflated_bound_is_still_sound(self):
+        """Looseness is not unsoundness: a bigger-than-needed bound still
+        converges within itself, and the underprovision run still guards
+        against a dead overflow detector."""
+        bounds = verify_stack_bounds(SOURCE)
+        probe = probe_bound_tightness(bounds.compilation,
+                                      bounds.stack_requirement() + 64)
+        assert probe.sound and probe.overflow_detected
+
+    def test_understated_bound_is_flagged(self):
+        compilation = compile_c(SOURCE)
+        probe = probe_bound_tightness(compilation, 8)
+        assert not probe.sound
+        assert probe.underprovisioned is None

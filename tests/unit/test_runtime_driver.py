@@ -122,3 +122,24 @@ class TestDriver:
     def test_symbolic_bounds_exposed(self):
         bounds = verify_stack_bounds(self.SOURCE)
         assert "M(helper)" in repr(bounds.symbolic("main"))
+
+    def test_inexact_derivation_check_raises(self, monkeypatch):
+        """A sampled (non-exact) derivation re-check must raise
+        AnalysisError — a bare assert would vanish under ``python -O``
+        (regression for the guard in verify_stack_bounds)."""
+        from repro.analyzer import AnalysisResult
+        from repro.errors import AnalysisError
+        from repro.logic.checker import CheckReport
+
+        def sampled_check(self, externals=None):
+            report = CheckReport()
+            report.nodes = 1
+            report.sampled_conditions = 1
+            return report
+
+        monkeypatch.setattr(AnalysisResult, "check", sampled_check)
+        with pytest.raises(AnalysisError, match="sampled"):
+            verify_stack_bounds(self.SOURCE)
+        # With the re-check disabled the sampled report is never consulted.
+        bounds = verify_stack_bounds(self.SOURCE, check_derivations=False)
+        assert bounds.stack_requirement() > 0
