@@ -22,7 +22,8 @@ paper-vs-measured record of every table and figure.
 
 from repro.analyzer import StackAnalyzer
 from repro.driver import (Compilation, CompilerOptions, VerifiedBounds,
-                          compile_c, compile_clight, verify_stack_bounds)
+                          compile_c, compile_clight, compile_frontend,
+                          verify_stack_bounds)
 from repro.events import (CallEvent, Converges, Diverges, GoesWrong, IOEvent,
                           ReturnEvent, StackMetric, prune, weight)
 from repro.measure import measure_c_program, measure_compilation
@@ -32,6 +33,7 @@ __version__ = "0.1.0"
 __all__ = [
     "compile_c",
     "compile_clight",
+    "compile_frontend",
     "verify_stack_bounds",
     "Compilation",
     "CompilerOptions",

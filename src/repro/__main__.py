@@ -68,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--limit", type=int, default=200,
                        help="maximum number of events to print")
 
+    profile = add_common(sub.add_parser(
+        "profile", help="print per-stage timings (frontend, backend, "
+                        "analysis, execution)"))
+    profile.add_argument("--fuel", type=int, default=200_000_000)
+    profile.add_argument("--legacy", action="store_true",
+                         help="also time the legacy (non-decoded) "
+                              "interpreter for comparison")
+
     certify = add_common(sub.add_parser(
         "certify", help="emit a re-checkable proof certificate (JSON)"))
     certify.add_argument("-o", "--output", default=None,
@@ -220,6 +228,68 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    import time
+
+    from repro.c.parser import parse
+    from repro.c.typecheck import typecheck
+    from repro.clight.from_c import clight_of_program
+    from repro.driver import compile_clight
+
+    with open(args.file) as handle:
+        source = handle.read()
+    macros = _macros(args)
+
+    rows: list[tuple[str, float, str]] = []
+
+    start = time.perf_counter()
+    program = parse(source, args.file, macros)
+    rows.append(("parse", time.perf_counter() - start, ""))
+
+    start = time.perf_counter()
+    env = typecheck(program)
+    rows.append(("typecheck", time.perf_counter() - start, ""))
+
+    start = time.perf_counter()
+    clight = clight_of_program(program, env)
+    rows.append(("clight", time.perf_counter() - start, ""))
+
+    start = time.perf_counter()
+    compilation = compile_clight(clight, options=_options(args))
+    rows.append(("backend", time.perf_counter() - start, ""))
+
+    start = time.perf_counter()
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    sz = analysis.bound_bytes(compilation.asm.main, compilation.metric)
+    rows.append(("analyze", time.perf_counter() - start,
+                 f"bound {sz} bytes"))
+
+    start = time.perf_counter()
+    report = analysis.check()
+    rows.append(("derivation-check", time.perf_counter() - start,
+                 f"{report.nodes} nodes"))
+
+    engines = [("run (decoded)", True)]
+    if args.legacy:
+        engines.append(("run (legacy)", False))
+    for label, decoded in engines:
+        start = time.perf_counter()
+        behavior, machine = compilation.run(stack_bytes=sz + 4,
+                                            fuel=args.fuel, decoded=decoded)
+        elapsed = time.perf_counter() - start
+        rate = machine.steps / elapsed if elapsed else float("inf")
+        rows.append((label, elapsed,
+                     f"{type(behavior).__name__}, {machine.steps} steps, "
+                     f"{rate:,.0f} steps/s"))
+
+    total = sum(elapsed for _name, elapsed, _note in rows)
+    for name, elapsed, note in rows:
+        print(f"{name:18s} {elapsed * 1000:10.2f} ms"
+              + (f"  ({note})" if note else ""))
+    print(f"{'total':18s} {total * 1000:10.2f} ms")
+    return 0
+
+
 def cmd_certify(args) -> int:
     from repro.logic.certificate import export_certificate
 
@@ -304,8 +374,9 @@ def cmd_fuzz(args) -> int:
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"bounds": cmd_bounds, "run": cmd_run, "dump": cmd_dump,
-               "trace": cmd_trace, "certify": cmd_certify,
-               "check-cert": cmd_check_cert, "fuzz": cmd_fuzz}[args.command]
+               "trace": cmd_trace, "profile": cmd_profile,
+               "certify": cmd_certify, "check-cert": cmd_check_cert,
+               "fuzz": cmd_fuzz}[args.command]
     try:
         return handler(args)
     except ReproError as exc:

@@ -43,6 +43,12 @@ DEFAULT_STACK_BYTES = 1 << 20
 DEFAULT_ARENA_BYTES = 1 << 20
 DEFAULT_FUEL = 50_000_000
 
+#: Engine selected when ``AsmMachine(..., decoded=None)``: the pre-decoded
+#: threaded-code interpreter (:mod:`repro.asm.decode`).  Benchmarks flip
+#: this module-wide to measure the legacy step loop without re-plumbing
+#: every call site.
+DEFAULT_DECODED = True
+
 _INT_BINOPS = {
     "add": ints.add, "sub": ints.sub, "mul": ints.mul,
     "divs": ints.div_s, "divu": ints.div_u,
@@ -70,9 +76,13 @@ class AsmMachine:
     def __init__(self, program: asm.AsmProgram,
                  stack_bytes: int = DEFAULT_STACK_BYTES,
                  arena_bytes: int = DEFAULT_ARENA_BYTES,
-                 output: Optional[list] = None) -> None:
+                 output: Optional[list] = None,
+                 decoded: Optional[bool] = None) -> None:
         self.program = program
         self.output = output
+        if decoded is None:
+            decoded = DEFAULT_DECODED
+        self.decoded = decoded
 
         # Global layout.
         self.global_addr: dict[str, int] = {}
@@ -98,10 +108,17 @@ class AsmMachine:
             self.function_ids[name] = index
             self.functions_by_id.append(function)
 
-        # Register file.
-        self.iregs: dict[str, int] = {name: 0 for name in asm.INT_REG_NAMES}
-        self.fregs: dict[str, float] = {name: 0.0
-                                        for name in asm.FLOAT_REG_NAMES}
+        # Register file.  The decoded engine uses index-based lists (with
+        # a dict-like name view so ``machine.iregs["eax"]`` keeps working);
+        # the legacy engine keeps the original string-keyed dicts.
+        if decoded:
+            from repro.asm.decode import (FREG_INDEX, IREG_INDEX,
+                                          RegisterFile, bind_machine)
+            self.iregs = RegisterFile(IREG_INDEX, 0)
+            self.fregs = RegisterFile(FREG_INDEX, 0.0)
+        else:
+            self.iregs = {name: 0 for name in asm.INT_REG_NAMES}
+            self.fregs = {name: 0.0 for name in asm.FLOAT_REG_NAMES}
         self.esp = self.stack_top
         self.min_esp = self.esp
         self.esp_baseline = self.esp  # set properly by start()
@@ -111,6 +128,14 @@ class AsmMachine:
         self.done = False
         self.return_code: Optional[int] = None
         self.steps = 0
+
+        # Decoded-engine state: bound per-instruction closures plus the
+        # (ops, pc) hand-off cells used at call/return boundaries.
+        self._ops: Optional[list] = None
+        self._pc = 0
+        self._trace: list = []
+        if decoded:
+            bind_machine(self)
 
     # -- startup --------------------------------------------------------------
 
@@ -407,10 +432,21 @@ class AsmMachine:
 def run_program(program: asm.AsmProgram,
                 stack_bytes: int = DEFAULT_STACK_BYTES,
                 fuel: int = DEFAULT_FUEL,
-                output: Optional[list] = None
+                output: Optional[list] = None,
+                decoded: Optional[bool] = None
                 ) -> tuple[Behavior, AsmMachine]:
-    """Run on ASMsz; returns the behavior and the machine (for the monitor)."""
-    machine = AsmMachine(program, stack_bytes=stack_bytes, output=output)
+    """Run on ASMsz; returns the behavior and the machine (for the monitor).
+
+    ``decoded`` selects the engine (None = :data:`DEFAULT_DECODED`): the
+    pre-decoded threaded-code interpreter, or the legacy step loop kept as
+    the differential oracle.
+    """
+    machine = AsmMachine(program, stack_bytes=stack_bytes, output=output,
+                         decoded=decoded)
+    if machine.decoded:
+        from repro.asm.decode import run_decoded
+
+        return run_decoded(machine, fuel=fuel), machine
     trace: list[Event] = []
     try:
         machine.start()

@@ -22,7 +22,7 @@ from typing import Optional
 from repro.analyzer import AnalysisResult, StackAnalyzer
 from repro.asm import asm_of_mach
 from repro.asm import ast as asm_ast
-from repro.asm.machine import AsmMachine, run_program as run_asm
+from repro.asm.machine import AsmMachine, DEFAULT_FUEL, run_program as run_asm
 from repro.c.parser import parse
 from repro.c.typecheck import typecheck
 from repro.clight import ast as cl
@@ -61,6 +61,19 @@ class CompilerOptions:
         self.tailcall = tailcall
         self.spill_everything = spill_everything
 
+    def key(self) -> tuple[bool, bool, bool, bool, bool]:
+        """Structural identity, for caches and campaign reports."""
+        return (self.constprop, self.deadcode, self.cse, self.tailcall,
+                self.spill_everything)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompilerOptions):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
     def __repr__(self) -> str:
         return (f"CompilerOptions(constprop={self.constprop}, "
                 f"deadcode={self.deadcode}, cse={self.cse}, "
@@ -94,10 +107,11 @@ class Compilation:
 
     def run(self, stack_bytes: int = 1 << 20,
             output: Optional[list] = None,
-            fuel: int = 50_000_000) -> tuple[Behavior, AsmMachine]:
+            fuel: int = DEFAULT_FUEL,
+            decoded: Optional[bool] = None) -> tuple[Behavior, AsmMachine]:
         """Execute the compiled program on ASMsz."""
         return run_asm(self.asm, stack_bytes=stack_bytes, output=output,
-                       fuel=fuel)
+                       fuel=fuel, decoded=decoded)
 
 
 def compile_clight(clight: cl.Program,
@@ -120,14 +134,53 @@ def compile_clight(clight: cl.Program,
     return Compilation(clight, cminor, rtl, linear, mach, asm, options)
 
 
+# The frontend (parse + typecheck + Clight generation) depends only on the
+# source text, never on ``CompilerOptions``, and the backend never mutates
+# the Clight program it is handed (``cminor_of_clight`` rebuilds every node
+# it lowers).  So one frontend result can be shared across every ablation
+# point of a seed.  The cache is deliberately tiny: campaigns compile the
+# same seed under ~5 option sets back to back, then move on.
+_FRONTEND_CACHE_SIZE = 8
+_frontend_cache: dict[tuple, cl.Program] = {}
+_frontend_cache_enabled = True
+
+
+def configure_frontend_cache(enabled: bool) -> None:
+    """Enable/disable frontend sharing (benchmarks flip this)."""
+    global _frontend_cache_enabled
+    _frontend_cache_enabled = enabled
+    _frontend_cache.clear()
+
+
+def compile_frontend(source: str, filename: str = "<string>",
+                     macros: Optional[dict[str, str]] = None) -> cl.Program:
+    """Parse, type-check and lower a C translation unit to Clight.
+
+    The result is cached by ``(source, filename, macros)`` and must be
+    treated as immutable by callers; pass it to :func:`compile_clight` any
+    number of times with different options.
+    """
+    key = (source, filename,
+           tuple(sorted(macros.items())) if macros else None)
+    if _frontend_cache_enabled:
+        cached = _frontend_cache.get(key)
+        if cached is not None:
+            return cached
+    program = parse(source, filename, macros)
+    env = typecheck(program)
+    clight = clight_of_program(program, env)
+    if _frontend_cache_enabled:
+        if len(_frontend_cache) >= _FRONTEND_CACHE_SIZE:
+            _frontend_cache.pop(next(iter(_frontend_cache)))
+        _frontend_cache[key] = clight
+    return clight
+
+
 def compile_c(source: str, filename: str = "<string>",
               macros: Optional[dict[str, str]] = None,
               options: Optional[CompilerOptions] = None) -> Compilation:
     """Parse, type-check and compile a C translation unit."""
-    program = parse(source, filename, macros)
-    env = typecheck(program)
-    clight = clight_of_program(program, env)
-    return compile_clight(clight, options)
+    return compile_clight(compile_frontend(source, filename, macros), options)
 
 
 class VerifiedBounds:

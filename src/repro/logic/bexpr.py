@@ -37,9 +37,26 @@ INFINITY: float = math.inf
 
 
 class BExpr:
-    """Abstract bound expression; immutable."""
+    """Abstract bound expression; immutable and hash-consed.
 
-    __slots__ = ()
+    Every constructor interns through a per-class pool, so structurally
+    equal expressions are the *same object*.  That makes child tuples
+    usable as pool keys (identity hashing is structural hashing), lets
+    :func:`_syntactically_equal` short-circuit on ``is``, and gives each
+    node a place to cache its max-plus normal form: the analyzer and the
+    derivation re-check ask :func:`bound_le` about the same subtrees over
+    and over, and the normal form of a shared node is computed once.
+    """
+
+    # Memo slots start unset (plain __slots__ attribute semantics); the
+    # memoized entry points fill them lazily.
+    __slots__ = ("_memo_mpnf", "_memo_frames")
+
+    def __reduce__(self):
+        # Re-enter the interning constructor on unpickle/copy: every
+        # concrete class's __new__ takes its own __slots__ in order.
+        cls = type(self)
+        return cls, tuple(getattr(self, name) for name in cls.__slots__)
 
     # Convenience operators for building bounds in specs and tests.
     def __add__(self, other: "BExpr | int") -> "BExpr":
@@ -57,11 +74,17 @@ class BExpr:
 
 class BConst(BExpr):
     __slots__ = ("value",)
+    _pool: dict = {}
 
-    def __init__(self, value: Number) -> None:
+    def __new__(cls, value: Number) -> "BConst":
         if value != INFINITY and (not isinstance(value, int) or value < 0):
             raise ValueError(f"bound constants must be naturals or ∞: {value!r}")
-        self.value = value
+        self = cls._pool.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            self.value = value
+            cls._pool[value] = self
+        return self
 
     def __repr__(self) -> str:
         return "∞" if self.value == INFINITY else str(self.value)
@@ -71,9 +94,15 @@ class BMetric(BExpr):
     """``M(f)``: the (unknown until compilation) stack cost of ``f``."""
 
     __slots__ = ("function",)
+    _pool: dict = {}
 
-    def __init__(self, function: str) -> None:
-        self.function = function
+    def __new__(cls, function: str) -> "BMetric":
+        self = cls._pool.get(function)
+        if self is None:
+            self = object.__new__(cls)
+            self.function = function
+            cls._pool[function] = self
+        return self
 
     def __repr__(self) -> str:
         return f"M({self.function})"
@@ -83,9 +112,15 @@ class BParam(BExpr):
     """An integer parameter of a parametric spec (a function argument)."""
 
     __slots__ = ("name",)
+    _pool: dict = {}
 
-    def __init__(self, name: str) -> None:
-        self.name = name
+    def __new__(cls, name: str) -> "BParam":
+        self = cls._pool.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            cls._pool[name] = self
+        return self
 
     def __repr__(self) -> str:
         return self.name
@@ -93,9 +128,18 @@ class BParam(BExpr):
 
 class BAdd(BExpr):
     __slots__ = ("items",)
+    _pool: dict = {}
 
-    def __init__(self, items: Iterable[BExpr]) -> None:
-        self.items = tuple(items)
+    def __new__(cls, items: Iterable[BExpr]) -> "BAdd":
+        # Interned children hash by identity, so the tuple is a
+        # structural key.
+        key = tuple(items)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.items = key
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         return "(" + " + ".join(map(repr, self.items)) + ")"
@@ -103,9 +147,16 @@ class BAdd(BExpr):
 
 class BMax(BExpr):
     __slots__ = ("items",)
+    _pool: dict = {}
 
-    def __init__(self, items: Iterable[BExpr]) -> None:
-        self.items = tuple(items)
+    def __new__(cls, items: Iterable[BExpr]) -> "BMax":
+        key = tuple(items)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.items = key
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         return "max(" + ", ".join(map(repr, self.items)) + ")"
@@ -115,12 +166,19 @@ class BScale(BExpr):
     """``k * B`` with a non-negative integer constant ``k``."""
 
     __slots__ = ("factor", "body")
+    _pool: dict = {}
 
-    def __init__(self, factor: int, body: BExpr) -> None:
+    def __new__(cls, factor: int, body: BExpr) -> "BScale":
         if factor < 0:
             raise ValueError("scaling factor must be non-negative")
-        self.factor = factor
-        self.body = body
+        key = (factor, body)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.factor = factor
+            self.body = body
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         return f"{self.factor}·{self.body!r}"
@@ -135,10 +193,17 @@ class BFrameDiff(BExpr):
     """
 
     __slots__ = ("total", "part")
+    _pool: dict = {}
 
-    def __init__(self, total: BExpr, part: BExpr) -> None:
-        self.total = total
-        self.part = part
+    def __new__(cls, total: BExpr, part: BExpr) -> "BFrameDiff":
+        key = (total, part)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.total = total
+            self.part = part
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         return f"({self.total!r} - {self.part!r})"
@@ -148,10 +213,17 @@ class BMul(BExpr):
     """Product of two parametric bounds (e.g. ``24 * n * n``)."""
 
     __slots__ = ("left", "right")
+    _pool: dict = {}
 
-    def __init__(self, left: BExpr, right: BExpr) -> None:
-        self.left = left
-        self.right = right
+    def __new__(cls, left: BExpr, right: BExpr) -> "BMul":
+        key = (left, right)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.left = left
+            self.right = right
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         return f"({self.left!r} * {self.right!r})"
@@ -161,9 +233,15 @@ class BLog2(BExpr):
     """Paper-convention logarithm: ∞ below 0, 0 at 0, else ceil(log2)."""
 
     __slots__ = ("arg",)
+    _pool: dict = {}
 
-    def __init__(self, arg: BExpr) -> None:
-        self.arg = arg
+    def __new__(cls, arg: BExpr) -> "BLog2":
+        self = cls._pool.get(arg)
+        if self is None:
+            self = object.__new__(cls)
+            self.arg = arg
+            cls._pool[arg] = self
+        return self
 
     def __repr__(self) -> str:
         return f"log2({self.arg!r})"
@@ -175,10 +253,17 @@ class BHalf(BExpr):
     ``ceil((hi-lo)/2)`` elements)."""
 
     __slots__ = ("arg", "ceil")
+    _pool: dict = {}
 
-    def __init__(self, arg: BExpr, ceil: bool = False) -> None:
-        self.arg = arg
-        self.ceil = ceil
+    def __new__(cls, arg: BExpr, ceil: bool = False) -> "BHalf":
+        key = (arg, ceil)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.arg = arg
+            self.ceil = ceil
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         name = "ceil_half" if self.ceil else "half"
@@ -194,10 +279,17 @@ class BParamDiff(BExpr):
     """
 
     __slots__ = ("left", "right")
+    _pool: dict = {}
 
-    def __init__(self, left: BExpr, right: BExpr) -> None:
-        self.left = left
-        self.right = right
+    def __new__(cls, left: BExpr, right: BExpr) -> "BParamDiff":
+        key = (left, right)
+        self = cls._pool.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.left = left
+            self.right = right
+            cls._pool[key] = self
+        return self
 
     def __repr__(self) -> str:
         return f"({self.left!r} - {self.right!r})"
@@ -510,6 +602,35 @@ class NotGround(Exception):
     """The expression is outside the ground max-plus fragment."""
 
 
+# Normal-form memoization.  Results live on the interned nodes themselves
+# (slot ``_memo_mpnf``), so any two occurrences of the same subtree — even
+# in unrelated bound_le queries — share one normalization.  ``NotGround``
+# is memoized too (as the sentinel ``_NOT_GROUND``): asking again about a
+# parametric subtree is as common as asking about a ground one.
+_NOT_GROUND = object()
+_memo_enabled = True
+_nf_hits = 0
+_nf_misses = 0
+
+
+def configure_memoization(enabled: bool) -> None:
+    """Turn normal-form memoization on/off (benchmarks flip this)."""
+    global _memo_enabled
+    _memo_enabled = enabled
+
+
+def nf_cache_stats() -> dict:
+    """Hit/miss counters of the normal-form memo, for the perf benches."""
+    total = _nf_hits + _nf_misses
+    return {"hits": _nf_hits, "misses": _nf_misses,
+            "hit_rate": _nf_hits / total if total else 0.0}
+
+
+def reset_nf_cache_stats() -> None:
+    global _nf_hits, _nf_misses
+    _nf_hits = _nf_misses = 0
+
+
 def maxplus_normal_form(expr: BExpr) -> frozenset:
     """Normalize a ground expression to a set of (const, atom-multiset).
 
@@ -520,7 +641,31 @@ def maxplus_normal_form(expr: BExpr) -> frozenset:
     return frozenset(_prune_dominated(terms))
 
 
-def _mpnf(expr: BExpr) -> list[tuple[Number, frozenset]]:
+def _mpnf(expr: BExpr) -> tuple:
+    """Memoizing wrapper around :func:`_mpnf_impl`."""
+    global _nf_hits, _nf_misses
+    if _memo_enabled:
+        try:
+            memo = expr._memo_mpnf
+        except AttributeError:
+            pass
+        else:
+            _nf_hits += 1
+            if memo is _NOT_GROUND:
+                raise NotGround(f"not a ground bound: {expr!r}")
+            return memo
+        _nf_misses += 1
+        try:
+            terms = tuple(_mpnf_impl(expr))
+        except NotGround:
+            expr._memo_mpnf = _NOT_GROUND
+            raise
+        expr._memo_mpnf = terms
+        return terms
+    return tuple(_mpnf_impl(expr))
+
+
+def _mpnf_impl(expr: BExpr) -> list[tuple[Number, frozenset]]:
     """Each term is (const, frozenset of (atom, multiplicity))."""
     if isinstance(expr, BConst):
         return [(expr.value, frozenset())]
@@ -787,7 +932,24 @@ def _prune_dominated(terms: list) -> list:
 
 
 def _rewrite_frames(expr: BExpr) -> BExpr:
-    """Rewrite ``part + (total - part) -> total`` (the Q:FRAME shape)."""
+    """Rewrite ``part + (total - part) -> total`` (the Q:FRAME shape).
+
+    Memoized on the interned node (slot ``_memo_frames``): every
+    :func:`bound_le` call rewrites both sides first, and derivation
+    re-checks compare the same bounds many times.
+    """
+    if _memo_enabled:
+        try:
+            return expr._memo_frames
+        except AttributeError:
+            pass
+        result = _rewrite_frames_impl(expr)
+        expr._memo_frames = result
+        return result
+    return _rewrite_frames_impl(expr)
+
+
+def _rewrite_frames_impl(expr: BExpr) -> BExpr:
     if isinstance(expr, BAdd):
         items = [_rewrite_frames(i) for i in expr.items]
         diffs = [i for i in items if isinstance(i, BFrameDiff)]
@@ -811,7 +973,10 @@ def _rewrite_frames(expr: BExpr) -> BExpr:
 
 
 def _syntactically_equal(a: BExpr, b: BExpr) -> bool:
-    return repr(a) == repr(b)
+    # Hash-consing makes structural equality an identity check for nodes
+    # built through the constructors; the repr fallback keeps the old
+    # behavior for pickled/copied expressions that bypassed interning.
+    return a is b or repr(a) == repr(b)
 
 
 # ---------------------------------------------------------------------------

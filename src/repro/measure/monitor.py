@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.asm.machine import DEFAULT_FUEL
 from repro.driver import Compilation, CompilerOptions, compile_c
 from repro.errors import DynamicError
 from repro.events.trace import Converges
@@ -30,7 +31,7 @@ class MeasuredRun:
 
 def measure_compilation(compilation: Compilation,
                         stack_bytes: int = 1 << 20,
-                        fuel: int = 50_000_000) -> MeasuredRun:
+                        fuel: int = DEFAULT_FUEL) -> MeasuredRun:
     """Run the compiled program under the monitor."""
     output: list = []
     behavior, machine = compilation.run(stack_bytes=stack_bytes,
@@ -71,7 +72,7 @@ class TightnessProbe:
 
 
 def probe_bound_tightness(compilation: Compilation, bound: int,
-                          fuel: int = 50_000_000) -> TightnessProbe:
+                          fuel: int = DEFAULT_FUEL) -> TightnessProbe:
     """Theorem 1, run twice: once at the verified bound and once 4 bytes
     below the measured requirement.
 
@@ -92,7 +93,7 @@ def probe_bound_tightness(compilation: Compilation, bound: int,
 
 
 def minimal_stack(compilation: Compilation, upper_bound: int,
-                  fuel: int = 50_000_000) -> int:
+                  fuel: int = DEFAULT_FUEL) -> int:
     """The smallest stack block (in bytes) on which the program converges.
 
     Binary search between 4 and ``upper_bound + 4`` total stack bytes;

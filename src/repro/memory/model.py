@@ -48,6 +48,12 @@ class _PtrFragment:
 
 _UNDEF_CELL = None  # undefined contents are represented by None
 
+#: Byte cells are immutable, so all 256 of them are preallocated and
+#: shared.  This turns every concrete store into table lookups instead of
+#: per-byte object allocations — the dominant cost of the interpreter's
+#: ``Pload``/``Pstore`` traffic through the block memory.
+_BYTE_CELLS = tuple(_ByteCell(byte) for byte in range(256))
+
 
 class _Block:
     __slots__ = ("size", "cells", "alive", "tag")
@@ -113,19 +119,22 @@ class Memory:
         in CompCert).
         """
         cells = self._cells_for_access(chunk, ptr, "load")
-        if chunk is Chunk.INT32 and isinstance(cells[0], _PtrFragment):
-            fragment = cells[0]
-            if all(
-                isinstance(cell, _PtrFragment)
-                and cell.ptr == fragment.ptr
-                and cell.index == index
-                for index, cell in enumerate(cells)
-            ):
-                return fragment.ptr
+        try:
+            # Fast path: all-concrete bytes.  Only _ByteCell has a ``byte``
+            # attribute, so fragments and undef fall through via
+            # AttributeError without a per-byte isinstance sweep.
+            raw = bytes(cell.byte for cell in cells)
+        except AttributeError:
+            if chunk is Chunk.INT32 and isinstance(cells[0], _PtrFragment):
+                fragment = cells[0]
+                if all(
+                    isinstance(cell, _PtrFragment)
+                    and cell.ptr == fragment.ptr
+                    and cell.index == index
+                    for index, cell in enumerate(cells)
+                ):
+                    return fragment.ptr
             return VUndef()
-        if any(not isinstance(cell, _ByteCell) for cell in cells):
-            return VUndef()
-        raw = bytes(cell.byte for cell in cells)
         if chunk.is_float:
             return VFloat(chunk.decode_float(raw))
         return VInt(chunk.decode_int(raw))
@@ -143,12 +152,12 @@ class Memory:
             if chunk.is_float:
                 raise MemoryError_("integer stored through float chunk")
             raw = chunk.encode_int(value.value)
-            new_cells = [_ByteCell(byte) for byte in raw]
+            new_cells = [_BYTE_CELLS[byte] for byte in raw]
         elif isinstance(value, VFloat):
             if not chunk.is_float:
                 raise MemoryError_("float stored through integer chunk")
             raw = chunk.encode_float(value.value)
-            new_cells = [_ByteCell(byte) for byte in raw]
+            new_cells = [_BYTE_CELLS[byte] for byte in raw]
         elif isinstance(value, VUndef):
             new_cells = [_UNDEF_CELL] * chunk.size
         else:
@@ -172,7 +181,7 @@ class Memory:
         block = self._require_block(ptr.block, "store_bytes")
         self._check_range(block, ptr, len(data), "store_bytes")
         block.cells[ptr.offset : ptr.offset + len(data)] = [
-            _ByteCell(byte) for byte in data
+            _BYTE_CELLS[byte] for byte in data
         ]
 
     # -- internals ----------------------------------------------------------

@@ -26,6 +26,11 @@ NAC = "NAC"  # not-a-constant (lattice top)
 
 Fact = dict  # reg -> Value | NAC
 
+#: Use the solver's fused in-place merge (one traversal per edge, no
+#: per-join dict allocation).  The allocate-and-compare join below stays
+#: as the differential oracle; flip this to cross-check fixpoints.
+FUSED_MERGE = True
+
 
 def _join(a: Fact, b: Fact) -> Fact:
     out = dict(a)
@@ -39,6 +44,30 @@ def _join(a: Fact, b: Fact) -> Fact:
 
 def _equal(a: Fact, b: Fact) -> bool:
     return a == b
+
+
+def _merge(old: Fact, new: Fact) -> bool:
+    """Join ``new`` into ``old`` in place; True iff ``old`` changed.
+
+    Same lattice as :func:`_join` + :func:`_equal`.  Facts propagate by
+    reference, so the ``is`` test skips the ``Value.__eq__`` call for the
+    overwhelmingly common unchanged register.
+    """
+    changed = False
+    for reg, value in new.items():
+        cur = old.get(reg, _MISSING)
+        if cur is value or cur is NAC:
+            continue
+        if cur is _MISSING:
+            old[reg] = value
+            changed = True
+        elif cur != value:
+            old[reg] = NAC
+            changed = True
+    return changed
+
+
+_MISSING = object()
 
 
 def _transfer(_node: int, instr: rtl.Instr, fact: Fact) -> Fact:
@@ -86,7 +115,11 @@ def constprop(function: rtl.RTLFunction) -> int:
     # Parameters have unknown run-time values: NAC at entry (leaving them
     # absent would make them lattice bottom and licence bogus folding).
     entry_fact = {param: NAC for param in function.params}
-    facts = solve_forward(function, entry_fact, _join, _transfer, _equal)
+    if FUSED_MERGE:
+        facts = solve_forward(function, entry_fact, _join, _transfer,
+                              _equal, merge=_merge, copy=dict)
+    else:
+        facts = solve_forward(function, entry_fact, _join, _transfer, _equal)
     changed = 0
     for node, instr in list(function.graph.items()):
         fact = facts.get(node)

@@ -7,11 +7,41 @@ needs a join and a transfer function, plus equality on facts.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Mapping, TypeVar
 
 from repro.rtl import ast as rtl
 
 Fact = TypeVar("Fact")
+
+
+def _reverse_postorder(function: rtl.RTLFunction) -> dict[int, int]:
+    """Node -> visit priority in reverse postorder from the entry.
+
+    Processing a forward problem in RPO reaches a node only after (most
+    of) its predecessors are stable, so loop bodies converge in a couple
+    of sweeps instead of rippling one edge at a time.
+    """
+    graph = function.graph
+    order: dict[int, int] = {}
+    seen = {function.entry}
+    # Iterative DFS with an explicit successor cursor (postorder).
+    stack: list[tuple[int, iter]] = [(function.entry,
+                                      iter(graph[function.entry].successors()))]
+    post: list[int] = []
+    while stack:
+        node, successors = stack[-1]
+        for succ in successors:
+            if succ not in seen and succ in graph:
+                seen.add(succ)
+                stack.append((succ, iter(graph[succ].successors())))
+                break
+        else:
+            post.append(node)
+            stack.pop()
+    for index, node in enumerate(reversed(post)):
+        order[node] = index
+    return order
 
 
 def predecessors(graph: Mapping[int, rtl.Instr]) -> dict[int, list[int]]:
@@ -25,49 +55,112 @@ def predecessors(graph: Mapping[int, rtl.Instr]) -> dict[int, list[int]]:
 def solve_forward(function: rtl.RTLFunction, entry_fact: Fact,
                   join: Callable[[Fact, Fact], Fact],
                   transfer: Callable[[int, rtl.Instr, Fact], Fact],
-                  equal: Callable[[Fact, Fact], bool]
+                  equal: Callable[[Fact, Fact], bool],
+                  merge: Callable[[Fact, Fact], bool] | None = None,
+                  copy: Callable[[Fact], Fact] | None = None
                   ) -> dict[int, Fact]:
-    """Facts *before* each node; unreachable nodes are absent."""
-    facts: dict[int, Fact] = {function.entry: entry_fact}
-    worklist = [function.entry]
+    """Facts *before* each node; unreachable nodes are absent.
+
+    With only ``join``/``equal``, each merge builds a fresh fact and then
+    compares it against the old one — two full traversals per edge.  A
+    client whose facts are mutable can instead supply ``merge(old, new)``,
+    which joins ``new`` into ``old`` *in place* and returns whether ``old``
+    changed, plus ``copy`` to give the solver an owned fact at first
+    reach (transfer results may alias other nodes' facts).  Both paths
+    compute the same fixpoint; the fused one is what constant propagation
+    uses on its hot dict-per-register lattice.
+    """
     graph = function.graph
-    while worklist:
-        node = worklist.pop()
+    facts: dict[int, Fact] = {function.entry: entry_fact}
+    if merge is None:
+        # Reference solver: plain LIFO worklist, allocate-and-compare.
+        worklist = [function.entry]
+        while worklist:
+            node = worklist.pop()
+            instr = graph[node]
+            out = transfer(node, instr, facts[node])
+            for succ in instr.successors():
+                if succ not in facts:
+                    facts[succ] = out
+                    worklist.append(succ)
+                else:
+                    merged = join(facts[succ], out)
+                    if not equal(merged, facts[succ]):
+                        facts[succ] = merged
+                        worklist.append(succ)
+        return facts
+    # Fused solver: in-place merge, deduplicated worklist drained in
+    # reverse postorder so loop bodies stabilize in a few sweeps.
+    order = _reverse_postorder(function)
+    heap = [(order[function.entry], function.entry)]
+    pending = {function.entry}
+    while heap:
+        _, node = heapq.heappop(heap)
+        pending.discard(node)
         instr = graph[node]
         out = transfer(node, instr, facts[node])
         for succ in instr.successors():
             if succ not in facts:
-                facts[succ] = out
-                worklist.append(succ)
-            else:
-                merged = join(facts[succ], out)
-                if not equal(merged, facts[succ]):
-                    facts[succ] = merged
-                    worklist.append(succ)
+                facts[succ] = copy(out)
+            elif not merge(facts[succ], out):
+                continue
+            if succ not in pending:
+                pending.add(succ)
+                heapq.heappush(heap, (order[succ], succ))
     return facts
 
 
 def solve_backward(function: rtl.RTLFunction, exit_fact: Fact,
                    join: Callable[[Fact, Fact], Fact],
                    transfer: Callable[[int, rtl.Instr, Fact], Fact],
-                   equal: Callable[[Fact, Fact], bool]
+                   equal: Callable[[Fact, Fact], bool],
+                   merge: Callable[[Fact, Fact], bool] | None = None,
+                   copy: Callable[[Fact], Fact] | None = None
                    ) -> dict[int, Fact]:
-    """Facts *after* each node (the join over successors' before-facts)."""
+    """Facts *after* each node (the join over successors' before-facts).
+
+    ``merge``/``copy`` select the fused solver, as in
+    :func:`solve_forward`: in-place joins and a deduplicated worklist
+    drained in postorder (the convergent direction backward).
+    """
     graph = function.graph
     preds = predecessors(graph)
-    after: dict[int, Fact] = {node: exit_fact for node in graph}
-    before: dict[int, Fact] = {}
-    worklist = list(graph)
-    while worklist:
-        node = worklist.pop()
+    if merge is None:
+        after: dict[int, Fact] = {node: exit_fact for node in graph}
+        before: dict[int, Fact] = {}
+        worklist = list(graph)
+        while worklist:
+            node = worklist.pop()
+            instr = graph[node]
+            new_before = transfer(node, instr, after[node])
+            if node in before and equal(new_before, before[node]):
+                continue
+            before[node] = new_before
+            for pred in preds.get(node, ()):
+                merged = join(after[pred], new_before)
+                if not equal(merged, after[pred]):
+                    after[pred] = merged
+                    worklist.append(pred)
+        return after
+    order = _reverse_postorder(function)
+    fallback = len(order)
+    after = {node: copy(exit_fact) for node in graph}
+    before = {}
+    heap = [(-order.get(node, fallback), node) for node in graph]
+    heapq.heapify(heap)
+    pending = set(graph)
+    while heap:
+        _priority, node = heapq.heappop(heap)
+        if node not in pending:
+            continue
+        pending.discard(node)
         instr = graph[node]
         new_before = transfer(node, instr, after[node])
         if node in before and equal(new_before, before[node]):
             continue
         before[node] = new_before
         for pred in preds.get(node, ()):
-            merged = join(after[pred], new_before)
-            if not equal(merged, after[pred]):
-                after[pred] = merged
-                worklist.append(pred)
+            if merge(after[pred], new_before) and pred not in pending:
+                pending.add(pred)
+                heapq.heappush(heap, (-order.get(pred, fallback), pred))
     return after

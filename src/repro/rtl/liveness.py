@@ -38,11 +38,24 @@ def _make_transfer(conservative: bool):
     return transfer
 
 
+def _merge_sets(old: set, new: Fact) -> bool:
+    size = len(old)
+    old |= new
+    return len(old) != size
+
+
 def liveness(function: rtl.RTLFunction,
              conservative: bool = False) -> dict[int, Fact]:
-    """Map node -> registers live after the node."""
+    """Map node -> registers live after the node.
+
+    Uses the solver's fused path: the live-out facts are grown in place
+    (plain sets), so consumers get sets rather than frozensets — they only
+    test membership and iterate, and a union per edge replaces the
+    allocate-then-compare round trip.
+    """
     return solve_backward(function, frozenset(), lambda a, b: a | b,
-                          _make_transfer(conservative), lambda a, b: a == b)
+                          _make_transfer(conservative), lambda a, b: a == b,
+                          merge=_merge_sets, copy=set)
 
 
 def live_before(instr: rtl.Instr, live_out: Fact,

@@ -50,7 +50,8 @@ from typing import Optional
 
 from repro.analyzer import StackAnalyzer
 from repro.clight.semantics import run_program as run_clight
-from repro.driver import Compilation, CompilerOptions, compile_c
+from repro.driver import (Compilation, CompilerOptions, compile_clight,
+                          compile_frontend)
 from repro.errors import ReproError
 from repro.events.metrics import StackMetric
 from repro.events.refinement import (RefinementFailure, check_refinement,
@@ -198,11 +199,18 @@ def _check_seed(verdict: SeedVerdict, names: list[str], metric_name: str,
     analyzable = not (verdict.gen_kwargs.get("recursion", False)
                       and "rec" in source)
 
+    # The frontend depends only on the source, so parse/typecheck/Clight
+    # run once and every ablation shares the result through the backend.
+    try:
+        clight = compile_frontend(source, filename=f"seed{seed}.c")
+    except ReproError as error:
+        raise OracleViolation("compile", names[0],
+                              f"{type(error).__name__}: {error}")
     compilations: dict[str, Compilation] = {}
     for name in names:
         try:
-            compilations[name] = compile_c(source, filename=f"seed{seed}.c",
-                                           options=ABLATIONS[name])
+            compilations[name] = compile_clight(clight,
+                                                options=ABLATIONS[name])
         except ReproError as error:
             raise OracleViolation("compile", name,
                                   f"{type(error).__name__}: {error}")
