@@ -269,18 +269,39 @@ def cmd_profile(args) -> int:
     rows.append(("derivation-check", time.perf_counter() - start,
                  f"{report.nodes} nodes"))
 
-    engines = [("run (decoded)", True)]
+    engines = [("decoded", True)]
     if args.legacy:
-        engines.append(("run (legacy)", False))
+        engines.append(("legacy", False))
     for label, decoded in engines:
         start = time.perf_counter()
         behavior, machine = compilation.run(stack_bytes=sz + 4,
                                             fuel=args.fuel, decoded=decoded)
         elapsed = time.perf_counter() - start
         rate = machine.steps / elapsed if elapsed else float("inf")
-        rows.append((label, elapsed,
+        rows.append((f"run ({label})", elapsed,
                      f"{type(behavior).__name__}, {machine.steps} steps, "
                      f"{rate:,.0f} steps/s"))
+
+    # Per-language interpreter throughput: the same tower levels the
+    # deep campaign mode executes, on their streaming entry points.
+    from repro.clight import semantics as clight_sem
+    from repro.events.stream import null_sink
+    from repro.mach import semantics as mach_sem
+    from repro.rtl import semantics as rtl_sem
+
+    levels = [("clight", clight_sem, compilation.clight),
+              ("rtl", rtl_sem, compilation.rtl),
+              ("mach", mach_sem, compilation.mach)]
+    for level, sem, program in levels:
+        for label, decoded in engines:
+            start = time.perf_counter()
+            outcome = sem.run_streamed(program, null_sink, fuel=args.fuel,
+                                       decoded=decoded)
+            elapsed = time.perf_counter() - start
+            rate = outcome.steps / elapsed if elapsed else float("inf")
+            rows.append((f"{level} ({label})", elapsed,
+                         f"{outcome.kind}, {outcome.steps} steps, "
+                         f"{rate:,.0f} steps/s"))
 
     total = sum(elapsed for _name, elapsed, _note in rows)
     for name, elapsed, note in rows:

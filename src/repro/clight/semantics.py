@@ -25,9 +25,16 @@ from repro.events.trace import (Behavior, CallEvent, Converges, Diverges,
                                 Event, GoesWrong, IOEvent, ReturnEvent)
 from repro.memory import Chunk, Memory
 from repro.memory.values import VFloat, VInt, VPtr, VUndef, Value
+from repro.events.stream import Consumer, CountingSink, StreamOutcome
 from repro.runtime import call_external
 
 DEFAULT_FUEL = 2_000_000
+
+#: Default execution engine: the pre-decoded closure interpreter in
+#: :mod:`repro.clight.decode`.  Flip to False (or pass ``decoded=False``)
+#: to run this module's legacy statement-tree step loop, which stays as
+#: the differential oracle.
+DEFAULT_DECODED = True
 
 
 # ---------------------------------------------------------------------------
@@ -338,29 +345,59 @@ class ClightMachine:
         return event
 
 
-def run_program(program: cl.Program, fuel: int = DEFAULT_FUEL,
-                output: Optional[list] = None) -> Behavior:
-    """Run ``program`` from ``main`` and classify the result as a behavior."""
-    trace: list[Event] = []
+def run_streamed(program: cl.Program, sink: Consumer,
+                 fuel: int = DEFAULT_FUEL, output: Optional[list] = None,
+                 decoded: Optional[bool] = None) -> StreamOutcome:
+    """Run ``program``, pushing every event into ``sink`` as it is emitted.
+
+    This is the streaming entry point: consumers (pruned-trace matchers,
+    weight folds, plain ``list.append``) see the events without the
+    interpreter materializing a trace.  ``decoded`` selects the engine
+    (None = :data:`DEFAULT_DECODED`); both engines produce the same
+    events, outcome classification and step counts by construction.
+    """
+    if decoded is None:
+        decoded = DEFAULT_DECODED
+    if decoded:
+        from repro.clight import decode
+        return decode.run_streamed(program, sink, fuel, output=output)
+    counting = CountingSink(sink)
     machine = ClightMachine(program, output=output)
+    i = 0
     try:
-        trace.append(machine.enter_main())
-        for _ in range(fuel):
+        counting(machine.enter_main())
+        for i in range(fuel):
             if machine.done:
                 break
             event = machine.step()
             if event is not None:
-                trace.append(event)
+                counting(event)
         else:
-            return Diverges(trace)
+            return StreamOutcome(StreamOutcome.DIVERGES,
+                                 events=counting.count, steps=fuel)
     except FuelExhaustedError:
-        return Diverges(trace)
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i)
     except DynamicError as exc:
-        return GoesWrong(trace, reason=str(exc))
+        return StreamOutcome(StreamOutcome.GOES_WRONG, reason=str(exc),
+                             events=counting.count, steps=i)
     if not machine.done:
-        return Diverges(trace)
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i)
     assert machine.return_code is not None
-    return Converges(trace, machine.return_code)
+    return StreamOutcome(StreamOutcome.CONVERGES,
+                         return_code=machine.return_code,
+                         events=counting.count, steps=i)
+
+
+def run_program(program: cl.Program, fuel: int = DEFAULT_FUEL,
+                output: Optional[list] = None,
+                decoded: Optional[bool] = None) -> Behavior:
+    """Run ``program`` from ``main`` and classify the result as a behavior."""
+    trace: list[Event] = []
+    outcome = run_streamed(program, trace.append, fuel, output=output,
+                           decoded=decoded)
+    return outcome.to_behavior(trace)
 
 
 def run_call(program: cl.Program, function_name: str, args: list[Value],

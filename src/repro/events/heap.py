@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.c.types import align_up
-from repro.events.trace import Event, IOEvent
+from repro.events.trace import Event, IOEvent, weight_fold
 
 MALLOC_EVENT = "malloc"
 ARENA_ALIGNMENT = 8
@@ -48,9 +48,12 @@ class HeapMetric:
 
 def heap_usage(trace: Iterable[Event],
                alignment: int = ARENA_ALIGNMENT) -> int:
-    """Total arena bytes the trace's allocations consume."""
-    metric = HeapMetric(alignment)
-    return sum(metric(event) for event in trace)
+    """Total arena bytes the trace's allocations consume.
+
+    The arena never frees, so the valuation is monotone and the total
+    equals the weight; both come from the one shared streaming fold.
+    """
+    return weight_fold(HeapMetric(alignment), trace).total
 
 
 def allocation_sizes(trace: Iterable[Event]) -> list[int]:

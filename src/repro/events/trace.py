@@ -223,23 +223,52 @@ def prefixes(trace: Sequence[Event]) -> Iterator[Trace]:
         yield tuple(trace[:length])
 
 
+class WeightFold:
+    """One-pass streaming valuation and weight under a metric.
+
+    The single shared implementation of the paper's ``V_M`` / ``W_M``
+    folds: feed a trace event by event (the fold is itself an event
+    consumer) and read ``total`` for the valuation ``V_M(t)`` and
+    ``peak`` for the weight ``sup { V_M(t') | t' prefix of t }``.  The
+    empty prefix counts, so ``peak`` is never negative.  Used by
+    :func:`valuation` / :func:`weight_of_trace`, the heap accounting,
+    the stack monitor, and the campaign's streaming deep-mode oracles.
+    """
+
+    __slots__ = ("metric", "total", "peak")
+
+    def __init__(self, metric: Callable[[Event], int]) -> None:
+        self.metric = metric
+        self.total = 0
+        self.peak = 0
+
+    def __call__(self, event: Event) -> None:
+        total = self.total + self.metric(event)
+        self.total = total
+        if total > self.peak:
+            self.peak = total
+
+    feed = __call__
+
+
+def weight_fold(metric: Callable[[Event], int],
+                events: Iterable[Event] = ()) -> WeightFold:
+    """A :class:`WeightFold` primed with ``events`` (possibly empty)."""
+    fold = WeightFold(metric)
+    feed = fold.feed
+    for event in events:
+        feed(event)
+    return fold
+
+
 def valuation(metric: Callable[[Event], int], trace: Iterable[Event]) -> int:
     """``V_M(t)``: the sum of the metric over the events of ``t``."""
-    total = 0
-    for event in trace:
-        total += metric(event)
-    return total
+    return weight_fold(metric, trace).total
 
 
 def weight_of_trace(metric: Callable[[Event], int], trace: Sequence[Event]) -> int:
     """``sup { V_M(t') | t' prefix of t }`` computed in one pass."""
-    best = 0
-    total = 0
-    for event in trace:
-        total += metric(event)
-        if total > best:
-            best = total
-    return best
+    return weight_fold(metric, trace).peak
 
 
 def weight(metric: Callable[[Event], int], behavior: Behavior) -> int:

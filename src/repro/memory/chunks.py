@@ -25,18 +25,13 @@ class Chunk(enum.Enum):
     INT32 = "int32"
     FLOAT64 = "float64"
 
-    @property
-    def size(self) -> int:
-        return _SIZES[self]
-
-    @property
-    def alignment(self) -> int:
-        # CompCert's IA32 backend only requires natural alignment up to 4.
-        return min(self.size, 4)
-
-    @property
-    def is_float(self) -> bool:
-        return self is Chunk.FLOAT64
+    # ``size``, ``alignment`` and ``is_float`` are plain per-member
+    # attributes (assigned right after the class body): every load and
+    # store reads them, and a property + enum-keyed dict lookup showed up
+    # prominently in interpreter profiles.
+    size: int
+    alignment: int
+    is_float: bool
 
     def normalize(self, value: Value) -> Value:
         """Reinterpret ``value`` as it would round-trip through this chunk.
@@ -72,6 +67,8 @@ class Chunk(enum.Enum):
     def decode_int(self, raw: bytes) -> int:
         """Decode little-endian bytes into the unsigned 32-bit representation."""
         value = int.from_bytes(raw, "little")
+        if self is Chunk.INT32:
+            return ints.wrap(value)
         if self is Chunk.INT8_SIGNED:
             return ints.sign_extend8(value)
         if self is Chunk.INT8_UNSIGNED:
@@ -80,8 +77,6 @@ class Chunk(enum.Enum):
             return ints.sign_extend16(value)
         if self is Chunk.INT16_UNSIGNED:
             return ints.wrap16(value)
-        if self is Chunk.INT32:
-            return ints.wrap(value)
         raise ValueError("decode_int on a float chunk")
 
     def encode_float(self, value: float) -> bytes:
@@ -103,3 +98,10 @@ _SIZES = {
     Chunk.INT32: 4,
     Chunk.FLOAT64: 8,
 }
+
+for _chunk in Chunk:
+    _chunk.size = _SIZES[_chunk]
+    # CompCert's IA32 backend only requires natural alignment up to 4.
+    _chunk.alignment = min(_chunk.size, 4)
+    _chunk.is_float = _chunk is Chunk.FLOAT64
+del _chunk

@@ -118,22 +118,58 @@ class Memory:
         is the *use* of that undef that subsequently goes wrong, exactly as
         in CompCert).
         """
-        cells = self._cells_for_access(chunk, ptr, "load")
+        if not isinstance(ptr, VPtr):
+            raise MemoryError_(f"load through non-pointer value {ptr!r}")
+        return self.load_at(chunk, ptr.block, ptr.offset)
+
+    def load_at(self, chunk: Chunk, block_id: int, offset: int) -> Value:
+        """:meth:`load` for callers that already peeled the pointer apart.
+
+        The decoded interpreters fuse ``load(base + displacement)`` into
+        one call, skipping the intermediate ``VPtr`` allocation; ``offset``
+        must already be in unsigned 32-bit representation.
+        """
+        block = self._blocks.get(block_id)
+        if block is None or not block.alive:
+            self._require_block(block_id, "load")  # raises with the details
+        size = chunk.size
+        if offset % chunk.alignment != 0:
+            raise MemoryError_(
+                f"misaligned load: offset {offset} for chunk {chunk.value}"
+            )
+        if offset + size > block.size:
+            raise MemoryError_(
+                f"load of {size} bytes at offset {offset} "
+                f"overflows block of {block.size} bytes ({block.tag})"
+            )
+        cells = block.cells[offset : offset + size]
         try:
             # Fast path: all-concrete bytes.  Only _ByteCell has a ``byte``
             # attribute, so fragments and undef fall through via
-            # AttributeError without a per-byte isinstance sweep.
-            raw = bytes(cell.byte for cell in cells)
+            # AttributeError without a per-byte isinstance sweep.  Word
+            # loads (the overwhelmingly common case) assemble the integer
+            # directly, skipping the bytes object and decode dispatch.
+            if chunk is Chunk.INT32:
+                c0, c1, c2, c3 = cells
+                return VInt(c0.byte | (c1.byte << 8) | (c2.byte << 16)
+                            | (c3.byte << 24))
+            raw = bytes([cell.byte for cell in cells])
         except AttributeError:
-            if chunk is Chunk.INT32 and isinstance(cells[0], _PtrFragment):
-                fragment = cells[0]
-                if all(
-                    isinstance(cell, _PtrFragment)
-                    and cell.ptr == fragment.ptr
-                    and cell.index == index
-                    for index, cell in enumerate(cells)
-                ):
-                    return fragment.ptr
+            if chunk is Chunk.INT32:
+                c0 = cells[0]
+                # A fragment group is written by a single store, so all
+                # four cells normally share one VPtr object: check
+                # identity first, equality as the semantic backstop.
+                if type(c0) is _PtrFragment and c0.index == 0:
+                    ptr = c0.ptr
+                    c1, c2, c3 = cells[1], cells[2], cells[3]
+                    if (type(c1) is _PtrFragment and c1.index == 1
+                            and (c1.ptr is ptr or c1.ptr == ptr)
+                            and type(c2) is _PtrFragment and c2.index == 2
+                            and (c2.ptr is ptr or c2.ptr == ptr)
+                            and type(c3) is _PtrFragment and c3.index == 3
+                            and (c3.ptr is ptr or c3.ptr == ptr)):
+                        return ptr
             return VUndef()
         if chunk.is_float:
             return VFloat(chunk.decode_float(raw))
@@ -141,18 +177,48 @@ class Memory:
 
     def store(self, chunk: Chunk, ptr: VPtr, value: Value) -> None:
         """Store ``value`` through ``chunk`` at ``ptr``."""
-        cells = self._cells_for_access(chunk, ptr, "store")
-        block = self._blocks[ptr.block]
-        base = ptr.offset
+        if not isinstance(ptr, VPtr):
+            raise MemoryError_(f"store through non-pointer value {ptr!r}")
+        self.store_at(chunk, ptr.block, ptr.offset, value)
+
+    def store_at(self, chunk: Chunk, block_id: int, offset: int,
+                 value: Value) -> None:
+        """:meth:`store` for callers that already peeled the pointer apart.
+
+        Like :meth:`load_at`, this lets the decoded interpreters fuse
+        ``store(base + displacement, v)`` without building the address
+        ``VPtr``; ``offset`` must be in unsigned 32-bit representation.
+        The access checks run before the value is inspected, preserving
+        the error order of :meth:`store`.
+        """
+        block = self._blocks.get(block_id)
+        if block is None or not block.alive:
+            self._require_block(block_id, "store")  # raises with the details
+        size = chunk.size
+        if offset % chunk.alignment != 0:
+            raise MemoryError_(
+                f"misaligned store: offset {offset} for chunk {chunk.value}"
+            )
+        if offset + size > block.size:
+            raise MemoryError_(
+                f"store of {size} bytes at offset {offset} "
+                f"overflows block of {block.size} bytes ({block.tag})"
+            )
+        base = offset
         if isinstance(value, VPtr):
             if chunk is not Chunk.INT32:
                 raise MemoryError_(f"pointer stored through non-word chunk {chunk}")
             new_cells: list = [_PtrFragment(value, index) for index in range(4)]
         elif isinstance(value, VInt):
-            if chunk.is_float:
+            if chunk is Chunk.INT32:
+                v = value.value
+                new_cells = [_BYTE_CELLS[v & 0xFF], _BYTE_CELLS[(v >> 8) & 0xFF],
+                             _BYTE_CELLS[(v >> 16) & 0xFF], _BYTE_CELLS[v >> 24]]
+            elif chunk.is_float:
                 raise MemoryError_("integer stored through float chunk")
-            raw = chunk.encode_int(value.value)
-            new_cells = [_BYTE_CELLS[byte] for byte in raw]
+            else:
+                raw = chunk.encode_int(value.value)
+                new_cells = [_BYTE_CELLS[byte] for byte in raw]
         elif isinstance(value, VFloat):
             if not chunk.is_float:
                 raise MemoryError_("float stored through integer chunk")
@@ -162,8 +228,7 @@ class Memory:
             new_cells = [_UNDEF_CELL] * chunk.size
         else:
             raise MemoryError_(f"cannot store value {value!r}")
-        del cells  # bounds were checked; write through the block directly
-        block.cells[base : base + chunk.size] = new_cells
+        block.cells[base : base + size] = new_cells
 
     def load_bytes(self, ptr: VPtr, length: int) -> bytes:
         """Read ``length`` concrete bytes (goes wrong on undef / fragments)."""
@@ -202,13 +267,3 @@ class Memory:
                 f"overflows block of {block.size} bytes ({block.tag})"
             )
 
-    def _cells_for_access(self, chunk: Chunk, ptr: VPtr, what: str) -> list:
-        if not isinstance(ptr, VPtr):
-            raise MemoryError_(f"{what} through non-pointer value {ptr!r}")
-        block = self._require_block(ptr.block, what)
-        if ptr.offset % chunk.alignment != 0:
-            raise MemoryError_(
-                f"misaligned {what}: offset {ptr.offset} for chunk {chunk.value}"
-            )
-        self._check_range(block, ptr, chunk.size, what)
-        return block.cells[ptr.offset : ptr.offset + chunk.size]

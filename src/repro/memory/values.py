@@ -46,7 +46,9 @@ class VInt(Value):
     __slots__ = ("value",)
 
     def __init__(self, value: int) -> None:
-        self.value = ints.wrap(value)
+        # ints.wrap, inlined: VInt construction is the single hottest
+        # allocation in every interpreter.
+        self.value = value & 0xFFFFFFFF
 
     def is_true(self) -> bool:
         return self.value != 0
@@ -105,13 +107,13 @@ class VPtr(Value):
 
     def __init__(self, block: int, offset: int) -> None:
         self.block = block
-        self.offset = ints.wrap(offset)
+        self.offset = offset & 0xFFFFFFFF
 
     def is_true(self) -> bool:
         return True  # a valid pointer is never NULL; NULL is VInt(0)
 
     def add(self, delta: int) -> "VPtr":
-        return VPtr(self.block, ints.add(self.offset, delta))
+        return VPtr(self.block, self.offset + delta)
 
     def __repr__(self) -> str:
         return f"VPtr(b{self.block}, {self.offset})"

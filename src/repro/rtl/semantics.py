@@ -11,6 +11,7 @@ from typing import Optional
 
 from repro import ops
 from repro.errors import DynamicError, MemoryError_, UndefinedBehaviorError
+from repro.events.stream import Consumer, CountingSink, StreamOutcome
 from repro.events.trace import (Behavior, CallEvent, Converges, Diverges,
                                 Event, GoesWrong, ReturnEvent)
 from repro.memory import Memory
@@ -19,6 +20,11 @@ from repro.rtl import ast as rtl
 from repro.runtime import call_external
 
 DEFAULT_FUEL = 5_000_000
+
+#: Engine selector: the pre-decoded threaded-code interpreter in
+#: :mod:`repro.rtl.decode` by default; ``decoded=False`` re-runs on the
+#: legacy step loop below (kept as the differential oracle).
+DEFAULT_DECODED = True
 
 
 class _Activation:
@@ -165,26 +171,56 @@ class RTLMachine:
         return event
 
 
-def run_program(program: rtl.RTLProgram, fuel: int = DEFAULT_FUEL,
-                output: Optional[list] = None) -> Behavior:
-    trace: list[Event] = []
+def run_streamed(program: rtl.RTLProgram, sink: Consumer,
+                 fuel: int = DEFAULT_FUEL, output: Optional[list] = None,
+                 decoded: Optional[bool] = None) -> StreamOutcome:
+    """Run ``program``, pushing every event into ``sink`` as emitted.
+
+    ``decoded`` selects the engine (None = :data:`DEFAULT_DECODED`);
+    both engines produce the same events, outcome classification and
+    step counts by construction.  Note the legacy RTL loop treats
+    ``FuelExhaustedError`` like any other ``DynamicError`` (it has no
+    Clight-style special case); both engines preserve that.
+    """
+    if decoded is None:
+        decoded = DEFAULT_DECODED
+    if decoded:
+        from repro.rtl import decode
+        return decode.run_streamed(program, sink, fuel, output=output)
+    counting = CountingSink(sink)
     machine = RTLMachine(program, output=output)
     main = program.functions.get(program.main)
     if main is None:
-        return GoesWrong([], reason="no main function")
+        return StreamOutcome(StreamOutcome.GOES_WRONG,
+                             reason="no main function")
+    i = 0
     try:
-        trace.append(machine._enter(main, [], None))
-        for _ in range(fuel):
+        counting(machine._enter(main, [], None))
+        for i in range(fuel):
             if machine.done:
                 break
             event = machine.step()
             if event is not None:
-                trace.append(event)
+                counting(event)
         else:
-            return Diverges(trace)
+            return StreamOutcome(StreamOutcome.DIVERGES,
+                                 events=counting.count, steps=fuel)
     except DynamicError as exc:
-        return GoesWrong(trace, reason=str(exc))
+        return StreamOutcome(StreamOutcome.GOES_WRONG, reason=str(exc),
+                             events=counting.count, steps=i)
     if not machine.done:
-        return Diverges(trace)
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i)
     assert machine.return_code is not None
-    return Converges(trace, machine.return_code)
+    return StreamOutcome(StreamOutcome.CONVERGES,
+                         return_code=machine.return_code,
+                         events=counting.count, steps=i)
+
+
+def run_program(program: rtl.RTLProgram, fuel: int = DEFAULT_FUEL,
+                output: Optional[list] = None,
+                decoded: Optional[bool] = None) -> Behavior:
+    trace: list[Event] = []
+    outcome = run_streamed(program, trace.append, fuel, output=output,
+                           decoded=decoded)
+    return outcome.to_behavior(trace)

@@ -108,6 +108,23 @@ class CampaignReport:
         return record
 
 
+def _pool_warmup() -> None:
+    """Pool initializer: pay the import/compile cold start once per worker.
+
+    Importing the whole toolchain and compiling a trivial program in the
+    initializer keeps the first real seed of every worker from absorbing
+    module import time and the ``compile_frontend`` cache's cold miss.
+    """
+    try:
+        import repro.analyzer  # noqa: F401
+        import repro.asm.decode  # noqa: F401
+        from repro.driver import compile_c
+
+        compile_c("int main(void) { return 0; }", filename="<warmup>")
+    except Exception:
+        pass  # never let warm-up kill a worker; the seeds still run
+
+
 def _check_one(payload: tuple[int, CampaignConfig]) -> SeedVerdict:
     """Pool worker: cache lookup, then the full oracle hierarchy."""
     seed, config = payload
@@ -161,8 +178,13 @@ def run_campaign(config: CampaignConfig,
             if deadline_hit():
                 break
     else:
-        with Pool(processes=config.jobs) as pool:
-            for verdict in pool.imap_unordered(_check_one, work):
+        # Batch seeds per IPC round-trip, but keep chunks small enough
+        # that the tail stays balanced (seed costs vary widely) and a
+        # time-budget terminate() does not strand a long chunk.
+        chunksize = max(1, min(4, len(work) // (4 * config.jobs)))
+        with Pool(processes=config.jobs, initializer=_pool_warmup) as pool:
+            for verdict in pool.imap_unordered(_check_one, work,
+                                               chunksize=chunksize):
                 verdicts.append(verdict)
                 if progress:
                     progress(verdict)

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analyzer import StackAnalyzer
-from repro.clight.semantics import run_program as run_clight
+from repro.clight.semantics import run_streamed as stream_clight
 from repro.driver import (Compilation, CompilerOptions, compile_clight,
                           compile_frontend)
 from repro.errors import ReproError
@@ -69,6 +69,15 @@ ALL_METRICS_TRACE_CAP = 600
 
 CLIGHT_FUEL = 3_000_000
 INTERP_FUEL = 30_000_000
+
+#: Deep mode picks the interpreter engine per seed: the pre-decoded
+#: RTL/Mach engines pay a per-program decode cost (a few ms) that only
+#: amortizes on runs past roughly this many steps.  The Clight step
+#: count — known before the deep runs, and empirically the same order
+#: of magnitude as the RTL/Mach step counts — selects the engine.
+#: Either engine yields identical verdicts by construction
+#: (tests/unit/test_sem_decode.py), so this is purely a speed knob.
+DEEP_DECODE_MIN_STEPS = 10_000
 ASM_FUEL = 100_000_000
 
 #: The ablation points of the campaign, by name (order = check order).
@@ -217,11 +226,15 @@ def _check_seed(verdict: SeedVerdict, names: list[str], metric_name: str,
     start = _tick(timings, "compile", start)
 
     # One Clight execution serves every ablation point: the front end does
-    # not depend on the backend pass configuration.
+    # not depend on the backend pass configuration.  Running through the
+    # streaming entry point also yields the step count, which sizes the
+    # deep mode's engine choice below.
     first = compilations[names[0]]
     clight_output: list = []
-    b_clight = run_clight(first.clight, fuel=CLIGHT_FUEL,
-                          output=clight_output)
+    clight_trace: list = []
+    clight_outcome = stream_clight(first.clight, clight_trace.append,
+                                   fuel=CLIGHT_FUEL, output=clight_output)
+    b_clight = clight_outcome.to_behavior(clight_trace)
     if not isinstance(b_clight, Converges):
         raise OracleViolation("generator-safety", names[0],
                               f"Clight behavior: {type(b_clight).__name__} "
@@ -237,10 +250,12 @@ def _check_seed(verdict: SeedVerdict, names: list[str], metric_name: str,
         analysis = StackAnalyzer(first.clight).analyze()
         start = _tick(timings, "analyze", start)
 
+    deep_decoded = clight_outcome.steps >= DEEP_DECODE_MIN_STEPS
     for index, name in enumerate(names):
         _check_ablation(verdict, name, compilations[name], b_clight,
                         clight_output, analysis, metric_name, plant,
-                        probes=probes and index == 0, deep=deep)
+                        probes=probes and index == 0, deep=deep,
+                        deep_decoded=deep_decoded)
         verdict.configs_checked += 1
 
     if analysis is not None:
@@ -255,7 +270,8 @@ def _check_seed(verdict: SeedVerdict, names: list[str], metric_name: str,
 def _check_ablation(verdict: SeedVerdict, name: str, compilation: Compilation,
                     b_clight, clight_output: list, analysis,
                     metric_name: str, plant: Optional[str],
-                    probes: bool, deep: bool) -> None:
+                    probes: bool, deep: bool,
+                    deep_decoded: bool = True) -> None:
     timings = verdict.timings
 
     start = time.perf_counter()
@@ -287,34 +303,63 @@ def _check_ablation(verdict: SeedVerdict, name: str, compilation: Compilation,
     start = _tick(timings, "refinement", start)
 
     # -- deep mode: interpret the intermediate levels ------------------------
+    # The RTL and Mach runs stream their events into incremental
+    # comparators (one pass, no materialized trace): the pruned-trace
+    # refinement, the exact memory-event equality and the trace weight
+    # are all folded as the interpreter emits.  Only a violation — the
+    # rare path — re-runs the level with a collected trace so the
+    # verdict detail stays byte-identical to the materialized checks.
     if deep:
-        from repro.mach.semantics import run_program as run_mach
-        from repro.rtl.semantics import run_program as run_rtl
+        from repro.events.stream import ExactMatcher, PrunedMatcher, Tee
+        from repro.events.trace import WeightFold, prune
+        from repro.mach.semantics import run_streamed as stream_mach
+        from repro.rtl.semantics import run_streamed as stream_rtl
 
-        for level, behavior in (("rtl", run_rtl(compilation.rtl,
-                                                fuel=INTERP_FUEL)),
-                                ("mach", run_mach(compilation.mach,
-                                                  fuel=INTERP_FUEL))):
-            try:
-                check_refinement(behavior, b_clight)
-            except RefinementFailure as failure:
-                raise OracleViolation("trace-equality", f"{name}/{level}",
-                                      str(failure))
-            metric = metric_for(compilation, metric_name, plant=None)
-            if weight_of_trace(metric, behavior.trace) > \
-                    weight_of_trace(metric, b_clight.trace):
+        metric = metric_for(compilation, metric_name, plant=None)
+        source_trace = b_clight.trace
+        source_pruned = prune(source_trace)
+        source_weight = weight_of_trace(metric, source_trace)
+        exact_wanted = not compilation.options.tailcall
+        need_collect = (compilation.options.tailcall
+                        and len(source_trace) <= ALL_METRICS_TRACE_CAP)
+        for level, stream, program in (("rtl", stream_rtl, compilation.rtl),
+                                       ("mach", stream_mach,
+                                        compilation.mach)):
+            pruned = PrunedMatcher(source_pruned)
+            fold = WeightFold(metric)
+            consumers = [pruned, fold]
+            exact = None
+            if exact_wanted:
+                exact = ExactMatcher(source_trace)
+                consumers.append(exact)
+            collected: list = []
+            if need_collect:
+                consumers.append(collected.append)
+            outcome = stream(program, Tee(*consumers), fuel=INTERP_FUEL,
+                             decoded=deep_decoded)
+            refinement_ok = (outcome.converged and pruned.matched()
+                             and outcome.return_code == b_clight.return_code)
+            if not refinement_ok:
+                trace: list = []
+                behavior = stream(program, trace.append, fuel=INTERP_FUEL,
+                                  decoded=deep_decoded).to_behavior(trace)
+                try:
+                    check_refinement(behavior, b_clight)
+                except RefinementFailure as failure:
+                    raise OracleViolation("trace-equality", f"{name}/{level}",
+                                          str(failure))
+            if fold.peak > source_weight:
                 raise OracleViolation(
                     "weight-monotonicity", f"{name}/{level}",
                     "trace weight increased under the oracle metric")
-            if not compilation.options.tailcall:
-                if behavior.trace != b_clight.trace:
+            if exact is not None:
+                if not exact.matched():
                     raise OracleViolation(
                         "trace-equality", f"{name}/{level}",
                         "memory-event traces differ without the tail-call "
                         "pass enabled")
-            elif len(b_clight.trace) <= ALL_METRICS_TRACE_CAP and \
-                    not dominates_for_all_metrics(behavior.trace,
-                                                  b_clight.trace):
+            elif need_collect and \
+                    not dominates_for_all_metrics(collected, source_trace):
                 raise OracleViolation(
                     "weight-monotonicity", f"{name}/{level}",
                     "trace not pointwise dominated (all-metrics "
