@@ -107,8 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="skip the bound-tightness stack probes")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="do not minimize failing seeds")
-    fuzz.add_argument("--plant", default=None, choices=["drop-ra"],
+    from repro.testing.faults import metric_fault_names
+
+    fuzz.add_argument("--plant", default=None, choices=metric_fault_names(),
                       help="inject a known metric bug (campaign self-test)")
+    fuzz.add_argument("--mutation-matrix", action="store_true",
+                      help="run the fault-injection matrix instead of a "
+                           "campaign: apply every registered mutation "
+                           "operator and report which checker catches it")
+    fuzz.add_argument("--matrix-report", default=None, metavar="FILE",
+                      help="write the per-operator detection report (JSON) "
+                           "here (with --mutation-matrix)")
     fuzz.add_argument("--cache-dir", default=None, metavar="DIR",
                       help="corpus cache directory (default "
                            ".repro-cache/corpus)")
@@ -177,8 +186,11 @@ def cmd_run(args) -> int:
         print(f"# using the verified bound as stack size: {sz} bytes")
     else:
         sz = args.stack
+    # --stack N preallocates exactly N bytes; the hint printed by
+    # `repro bounds` is then exactly sufficient (N works, N-4 overflows,
+    # the 4 being main's return-address slot of the paper's metric).
     output: list = []
-    behavior, machine = compilation.run(stack_bytes=sz + 4, output=output,
+    behavior, machine = compilation.run(stack_bytes=sz, output=output,
                                         fuel=args.fuel)
     for item in output:
         print(item)
@@ -344,10 +356,41 @@ def cmd_check_cert(args) -> int:
     return 0
 
 
+def cmd_mutation_matrix(args) -> int:
+    import json
+
+    from repro.testing.faults import run_mutation_matrix
+
+    def progress(outcome):
+        mark = "ok " if outcome.detected else "GAP"
+        caught = outcome.caught_by or "-"
+        print(f"{mark} {outcome.operator:20s} {outcome.layer:12s} "
+              f"caught-by={caught:24s} tries={outcome.attempts}  "
+              f"{outcome.diagnostic[:60]}")
+
+    report = run_mutation_matrix(progress=progress)
+    print(f"# {len(report.outcomes)} operators against {len(report.corpus)} "
+          f"corpus programs in {report.elapsed:.1f}s")
+    if args.matrix_report:
+        with open(args.matrix_report, "w") as handle:
+            json.dump(report.as_json(), handle, indent=1)
+        print(f"# detection report written to {args.matrix_report}")
+    if report.undetected:
+        for outcome in report.undetected:
+            print(f"# UNDETECTED {outcome.operator}: {outcome.diagnostic}")
+        print(f"# {len(report.undetected)} operator(s) survive: each is a "
+              "soundness gap in a checker or oracle")
+        return 1
+    print("# all operators detected")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from repro.testing.campaign import (DEFAULT_CACHE_DIR, CampaignConfig,
                                         run_campaign, run_smoke_campaign)
 
+    if args.mutation_matrix:
+        return cmd_mutation_matrix(args)
     if args.smoke:
         report = run_smoke_campaign()
     else:

@@ -175,6 +175,10 @@ class BracketChecker:
 
     feed = __call__
 
+    def balanced(self) -> bool:
+        """Nested *and* every opened frame closed (for converged runs)."""
+        return self.ok and not self.stack
+
 
 class Tee:
     """Feed each event to every wrapped consumer, in order."""

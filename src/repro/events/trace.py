@@ -295,11 +295,16 @@ def open_calls(trace: Iterable[Event]) -> dict[str, int]:
     return counts
 
 
-def is_well_bracketed(trace: Sequence[Event]) -> bool:
+def is_well_bracketed(trace: Sequence[Event],
+                      require_empty: bool = False) -> bool:
     """Check that call/ret events nest like a call stack.
 
     Every trace emitted by our interpreters satisfies this; it is asserted
-    in property tests as a sanity invariant.
+    in property tests as a sanity invariant.  With ``require_empty`` the
+    trace must also close every frame it opens — the right notion for a
+    *converged* execution, where a leftover open call means a ``ret``
+    event went missing (a fault plain nesting cannot see, since any
+    prefix of a bracketed trace is bracketed).
     """
     stack: list[str] = []
     for event in trace:
@@ -309,7 +314,7 @@ def is_well_bracketed(trace: Sequence[Event]) -> bool:
             if not stack or stack[-1] != event.function:
                 return False
             stack.pop()
-    return True
+    return not (require_empty and stack)
 
 
 def call_depth_profile(trace: Sequence[Event]) -> list[int]:

@@ -72,7 +72,14 @@ def bexpr_from_json(data: Any) -> bx.BExpr:
     kind = data["k"]
     if kind == "const":
         value = data["v"]
-        return bx.BConst(bx.INFINITY if value == "inf" else value)
+        if value == "inf":
+            return bx.BConst(bx.INFINITY)
+        # Reject out-of-domain constants with a diagnostic instead of
+        # letting the BConst naturals guard crash the checker.
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise DerivationError(
+                f'bound constant must be a natural or "inf": {value!r}')
+        return bx.BConst(value)
     if kind == "metric":
         return bx.BMetric(data["f"])
     if kind == "param":
@@ -185,13 +192,32 @@ _RULES_SIMPLE = {
 }
 
 
+#: Premise count per rule: a serialized rule application with the wrong
+#: arity (e.g. a truncated tree) must fail with a diagnostic naming the
+#: rule, never an ``IndexError``.
+_RULE_ARITY = {
+    "Q:SEQ": 2, "Q:IF": 2, "Q:LOOP": 2,
+    "Q:BLOCK": 1, "Q:FRAME": 1, "Q:CONSEQ": 1,
+    "Q:CALL": 0, "Q:EXTERNAL": 0,
+    **{rule: 0 for rule in _RULES_SIMPLE},
+}
+
+
 def derivation_from_json(data: Any, body: cl.Stmt) -> dv.Derivation:
     stmt = _resolve_path(body, data["stmt"])
     triple = dv.Triple(bexpr_from_json(data["pre"]), stmt,
                        _post_from_json(data["post"]))
     rule = data["rule"]
-    children = [derivation_from_json(child, body)
-                for child in data.get("children", ())]
+    arity = _RULE_ARITY.get(rule)
+    if arity is None:
+        raise DerivationError(f"unknown rule {rule!r} in certificate")
+    raw_children = data.get("children", ())
+    if len(raw_children) != arity:
+        raise DerivationError(
+            f"{rule} application at path {data['stmt']!r} has "
+            f"{len(raw_children)} premise(s), expected {arity} "
+            "(truncated rule tree?)")
+    children = [derivation_from_json(child, body) for child in raw_children]
 
     if rule in _RULES_SIMPLE:
         return _RULES_SIMPLE[rule](triple)
@@ -211,9 +237,7 @@ def derivation_from_json(data: Any, body: cl.Stmt) -> dv.Derivation:
         return dv.DExternal(triple, data["callee"])
     if rule == "Q:FRAME":
         return dv.DFrame(triple, bexpr_from_json(data["frame"]), children[0])
-    if rule == "Q:CONSEQ":
-        return dv.DConseq(triple, children[0])
-    raise DerivationError(f"unknown rule {rule!r} in certificate")
+    return dv.DConseq(triple, children[0])
 
 
 # ---------------------------------------------------------------------------
@@ -255,7 +279,12 @@ def load_certificate(text: str, program: cl.Program):
     from repro.logic.checker import (CheckerContext, CheckReport,
                                      check_function_spec)
 
-    data = json.loads(text)
+    try:
+        data = json.loads(text)
+    except ValueError as error:  # json.JSONDecodeError subclasses ValueError
+        raise DerivationError(f"certificate is not valid JSON: {error}")
+    if not isinstance(data, dict):
+        raise DerivationError("certificate is not a JSON object")
     if data.get("format") != FORMAT:
         raise DerivationError("not a stack-bound certificate")
     if data.get("version") != VERSION:
@@ -265,17 +294,36 @@ def load_certificate(text: str, program: cl.Program):
     gamma = FunContext()
     derivations: dict[str, dv.Derivation] = {}
     bounds: dict[str, bx.BExpr] = {}
-    for name, entry in data["functions"].items():
+    for name, entry in data.get("functions", {}).items():
         if not program.is_internal(name):
             raise DerivationError(
                 f"certificate covers unknown function {name!r}")
-        spec_data = entry["spec"]
-        gamma.add(FunSpec(name, spec_data["params"],
-                          bexpr_from_json(spec_data["pre"]),
-                          bexpr_from_json(spec_data["post"])))
-        bounds[name] = bexpr_from_json(entry["total_bound"])
-        derivations[name] = derivation_from_json(
-            entry["derivation"], program.function(name).body)
+        try:
+            spec_data = entry["spec"]
+            spec = FunSpec(name, spec_data["params"],
+                           bexpr_from_json(spec_data["pre"]),
+                           bexpr_from_json(spec_data["post"]))
+            gamma.add(spec)
+            bounds[name] = bexpr_from_json(entry["total_bound"])
+            derivations[name] = derivation_from_json(
+                entry["derivation"], program.function(name).body)
+        except DerivationError:
+            raise
+        except (KeyError, TypeError, IndexError) as error:
+            raise DerivationError(
+                f"malformed certificate entry for {name!r} "
+                f"({type(error).__name__}: {error})")
+        # The checker below validates the derivation against the spec,
+        # but the advertised total M(f) + P_f is *reported*, not derived
+        # — re-derive it so a lying total_bound field carries no
+        # authority.  Parametric specs are compared per parameter
+        # valuation downstream, so only ground totals are pinned here.
+        if not spec.params:
+            expected = bx.badd(bx.bmetric(name), spec.pre)
+            if not bx.bound_equal(bounds[name], expected).holds:
+                raise DerivationError(
+                    f"{name}: advertised total_bound does not equal "
+                    f"M({name}) + spec precondition")
 
     ctx = CheckerContext(gamma, externals=program.externals)
     report = CheckReport()

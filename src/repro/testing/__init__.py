@@ -6,19 +6,27 @@ so every compilation level's behavior must agree and the analyzer's
 bounds must dominate the observed trace weights.  ``oracles`` turns that
 metatheory into runnable checks, ``campaign`` fans them over a worker
 pool with corpus caching and failure shrinking (``python -m repro
-fuzz``), and ``shrink`` minimizes failing seeds.  See docs/TESTING.md.
+fuzz``), ``shrink`` minimizes failing seeds, and ``faults`` holds the
+mutation-operator registry plus the detection matrix (``python -m repro
+fuzz --mutation-matrix``).  See docs/TESTING.md.
 """
 
 from repro.testing.campaign import (CampaignConfig, CampaignReport,
                                     run_campaign, run_smoke_campaign)
+from repro.testing.faults import (FaultOperator, MatrixReport,
+                                  OperatorOutcome, UnknownFaultError,
+                                  metric_fault_names, operators,
+                                  run_mutation_matrix, validate_plant)
 from repro.testing.oracles import (ABLATIONS, OracleViolation, SeedVerdict,
                                    check_seed)
 from repro.testing.progen import ProgramGenerator, generate_program
 from repro.testing.shrink import ShrinkResult, shrink_failure
 
 __all__ = [
-    "ABLATIONS", "CampaignConfig", "CampaignReport", "OracleViolation",
-    "ProgramGenerator", "SeedVerdict", "ShrinkResult", "check_seed",
-    "generate_program", "run_campaign", "run_smoke_campaign",
-    "shrink_failure",
+    "ABLATIONS", "CampaignConfig", "CampaignReport", "FaultOperator",
+    "MatrixReport", "OperatorOutcome", "OracleViolation",
+    "ProgramGenerator", "SeedVerdict", "ShrinkResult", "UnknownFaultError",
+    "check_seed", "generate_program", "metric_fault_names", "operators",
+    "run_campaign", "run_mutation_matrix", "run_smoke_campaign",
+    "shrink_failure", "validate_plant",
 ]

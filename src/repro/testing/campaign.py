@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from multiprocessing import Pool
 from typing import Optional
 
+from repro.testing.faults import validate_plant
 from repro.testing.oracles import (ABLATIONS, ORACLE_VERSION, SeedVerdict,
                                    check_seed)
 from repro.testing.progen import generate_program
@@ -38,7 +39,7 @@ class CampaignConfig:
     start: int = 0                  #: first seed (campaign = [start, start+seeds))
     jobs: int = 1                   #: worker processes (1 = in-process, no pool)
     metric: str = "compiler"        #: oracle metric (compiler | uniform | zero)
-    plant: Optional[str] = None     #: planted bug for self-tests ("drop-ra")
+    plant: Optional[str] = None     #: metric-layer fault name (faults registry)
     gen_kwargs: dict = field(default_factory=dict)
     ablations: Optional[list[str]] = None   #: None = all of oracles.ABLATIONS
     probes: bool = True             #: bound-tightness stack probes
@@ -161,6 +162,8 @@ def run_campaign(config: CampaignConfig,
     ``progress`` is an optional callable invoked with each
     ``SeedVerdict`` as it arrives (out of order under a pool).
     """
+    # A typo'd plant must fail here, before any worker runs a seed.
+    validate_plant(config.plant)
     started = time.perf_counter()
     work = [(seed, config)
             for seed in range(config.start, config.start + config.seeds)]

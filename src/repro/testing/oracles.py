@@ -60,7 +60,8 @@ from repro.events.trace import Converges, is_well_bracketed, weight_of_trace
 from repro.testing.progen import generate_program
 
 #: Bump when oracle semantics change: invalidates the on-disk corpus cache.
-ORACLE_VERSION = "1"
+ORACLE_VERSION = "2"  # 2: generator-safety requires converged traces to
+                      #    close every frame (require_empty bracketing)
 
 #: Structural all-metrics domination is O(n^2) in the trace length, so it
 #: only runs on traces up to this many events (the metric-specific check
@@ -133,15 +134,20 @@ def metric_for(compilation: Compilation, metric_name: str,
                plant: Optional[str] = None) -> StackMetric:
     """The stack metric used by the weight/bound oracles.
 
-    ``plant`` injects a deliberate bug for the campaign's self-test:
-    ``"drop-ra"`` reproduces a compiler that forgets the 4 return-address
-    bytes (``M(f) = SF(f)`` instead of ``SF(f) + 4``) — the four-byte gap
-    of ``tests/integration/test_four_byte_gap.py`` made into a fault.
+    ``plant`` names a metric-layer operator from the fault registry
+    (:mod:`repro.testing.faults`) and injects its corrupted metric for
+    the campaign's self-test — e.g. ``"drop-ra"`` reproduces a compiler
+    that forgets the 4 return-address bytes (``M(f) = SF(f)`` instead of
+    ``SF(f) + 4``), the four-byte gap of
+    ``tests/integration/test_four_byte_gap.py`` made into a fault.
+    Campaign entry points validate the plant name up front
+    (:func:`repro.testing.faults.validate_plant`), so an unknown name
+    fails before any seed runs rather than here, mid-seed.
     """
-    if plant == "drop-ra":
-        return StackMetric(dict(compilation.frame_sizes))
     if plant is not None:
-        raise ValueError(f"unknown planted bug {plant!r}")
+        from repro.testing.faults import apply_metric_fault
+
+        return apply_metric_fault(plant, compilation)
     if metric_name == "compiler":
         return compilation.metric
     if metric_name == "uniform":
@@ -239,7 +245,11 @@ def _check_seed(verdict: SeedVerdict, names: list[str], metric_name: str,
         raise OracleViolation("generator-safety", names[0],
                               f"Clight behavior: {type(b_clight).__name__} "
                               f"({getattr(b_clight, 'reason', '')})")
-    if not is_well_bracketed(b_clight.trace):
+    # A converged execution must close every frame it opens, so the
+    # stricter require_empty form applies (a dropped trailing ret(f)
+    # passes plain nesting — every prefix of a bracketed trace is
+    # bracketed — but not this).
+    if not is_well_bracketed(b_clight.trace, require_empty=True):
         raise OracleViolation("generator-safety", names[0],
                               "Clight trace is not well bracketed")
     verdict.events = len(b_clight.trace)
@@ -315,6 +325,11 @@ def _check_ablation(verdict: SeedVerdict, name: str, compilation: Compilation,
         from repro.mach.semantics import run_streamed as stream_mach
         from repro.rtl.semantics import run_streamed as stream_rtl
 
+        # Deep mode always folds with the *clean* metric: a planted
+        # metric bug corrupts source and target weights identically, so
+        # it cancels in the cross-level monotonicity comparison — the
+        # plant is only observable where a weight meets the machine or
+        # the analyzer's bound (the bound-soundness oracle below).
         metric = metric_for(compilation, metric_name, plant=None)
         source_trace = b_clight.trace
         source_pruned = prune(source_trace)
@@ -370,6 +385,9 @@ def _check_ablation(verdict: SeedVerdict, name: str, compilation: Compilation,
         return
 
     # -- bound soundness ------------------------------------------------------
+    # Here the plant *is* applied: the corrupted metric prices the bound
+    # the analyzer reports, and the byte comparison against the machine's
+    # high-water mark below is what must expose it.
     oracle_metric = metric_for(compilation, metric_name, plant)
     bound = analysis.bound_bytes("main", oracle_metric)
     observed = weight_of_trace(oracle_metric, b_clight.trace)

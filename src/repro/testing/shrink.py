@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.testing.faults import validate_plant
 from repro.testing.oracles import SeedVerdict, check_seed
 from repro.testing.progen import generate_program
 
@@ -46,6 +47,7 @@ def shrink_failure(verdict: SeedVerdict,
     """
     if verdict.ok:
         raise ValueError("shrink_failure needs a failing verdict")
+    validate_plant(plant)  # fail fast, not on the first candidate re-check
     kwargs = {**DEFAULTS, **verdict.gen_kwargs}
     best = verdict
     attempts = 0

@@ -1,0 +1,80 @@
+"""Reproducer hygiene: nothing in ``repro-failures/`` may rot.
+
+A campaign reproducer pins a bug.  Once the bug is fixed the file starts
+*passing* — and without a guard nothing notices, so the directory fills
+with stale reproducers that no longer test anything (exactly what
+happened to the original ``seed{0,1,2}_bound-soundness.c`` trio).  The
+contract enforced here:
+
+- every ``.c`` file under ``repro-failures/`` must still reproduce its
+  violation; if it does, the bug is open and this test fails loudly;
+- if it *passes*, this test also fails — with instructions to promote
+  the file to ``tests/integration/fixtures/promoted-repros/``, where it
+  becomes a pinned regression fixture replayed forever.
+
+Promoted fixtures re-run the same oracle hierarchy recorded in their
+header and must stay green.
+"""
+
+import glob
+import os
+import re
+
+import pytest
+
+from repro.testing.oracles import check_seed
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+FAILURE_DIR = os.path.normpath(os.path.join(REPO_ROOT, "repro-failures"))
+PROMOTED_DIR = os.path.join(os.path.dirname(__file__), "fixtures",
+                            "promoted-repros")
+
+HEADER = re.compile(
+    r"/\* seed (?P<seed>\d+); oracle (?P<oracle>[\w-]+)@(?P<ablation>[\w/-]+);"
+    r" gen_kwargs (?P<kwargs>\{.*?\})", re.S)
+
+
+def _replay(path: str):
+    """Re-run the oracle hierarchy recorded in a reproducer's header."""
+    with open(path) as handle:
+        text = handle.read()
+    match = HEADER.search(text)
+    assert match, f"{path}: missing campaign reproducer header"
+    seed = int(match.group("seed"))
+    gen_kwargs = eval(match.group("kwargs"))  # header is repo-authored
+    verdict = check_seed(seed, gen_kwargs=gen_kwargs, source=text,
+                         probes=False)
+    return match.group("oracle"), verdict
+
+
+def _cases(directory: str) -> list[str]:
+    return sorted(glob.glob(os.path.join(directory, "*.c")))
+
+
+@pytest.mark.parametrize("path", _cases(FAILURE_DIR) or ["<empty>"])
+def test_open_reproducers_still_reproduce(path):
+    """Open reproducers must fire their oracle; passing ones must move."""
+    if path == "<empty>":
+        pytest.skip("no open reproducers (the healthy state)")
+    oracle, verdict = _replay(path)
+    if verdict.ok:
+        pytest.fail(
+            f"{os.path.basename(path)} no longer reproduces its "
+            f"{oracle} violation: the bug is fixed, so promote the file "
+            f"to {PROMOTED_DIR} and delete it from repro-failures/")
+    assert verdict.oracle == oracle, (
+        f"{os.path.basename(path)} now fails a different oracle "
+        f"({verdict.oracle}, recorded {oracle}): re-triage it")
+    pytest.fail(
+        f"open bug: {os.path.basename(path)} still violates {oracle} "
+        f"([{verdict.oracle}@{verdict.ablation}] {verdict.detail})")
+
+
+@pytest.mark.parametrize("path", _cases(PROMOTED_DIR))
+def test_promoted_reproducers_stay_fixed(path):
+    """Once-failing seeds are pinned regressions: they must stay green."""
+    oracle, verdict = _replay(path)
+    assert verdict.ok, (
+        f"promoted regression {os.path.basename(path)} regressed: "
+        f"recorded oracle {oracle}, now "
+        f"[{verdict.oracle}@{verdict.ablation}] {verdict.detail}")

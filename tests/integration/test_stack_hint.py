@@ -1,0 +1,58 @@
+"""The ``--stack`` hint contract, catalog-wide.
+
+``python -m repro bounds prog.c`` ends with "run with --stack N".  That
+hint must be *exactly sufficient*: a stack block of N bytes runs the
+program to completion, and N - 4 bytes (one return-address slot short)
+overflows.  This pins the paper's 4-byte gap between the verified bound
+and the measured high-water mark at the user-facing boundary, so it can
+never silently regress there.
+"""
+
+import re
+
+import pytest
+
+from repro.__main__ import main
+from repro.analyzer import StackAnalyzer
+from repro.driver import compile_c
+from repro.events.trace import Converges, GoesWrong
+from repro.programs.catalog import AUTO_ANALYZABLE
+from repro.programs.loader import load_source
+
+FUEL = 150_000_000
+
+
+@pytest.mark.parametrize("path", AUTO_ANALYZABLE)
+def test_printed_bound_is_exactly_sufficient(path):
+    compilation = compile_c(load_source(path), filename=path)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    bound = analysis.bound_bytes(compilation.asm.main, compilation.metric)
+
+    at_bound, machine = compilation.run(stack_bytes=bound, fuel=FUEL)
+    assert isinstance(at_bound, Converges), (
+        f"{path}: --stack {bound} (the printed hint) must suffice, got "
+        f"{at_bound!r}")
+    assert machine.measured_stack_usage <= bound
+
+    under, _machine = compilation.run(stack_bytes=bound - 4, fuel=FUEL)
+    assert isinstance(under, GoesWrong), (
+        f"{path}: --stack {bound - 4} must overflow (bound not tight "
+        "to the 4-byte return-address gap)")
+    assert "overflow" in under.reason
+
+
+def test_cli_roundtrip_bounds_to_run(tmp_path, capsys):
+    """Parse the printed hint and feed it straight back to `repro run`."""
+    path = tmp_path / "hint.c"
+    path.write_text(
+        "int dig(int n) { int pad[6]; pad[n & 5] = n; return pad[n & 3]; }\n"
+        "int main() { print_int(dig(9)); return 0; }\n")
+    assert main(["bounds", str(path)]) == 0
+    match = re.search(r"run with --stack (\d+)", capsys.readouterr().out)
+    assert match, "bounds output lost the --stack hint"
+    hint = int(match.group(1))
+
+    assert main(["run", str(path), "--stack", str(hint)]) == 0
+    capsys.readouterr()
+    assert main(["run", str(path), "--stack", str(hint - 4)]) == 125
+    assert "overflow" in capsys.readouterr().out

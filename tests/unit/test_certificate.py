@@ -120,6 +120,72 @@ class TestCertificates:
         with pytest.raises(DerivationError):
             load_certificate(json.dumps({"format": "nope"}), program)
 
+    def test_malformed_json_rejected_with_diagnostic(self):
+        # A truncated file must yield a DerivationError, not leak the
+        # raw json.JSONDecodeError to the caller.
+        program = lower(SOURCE)
+        text = export_certificate(StackAnalyzer(program).analyze())
+        with pytest.raises(DerivationError, match="not valid JSON"):
+            load_certificate(text[:len(text) // 2], program)
+
+    def test_non_object_json_rejected(self):
+        program = lower(SOURCE)
+        with pytest.raises(DerivationError, match="JSON object"):
+            load_certificate("[1, 2, 3]", program)
+
+    def test_version_skew_rejected(self):
+        program = lower(SOURCE)
+        data = json.loads(export_certificate(StackAnalyzer(program)
+                                             .analyze()))
+        data["version"] += 1
+        with pytest.raises(DerivationError,
+                           match="unsupported certificate version"):
+            load_certificate(json.dumps(data), program)
+
+    def test_truncated_rule_tree_names_the_rule(self):
+        # Deleting a premise must produce a diagnostic naming the rule
+        # application, not an IndexError from blind child indexing.
+        program = lower(SOURCE)
+        data = json.loads(export_certificate(StackAnalyzer(program)
+                                             .analyze()))
+
+        def truncate(node):
+            if node.get("children"):
+                node["children"] = node["children"][:-1]
+                return True
+            return False
+
+        assert any(truncate(entry["derivation"])
+                   for entry in data["functions"].values())
+        with pytest.raises(DerivationError, match=r"Q:\w+ application"):
+            load_certificate(json.dumps(data), program)
+
+    def test_corrupt_total_bound_rejected(self):
+        # total_bound is advertised, not derived: the loader re-derives
+        # M(f) + P_f and a lying field must carry no authority.
+        program = lower(SOURCE)
+        data = json.loads(export_certificate(StackAnalyzer(program)
+                                             .analyze()))
+        data["functions"]["main"]["total_bound"] = {"k": "const", "v": 0}
+        with pytest.raises(DerivationError, match="total_bound"):
+            load_certificate(json.dumps(data), program)
+
+    def test_negative_constant_rejected(self):
+        program = lower(SOURCE)
+        data = json.loads(export_certificate(StackAnalyzer(program)
+                                             .analyze()))
+        data["functions"]["leaf"]["spec"]["pre"] = {"k": "const", "v": -1}
+        with pytest.raises(DerivationError, match="natural"):
+            load_certificate(json.dumps(data), program)
+
+    def test_missing_field_rejected(self):
+        program = lower(SOURCE)
+        data = json.loads(export_certificate(StackAnalyzer(program)
+                                             .analyze()))
+        del data["functions"]["leaf"]["spec"]
+        with pytest.raises(DerivationError, match="malformed certificate"):
+            load_certificate(json.dumps(data), program)
+
     def test_certificates_for_benchmarks(self):
         from repro.programs.loader import load_source
 

@@ -106,6 +106,78 @@ class TestCertify:
         assert "error" in capsys.readouterr().err
 
 
+class TestCheckCertRejection:
+    """Every rejection path exits 1 with a diagnostic, never a traceback."""
+
+    @pytest.fixture
+    def cert(self, program_file, tmp_path):
+        path = str(tmp_path / "prog.cert.json")
+        assert main(["certify", program_file, "-o", path]) == 0
+        return path
+
+    def _expect_reject(self, program_file, cert, capsys, needle):
+        code = main(["check-cert", program_file, cert])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err and needle in captured.err
+        assert "certificate OK" not in captured.out
+
+    def test_malformed_json(self, program_file, cert, tmp_path, capsys):
+        text = open(cert).read()
+        bad = tmp_path / "malformed.json"
+        bad.write_text(text[:len(text) // 2])
+        self._expect_reject(program_file, str(bad), capsys, "not valid JSON")
+
+    def test_truncated_rule_tree(self, program_file, cert, tmp_path, capsys):
+        import json
+
+        data = json.load(open(cert))
+        for entry in data["functions"].values():
+            nodes = [entry["derivation"]]
+            while nodes:
+                node = nodes.pop()
+                if node.get("children"):
+                    node["children"] = node["children"][:-1]
+                    nodes = []
+                    break
+                nodes.extend(node.get("children", ()))
+        bad = tmp_path / "truncated.json"
+        bad.write_text(json.dumps(data))
+        # The diagnostic names the failing rule application.
+        self._expect_reject(program_file, str(bad), capsys, "Q:")
+
+    def test_unsupported_version(self, program_file, cert, tmp_path, capsys):
+        import json
+
+        data = json.load(open(cert))
+        data["version"] += 1
+        bad = tmp_path / "version.json"
+        bad.write_text(json.dumps(data))
+        self._expect_reject(program_file, str(bad), capsys,
+                            "unsupported certificate version")
+
+    def test_wrong_program(self, cert, tmp_path, capsys):
+        other = tmp_path / "unrelated.c"
+        other.write_text("int main() { return 0; }\n")
+        self._expect_reject(str(other), cert, capsys, "unknown function")
+
+    def test_corrupt_total_bound(self, program_file, cert, tmp_path, capsys):
+        import json
+
+        data = json.load(open(cert))
+        data["functions"]["main"]["total_bound"] = {"k": "const", "v": 0}
+        bad = tmp_path / "total.json"
+        bad.write_text(json.dumps(data))
+        self._expect_reject(program_file, str(bad), capsys, "total_bound")
+
+
+class TestFuzzMatrixCLI:
+    def test_plant_choices_come_from_the_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--plant", "drop-sp"])
+        assert "drop-ra" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["bounds", "/nonexistent/x.c"]) == 1

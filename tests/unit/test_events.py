@@ -63,6 +63,25 @@ class TestTraceOps:
         assert not is_well_bracketed((call("f"), ret("g")))
         assert is_well_bracketed((call("f"),))  # open calls are fine
 
+    def test_well_bracketed_require_empty(self):
+        # A converged execution must close every frame: an open call —
+        # a dropped trailing ret — only fails under require_empty,
+        # because every prefix of a bracketed trace is itself bracketed.
+        assert is_well_bracketed(PAPER_TRACE, require_empty=True)
+        assert not is_well_bracketed((call("f"),), require_empty=True)
+        assert not is_well_bracketed((call("f"), call("g"), ret("g")),
+                                     require_empty=True)
+        assert is_well_bracketed((), require_empty=True)
+
+    def test_bracket_checker_balanced(self):
+        from repro.events.stream import BracketChecker
+
+        checker = BracketChecker()
+        checker(call("f"))
+        assert checker.ok and not checker.balanced()
+        checker(ret("f"))
+        assert checker.balanced()
+
     def test_depth_profile(self):
         trace = (call("f"), call("g"), ret("g"), ret("f"))
         assert call_depth_profile(trace) == [1, 2, 1, 0]
