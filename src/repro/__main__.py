@@ -9,6 +9,15 @@
 Common flags: ``-D NAME=VALUE`` feeds the preprocessor, ``--no-constprop``
 / ``--no-deadcode`` / ``--cse`` / ``--tailcall`` / ``--spill-all`` toggle
 passes, ``--stack BYTES`` sets the preallocated ASMsz stack.
+
+Observability: ``--trace-out FILE`` writes the span trace of the run
+(``.jsonl`` = span records, anything else = a Chrome ``chrome://tracing``
+document) and ``--metrics-out FILE`` writes the metrics snapshot; both
+enable instrumentation for the whole command (``docs/OBSERVABILITY.md``).
+
+Exit codes: 0 success, 1 a check failed (failing campaign seeds,
+surviving mutation operators), 2 diagnosed errors (bad input, I/O),
+125 a ``run`` that did not converge.
 """
 
 from __future__ import annotations
@@ -16,10 +25,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analyzer import StackAnalyzer
 from repro.driver import CompilerOptions, compile_c
 from repro.errors import ReproError
-from repro.events.trace import Converges, weight_of_trace
+from repro.events.trace import Converges
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,6 +52,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="enable self-tail-call recognition")
         p.add_argument("--spill-all", action="store_true",
                        help="disable register allocation (ablation)")
+        add_obs(p)
+        return p
+
+    def add_obs(p):
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="enable span tracing; write the spans here "
+                            "(.jsonl = records, else Chrome trace JSON)")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="enable metrics; write the snapshot here (JSON)")
         return p
 
     bounds = add_common(sub.add_parser(
@@ -131,6 +150,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--time-budget", type=float, default=None,
                       metavar="SECONDS", help="stop after this much wall "
                                               "clock")
+    fuzz.add_argument("--status-interval", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="period of the progress line (ETA, verdict "
+                           "counts); 0 disables it")
+    add_obs(fuzz)
     return parser
 
 
@@ -226,100 +250,125 @@ def cmd_dump(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    from repro.clight.semantics import run_program
+    """Stream one Clight execution's events to stdout.
+
+    ``--limit`` only truncates the *printing*: the verdict and the
+    weight fold always cover the full event stream, so the reported
+    weight is ``W_M`` of the whole run, not of the printed prefix.
+    """
+    from repro.clight.semantics import run_streamed
+    from repro.events.stream import Tee
+    from repro.events.trace import WeightFold
 
     compilation = _compile(args)
-    behavior = run_program(compilation.clight, fuel=args.fuel)
-    for event in behavior.trace[:args.limit]:
-        print(repr(event))
-    if len(behavior.trace) > args.limit:
-        print(f"... ({len(behavior.trace) - args.limit} more events)")
-    weight = weight_of_trace(compilation.metric, behavior.trace)
-    print(f"# {type(behavior).__name__}; {len(behavior.trace)} events; "
-          f"weight under the compiled metric: {weight} bytes")
+    fold = WeightFold(compilation.metric)
+    printed = 0
+
+    def printer(event):
+        nonlocal printed
+        if printed < args.limit:
+            print(repr(event))
+        printed += 1
+
+    outcome = run_streamed(compilation.clight, Tee(printer, fold),
+                           fuel=args.fuel)
+    if outcome.events > args.limit:
+        print(f"... +{outcome.events - args.limit} more events")
+    kind = {"converges": "Converges", "diverges": "Diverges",
+            "goes-wrong": "GoesWrong"}[outcome.kind]
+    print(f"# {kind}; {outcome.events} events; "
+          f"weight under the compiled metric: {fold.peak} bytes")
     return 0
 
 
+def _span_note(record: dict) -> str:
+    """Human note for one span row: its attrs plus a derived steps/s."""
+    attrs = dict(record.get("attrs") or {})
+    parts = [f"{key}={value}" for key, value in sorted(attrs.items())]
+    steps = attrs.get("steps")
+    if steps and record["dur"]:
+        parts.append(f"{steps / record['dur']:,.0f} steps/s")
+    return ", ".join(parts)
+
+
+def _print_span_tree(records: list[dict]) -> None:
+    """Pretty-print finished span records as an indented timing tree.
+
+    Runs of same-named siblings (one ``checker.function`` span per
+    function, say) collapse into one aggregate ``×N`` line.
+    """
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for record in records:
+        parent = record["parent"]
+        if parent is None:
+            roots.append(record)
+        else:
+            children.setdefault(parent, []).append(record)
+
+    def emit(record: dict, depth: int) -> None:
+        label = "  " * depth + record["name"]
+        note = _span_note(record)
+        print(f"{label:32s} {record['dur'] * 1000:10.2f} ms"
+              + (f"  ({note})" if note else ""))
+        by_name: dict[str, list[dict]] = {}
+        for kid in children.get(record["id"], []):
+            by_name.setdefault(kid["name"], []).append(kid)
+        for name, group in by_name.items():
+            if len(group) == 1:
+                emit(group[0], depth + 1)
+            else:
+                total = sum(r["dur"] for r in group)
+                label = "  " * (depth + 1) + name
+                print(f"{label:32s} {total * 1000:10.2f} ms  "
+                      f"(×{len(group)})")
+
+    for record in roots:
+        emit(record, 0)
+    total = sum(record["dur"] for record in roots)
+    print(f"{'total':32s} {total * 1000:10.2f} ms")
+
+
 def cmd_profile(args) -> int:
-    import time
+    """Per-stage timing report rendered from the span layer.
 
-    from repro.c.parser import parse
-    from repro.c.typecheck import typecheck
-    from repro.clight.from_c import clight_of_program
-    from repro.driver import compile_clight
-
-    with open(args.file) as handle:
-        source = handle.read()
-    macros = _macros(args)
-
-    rows: list[tuple[str, float, str]] = []
-
-    start = time.perf_counter()
-    program = parse(source, args.file, macros)
-    rows.append(("parse", time.perf_counter() - start, ""))
-
-    start = time.perf_counter()
-    env = typecheck(program)
-    rows.append(("typecheck", time.perf_counter() - start, ""))
-
-    start = time.perf_counter()
-    clight = clight_of_program(program, env)
-    rows.append(("clight", time.perf_counter() - start, ""))
-
-    start = time.perf_counter()
-    compilation = compile_clight(clight, options=_options(args))
-    rows.append(("backend", time.perf_counter() - start, ""))
-
-    start = time.perf_counter()
-    analysis = StackAnalyzer(compilation.clight).analyze()
-    sz = analysis.bound_bytes(compilation.asm.main, compilation.metric)
-    rows.append(("analyze", time.perf_counter() - start,
-                 f"bound {sz} bytes"))
-
-    start = time.perf_counter()
-    report = analysis.check()
-    rows.append(("derivation-check", time.perf_counter() - start,
-                 f"{report.nodes} nodes"))
-
-    engines = [("decoded", True)]
-    if args.legacy:
-        engines.append(("legacy", False))
-    for label, decoded in engines:
-        start = time.perf_counter()
-        behavior, machine = compilation.run(stack_bytes=sz + 4,
-                                            fuel=args.fuel, decoded=decoded)
-        elapsed = time.perf_counter() - start
-        rate = machine.steps / elapsed if elapsed else float("inf")
-        rows.append((f"run ({label})", elapsed,
-                     f"{type(behavior).__name__}, {machine.steps} steps, "
-                     f"{rate:,.0f} steps/s"))
-
-    # Per-language interpreter throughput: the same tower levels the
-    # deep campaign mode executes, on their streaming entry points.
+    There is no second timing path: ``profile`` enables observability,
+    runs the pipeline once, and prints the span tree the instrumented
+    layers recorded (compile passes, analysis, checking, one execution
+    per engine, plus the per-language streamed interpreters the deep
+    campaign mode uses).
+    """
     from repro.clight import semantics as clight_sem
     from repro.events.stream import null_sink
     from repro.mach import semantics as mach_sem
     from repro.rtl import semantics as rtl_sem
 
+    obs.enable()
+    mark = len(obs.span_records())
+
+    compilation = _compile(args)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    sz = analysis.bound_bytes(compilation.asm.main, compilation.metric)
+    analysis.check()
+
+    engines = [("decoded", True)]
+    if args.legacy:
+        engines.append(("legacy", False))
+    for _label, decoded in engines:
+        compilation.run(stack_bytes=sz + 4, fuel=args.fuel, decoded=decoded)
+
+    # Per-language interpreter throughput: the same tower levels the
+    # deep campaign mode executes, on their streaming entry points.
     levels = [("clight", clight_sem, compilation.clight),
               ("rtl", rtl_sem, compilation.rtl),
               ("mach", mach_sem, compilation.mach)]
-    for level, sem, program in levels:
-        for label, decoded in engines:
-            start = time.perf_counter()
-            outcome = sem.run_streamed(program, null_sink, fuel=args.fuel,
-                                       decoded=decoded)
-            elapsed = time.perf_counter() - start
-            rate = outcome.steps / elapsed if elapsed else float("inf")
-            rows.append((f"{level} ({label})", elapsed,
-                         f"{outcome.kind}, {outcome.steps} steps, "
-                         f"{rate:,.0f} steps/s"))
+    for _level, sem, program in levels:
+        for _label, decoded in engines:
+            sem.run_streamed(program, null_sink, fuel=args.fuel,
+                             decoded=decoded)
 
-    total = sum(elapsed for _name, elapsed, _note in rows)
-    for name, elapsed, note in rows:
-        print(f"{name:18s} {elapsed * 1000:10.2f} ms"
-              + (f"  ({note})" if note else ""))
-    print(f"{'total':18s} {total * 1000:10.2f} ms")
+    print(f"# stack bound for {compilation.asm.main}: {sz} bytes")
+    _print_span_tree(obs.span_records()[mark:])
     return 0
 
 
@@ -404,14 +453,16 @@ def cmd_fuzz(args) -> int:
             probes=not args.no_probes, deep=args.deep,
             shrink=not args.no_shrink, cache_dir=cache_dir,
             report_path=args.report, repro_dir=repro_dir,
-            time_budget=args.time_budget)
+            time_budget=args.time_budget,
+            obs=bool(args.metrics_out or args.trace_out),
+            status_interval=args.status_interval or None)
 
         def progress(verdict):
             if not verdict.ok:
                 print(f"FAIL seed {verdict.seed}: [{verdict.oracle}"
                       f"@{verdict.ablation}] {verdict.detail}")
 
-        report = run_campaign(config, progress=progress)
+        report = run_campaign(config, progress=progress, status=print)
 
     summary = report.summary()
     print(f"# checked {summary['seeds']} seeds "
@@ -435,20 +486,40 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def _export_obs(args) -> None:
+    """Write the requested span/metrics exports for a finished command."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out:
+        obs.write_trace(trace_out, obs.span_records())
+        print(f"# {len(obs.span_records())} spans written to {trace_out}",
+              file=sys.stderr)
+    if metrics_out:
+        obs.write_metrics_json(metrics_out, obs.snapshot())
+        print(f"# metrics written to {metrics_out}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"bounds": cmd_bounds, "run": cmd_run, "dump": cmd_dump,
                "trace": cmd_trace, "profile": cmd_profile,
                "certify": cmd_certify, "check-cert": cmd_check_cert,
                "fuzz": cmd_fuzz}[args.command]
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        obs.enable()
+    # One uniform error policy for every subcommand: the ReproError
+    # hierarchy (parse/type/analysis/derivation/runtime errors) and I/O
+    # failures (missing files, unwritable outputs) print a one-line
+    # diagnostic and exit 2 — never a raw traceback.  Exports still run
+    # on failure: a partial trace is exactly what debugging wants.
     try:
-        return handler(args)
-    except ReproError as exc:
+        try:
+            return handler(args)
+        finally:
+            _export_obs(args)
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

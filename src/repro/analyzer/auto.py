@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro import obs
 from repro.analyzer.callgraph import build_call_graph
 from repro.clight import ast as cl
 from repro.errors import AnalysisError
@@ -163,9 +164,14 @@ class AnalysisResult:
         ctx = CheckerContext(self.gamma,
                              externals=externals or self.program.externals)
         report = CheckReport()
-        for name, analysis in self.functions.items():
-            function = self.program.function(name)
-            check_function_spec(function, analysis.derivation, ctx, report)
+        with obs.span("analyze.check", functions=len(self.functions)) as sp:
+            for name, analysis in self.functions.items():
+                function = self.program.function(name)
+                check_function_spec(function, analysis.derivation, ctx,
+                                    report)
+            sp.set(nodes=report.nodes, exact=report.exact_conditions)
+        obs.observe("analyze.check_seconds", sp.dur)
+        obs.add("checker.nodes", report.nodes)
         return report
 
 
@@ -177,19 +183,22 @@ class StackAnalyzer:
 
     def analyze(self) -> AnalysisResult:
         start = time.perf_counter()
-        graph = build_call_graph(self.program)
-        order = graph.topological_order()
-        gamma = FunContext()
-        results: dict[str, FunctionAnalysis] = {}
-        externals = set(self.program.externals)
-        for name in order:
-            function = self.program.function(name)
-            body_bound, derivation = auto_bound(function.body, gamma,
-                                                externals)
-            gamma.add(FunSpec.constant(name, body_bound,
-                                       description="auto_bound"))
-            total = badd(bmetric(name), body_bound)
-            results[name] = FunctionAnalysis(name, body_bound, total,
-                                             derivation)
+        with obs.span("analyze.auto") as sp:
+            graph = build_call_graph(self.program)
+            order = graph.topological_order()
+            gamma = FunContext()
+            results: dict[str, FunctionAnalysis] = {}
+            externals = set(self.program.externals)
+            for name in order:
+                function = self.program.function(name)
+                body_bound, derivation = auto_bound(function.body, gamma,
+                                                    externals)
+                gamma.add(FunSpec.constant(name, body_bound,
+                                           description="auto_bound"))
+                total = badd(bmetric(name), body_bound)
+                results[name] = FunctionAnalysis(name, body_bound, total,
+                                                 derivation)
+            sp.set(functions=len(results))
+        obs.observe("analyze.auto_seconds", sp.dur)
         elapsed = time.perf_counter() - start
         return AnalysisResult(self.program, gamma, results, elapsed)

@@ -36,7 +36,7 @@ import struct
 from typing import Callable, Optional
 from weakref import WeakKeyDictionary
 
-from repro import ints
+from repro import ints, obs
 from repro.asm import ast as asm
 from repro.errors import (DynamicError, MemoryError_, StackOverflowError_,
                           UndefinedBehaviorError)
@@ -169,8 +169,15 @@ def decode_program(program: asm.AsmProgram) -> DecodedProgram:
     """Decode ``program`` (cached: each program is decoded at most once)."""
     decoded = _DECODE_CACHE.get(program)
     if decoded is None:
-        decoded = DecodedProgram(program)
+        if obs.enabled:
+            obs.add("decode.asm.cache.misses")
+            with obs.span("decode.asm"):
+                decoded = DecodedProgram(program)
+        else:
+            decoded = DecodedProgram(program)
         _DECODE_CACHE[program] = decoded
+    elif obs.enabled:
+        obs.add("decode.asm.cache.hits")
     return decoded
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import ints
+from repro import ints, obs
 from repro.asm import ast as asm
 from repro.c.types import align_up
 from repro.errors import (DynamicError, MemoryError_, StackOverflowError_,
@@ -443,10 +443,27 @@ def run_program(program: asm.AsmProgram,
     """
     machine = AsmMachine(program, stack_bytes=stack_bytes, output=output,
                          decoded=decoded)
+    if obs.enabled:
+        # One span per run, wrapped around the whole loop: the hot path
+        # itself carries zero added per-step work, enabled or not.
+        engine = "decoded" if machine.decoded else "legacy"
+        with obs.span("exec.asm", engine=engine) as sp:
+            behavior = _execute(machine, fuel)
+        sp.set(kind=type(behavior).__name__, steps=machine.steps,
+               watermark=machine.measured_stack_usage)
+        obs.add("interp.asm.steps", machine.steps)
+        obs.add("interp.asm.seconds", sp.dur)
+        obs.add("interp.asm.runs")
+        return behavior, machine
+    return _execute(machine, fuel), machine
+
+
+def _execute(machine: AsmMachine, fuel: int) -> Behavior:
+    """Run ``machine`` to a behavior on its selected engine."""
     if machine.decoded:
         from repro.asm.decode import run_decoded
 
-        return run_decoded(machine, fuel=fuel), machine
+        return run_decoded(machine, fuel=fuel)
     trace: list[Event] = []
     try:
         machine.start()
@@ -457,10 +474,10 @@ def run_program(program: asm.AsmProgram,
             if event is not None:
                 trace.append(event)
         else:
-            return Diverges(trace), machine
+            return Diverges(trace)
     except DynamicError as exc:
-        return GoesWrong(trace, reason=str(exc)), machine
+        return GoesWrong(trace, reason=str(exc))
     if not machine.done:
-        return Diverges(trace), machine
+        return Diverges(trace)
     assert machine.return_code is not None
-    return Converges(trace, machine.return_code), machine
+    return Converges(trace, machine.return_code)

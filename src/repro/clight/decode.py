@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 from weakref import WeakKeyDictionary
 
+from repro import obs
 from repro.clight import ast as cl
 from repro.errors import (DynamicError, FuelExhaustedError, MemoryError_,
                           UndefinedBehaviorError)
@@ -945,7 +946,11 @@ def decode_program(program: cl.Program) -> DecodedProgram:
     """Decode ``program`` into threaded code (cached per program)."""
     dprog = _decoded_cache.get(program)
     if dprog is not None:
+        if obs.enabled:
+            obs.add("decode.clight.cache.hits")
         return dprog
+    if obs.enabled:
+        obs.add("decode.clight.cache.misses")
     dprog = DecodedProgram(program)
     for name, function in program.functions.items():
         ctx = _FunctionContext(program, dprog, function)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import ops
+from repro import obs, ops
 from repro.clight import ast as cl
 from repro.errors import (DynamicError, FuelExhaustedError, MemoryError_,
                           UndefinedBehaviorError)
@@ -358,6 +358,22 @@ def run_streamed(program: cl.Program, sink: Consumer,
     """
     if decoded is None:
         decoded = DEFAULT_DECODED
+    if obs.enabled:
+        # Wrapped at the entry point only — the step loops stay untouched.
+        with obs.span("exec.clight",
+                      engine="decoded" if decoded else "legacy") as sp:
+            outcome = _run_streamed(program, sink, fuel, output, decoded)
+        sp.set(kind=outcome.kind, steps=outcome.steps,
+               events=outcome.events)
+        obs.add("interp.clight.steps", outcome.steps)
+        obs.add("interp.clight.seconds", sp.dur)
+        obs.add("interp.clight.runs")
+        return outcome
+    return _run_streamed(program, sink, fuel, output, decoded)
+
+
+def _run_streamed(program: cl.Program, sink: Consumer, fuel: int,
+                  output: Optional[list], decoded: bool) -> StreamOutcome:
     if decoded:
         from repro.clight import decode
         return decode.run_streamed(program, sink, fuel, output=output)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.analyzer import AnalysisResult, StackAnalyzer
 from repro.asm import asm_of_mach
 from repro.asm import ast as asm_ast
@@ -61,10 +62,17 @@ class CompilerOptions:
         self.tailcall = tailcall
         self.spill_everything = spill_everything
 
-    def key(self) -> tuple[bool, bool, bool, bool, bool]:
-        """Structural identity, for caches and campaign reports."""
-        return (self.constprop, self.deadcode, self.cse, self.tailcall,
-                self.spill_everything)
+    def key(self) -> tuple:
+        """Structural identity, for caches and campaign reports.
+
+        Derived from the instance dict rather than a hand-maintained
+        tuple: a pass toggle added to ``__init__`` (and to the CLI's
+        ``add_common``) is automatically part of the key, so a cache
+        keyed on options can never serve a compilation from a different
+        option set because someone forgot to extend this list
+        (``tests/unit/test_compiler_options.py`` locks the audit in).
+        """
+        return tuple(sorted(vars(self).items()))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CompilerOptions):
@@ -118,19 +126,30 @@ def compile_clight(clight: cl.Program,
                    options: Optional[CompilerOptions] = None) -> Compilation:
     """Run the backend pipeline from a Clight program."""
     options = options or CompilerOptions()
-    cminor = cminor_of_clight(clight)
-    rtl = rtl_of_cminor(cminor)
-    if options.constprop:
-        constprop_program(rtl)
-    if options.cse:
-        cse_program(rtl)
-    if options.tailcall:
-        tailcall_program(rtl)
-    if options.deadcode:
-        deadcode_program(rtl)
-    linear = linear_of_rtl(rtl, spill_everything=options.spill_everything)
-    mach = mach_of_linear(linear)
-    asm = asm_of_mach(mach)
+    with obs.span("compile.backend", options=repr(options.key())):
+        with obs.span("compile.cminor"):
+            cminor = cminor_of_clight(clight)
+        with obs.span("compile.rtl"):
+            rtl = rtl_of_cminor(cminor)
+        if options.constprop:
+            with obs.span("compile.rtl.constprop"):
+                constprop_program(rtl)
+        if options.cse:
+            with obs.span("compile.rtl.cse"):
+                cse_program(rtl)
+        if options.tailcall:
+            with obs.span("compile.rtl.tailcall"):
+                tailcall_program(rtl)
+        if options.deadcode:
+            with obs.span("compile.rtl.deadcode"):
+                deadcode_program(rtl)
+        with obs.span("compile.linear"):
+            linear = linear_of_rtl(
+                rtl, spill_everything=options.spill_everything)
+        with obs.span("compile.mach"):
+            mach = mach_of_linear(linear)
+        with obs.span("compile.asm"):
+            asm = asm_of_mach(mach)
     return Compilation(clight, cminor, rtl, linear, mach, asm, options)
 
 
@@ -165,10 +184,17 @@ def compile_frontend(source: str, filename: str = "<string>",
     if _frontend_cache_enabled:
         cached = _frontend_cache.get(key)
         if cached is not None:
+            obs.add("frontend.cache.hits")
             return cached
-    program = parse(source, filename, macros)
-    env = typecheck(program)
-    clight = clight_of_program(program, env)
+    with obs.span("compile.frontend", filename=filename) as sp:
+        obs.add("frontend.cache.misses")
+        with obs.span("compile.parse"):
+            program = parse(source, filename, macros)
+        with obs.span("compile.typecheck"):
+            env = typecheck(program)
+        with obs.span("compile.clight"):
+            clight = clight_of_program(program, env)
+        sp.set(functions=len(clight.functions))
     if _frontend_cache_enabled:
         if len(_frontend_cache) >= _FRONTEND_CACHE_SIZE:
             _frontend_cache.pop(next(iter(_frontend_cache)))

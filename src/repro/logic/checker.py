@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional
 
+from repro import obs
 from repro.clight import ast as cl
 from repro.errors import DerivationError
 from repro.logic import derivation as dv
@@ -63,7 +64,10 @@ def check_derivation(derivation: dv.Derivation, ctx: CheckerContext
                      ) -> CheckReport:
     """Validate a derivation; raises :class:`DerivationError` on failure."""
     report = CheckReport()
-    _check(derivation, ctx, report)
+    with obs.span("checker.derivation") as sp:
+        _check(derivation, ctx, report)
+        sp.set(nodes=report.nodes)
+    obs.observe("checker.derivation_seconds", sp.dur)
     return report
 
 
@@ -92,7 +96,11 @@ def check_function_spec(function: cl.Function, derivation: dv.Derivation,
     # Falling through the end of the body also ends the call.
     _require_eq(conclusion.post.skip, post, ctx, report,
                 f"{function.name}: fall-through postcondition differs from Γ spec")
-    _check(derivation, ctx, report)
+    with obs.span("checker.function", function=function.name) as sp:
+        before = report.nodes
+        _check(derivation, ctx, report)
+        sp.set(nodes=report.nodes - before)
+    obs.observe("checker.derivation_seconds", sp.dur)
     return report
 
 

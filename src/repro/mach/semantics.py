@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import ops
+from repro import obs, ops
 from repro.errors import DynamicError, MemoryError_, UndefinedBehaviorError
 from repro.events.stream import Consumer, CountingSink, StreamOutcome
 from repro.events.trace import (Behavior, CallEvent, Converges, Diverges,
@@ -209,6 +209,22 @@ def run_streamed(program: mach.MachProgram, sink: Consumer,
     """
     if decoded is None:
         decoded = DEFAULT_DECODED
+    if obs.enabled:
+        # Wrapped at the entry point only — the step loops stay untouched.
+        with obs.span("exec.mach",
+                      engine="decoded" if decoded else "legacy") as sp:
+            outcome = _run_streamed(program, sink, fuel, output, decoded)
+        sp.set(kind=outcome.kind, steps=outcome.steps,
+               events=outcome.events)
+        obs.add("interp.mach.steps", outcome.steps)
+        obs.add("interp.mach.seconds", sp.dur)
+        obs.add("interp.mach.runs")
+        return outcome
+    return _run_streamed(program, sink, fuel, output, decoded)
+
+
+def _run_streamed(program: mach.MachProgram, sink: Consumer, fuel: int,
+                  output: Optional[list], decoded: bool) -> StreamOutcome:
     if decoded:
         from repro.mach import decode
         return decode.run_streamed(program, sink, fuel, output=output)

@@ -1,0 +1,192 @@
+"""Exporters and schema validators for the observability layer.
+
+Three on-disk formats (all dependency-free JSON):
+
+* **span JSONL** (``*.jsonl``): one meta line, then one record per
+  finished span — the stable machine-readable form
+  (``docs/OBSERVABILITY.md`` documents every field);
+* **Chrome trace** (any other ``--trace-out`` extension): the
+  ``traceEvents`` JSON that ``chrome://tracing`` and
+  https://ui.perfetto.dev open directly — complete ``"X"`` events with
+  microsecond timestamps, one track per process;
+* **metrics JSON** (``--metrics-out``): a registry snapshot plus the
+  derived rates of :func:`repro.obs.metrics.derive_rates`.
+
+The ``validate_*`` functions are the schema's executable definition:
+the smoke test ``tests/unit/test_obs_schema.py`` runs them over real CLI
+output, so the format cannot drift without a test failing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterable
+
+from repro.obs.metrics import METRICS_SCHEMA, derive_rates
+from repro.obs.spans import SPAN_SCHEMA
+
+_NUMBER = (int, float)
+_SCALAR = (int, float, str, bool, type(None))
+
+
+# ---------------------------------------------------------------------------
+# Writers
+# ---------------------------------------------------------------------------
+
+
+def spans_jsonl_lines(records: Iterable[dict]) -> Iterable[str]:
+    """The span JSONL document: a meta header line, then one span each."""
+    yield json.dumps({"type": "meta", "schema": SPAN_SCHEMA,
+                      "written_at": round(time.time(), 3)})
+    for record in records:
+        yield json.dumps({"type": "span", **record})
+
+
+def write_spans_jsonl(path: str, records: Iterable[dict]) -> None:
+    with open(path, "w") as handle:
+        for line in spans_jsonl_lines(records):
+            handle.write(line + "\n")
+
+
+def chrome_trace_document(records: Iterable[dict]) -> dict:
+    """Spans as a ``chrome://tracing`` / Perfetto ``traceEvents`` object."""
+    events = []
+    for record in records:
+        events.append({
+            "name": record["name"],
+            "ph": "X",
+            "ts": round(record["ts"] * 1e6, 3),      # microseconds
+            "dur": round(record["dur"] * 1e6, 3),
+            "pid": record["pid"],
+            "tid": record["pid"],
+            "args": record["attrs"],
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"schema": SPAN_SCHEMA}}
+
+
+def write_chrome_trace(path: str, records: Iterable[dict]) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_document(records), handle, indent=1)
+        handle.write("\n")
+
+
+def write_trace(path: str, records: Iterable[dict]) -> None:
+    """``--trace-out`` dispatch: ``*.jsonl`` → JSONL, else Chrome trace."""
+    if path.endswith(".jsonl"):
+        write_spans_jsonl(path, records)
+    else:
+        write_chrome_trace(path, records)
+
+
+def metrics_document(snapshot: dict) -> dict:
+    """A metrics snapshot as the ``--metrics-out`` JSON document."""
+    return {"schema": METRICS_SCHEMA,
+            "written_at": round(time.time(), 3),
+            "counters": snapshot.get("counters", {}),
+            "gauges": snapshot.get("gauges", {}),
+            "histograms": snapshot.get("histograms", {}),
+            "derived": derive_rates(snapshot)}
+
+
+def write_metrics_json(path: str, snapshot: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(metrics_document(snapshot), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (the executable format definition)
+# ---------------------------------------------------------------------------
+
+
+def _fail(context: str, message: str) -> None:
+    raise ValueError(f"{context}: {message}")
+
+
+def validate_span_record(record: dict, context: str = "span") -> None:
+    """Validate one JSONL span record; raises ``ValueError`` on drift."""
+    if not isinstance(record, dict):
+        _fail(context, "record is not an object")
+    if record.get("type") != "span":
+        _fail(context, f"type must be 'span', got {record.get('type')!r}")
+    if not isinstance(record.get("name"), str) or not record["name"]:
+        _fail(context, "name must be a non-empty string")
+    for key in ("ts", "dur", "cpu"):
+        if not isinstance(record.get(key), _NUMBER):
+            _fail(context, f"{key} must be a number")
+        if key != "ts" and record[key] < 0:
+            _fail(context, f"{key} must be non-negative")
+    for key in ("pid", "id"):
+        if not isinstance(record.get(key), int):
+            _fail(context, f"{key} must be an integer")
+    if record.get("parent") is not None \
+            and not isinstance(record["parent"], int):
+        _fail(context, "parent must be an integer or null")
+    attrs = record.get("attrs")
+    if not isinstance(attrs, dict):
+        _fail(context, "attrs must be an object")
+    for name, value in attrs.items():
+        if not isinstance(value, _SCALAR):
+            _fail(context, f"attr {name!r} must be a JSON scalar")
+
+
+def validate_spans_jsonl(lines: Iterable[str]) -> int:
+    """Validate a span JSONL document; returns the number of spans."""
+    count = 0
+    meta_seen = False
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("type") == "meta":
+            if record.get("schema") != SPAN_SCHEMA:
+                _fail(f"line {index + 1}",
+                      f"unknown schema {record.get('schema')!r}")
+            meta_seen = True
+            continue
+        validate_span_record(record, context=f"line {index + 1}")
+        count += 1
+    if not meta_seen:
+        _fail("document", "missing meta line with the schema identifier")
+    return count
+
+
+def validate_histogram(name: str, data: dict) -> None:
+    if not isinstance(data, dict):
+        _fail(name, "histogram must be an object")
+    buckets = data.get("buckets")
+    counts = data.get("counts")
+    if not isinstance(buckets, list) or not all(
+            isinstance(b, _NUMBER) for b in buckets):
+        _fail(name, "buckets must be a list of numbers")
+    if buckets != sorted(set(buckets)):
+        _fail(name, "buckets must be strictly increasing")
+    if not isinstance(counts, list) or len(counts) != len(buckets) + 1:
+        _fail(name, "counts must be a list of len(buckets) + 1 entries")
+    if not all(isinstance(c, int) and c >= 0 for c in counts):
+        _fail(name, "counts must be non-negative integers")
+    if not isinstance(data.get("sum"), _NUMBER):
+        _fail(name, "sum must be a number")
+    if data.get("count") != sum(counts):
+        _fail(name, "count must equal the sum of the bucket counts")
+
+
+def validate_metrics_document(document: dict) -> None:
+    """Validate a ``--metrics-out`` document; raises ``ValueError``."""
+    if document.get("schema") != METRICS_SCHEMA:
+        _fail("document", f"unknown schema {document.get('schema')!r}")
+    for section in ("counters", "gauges", "derived"):
+        table = document.get(section)
+        if not isinstance(table, dict):
+            _fail(section, "must be an object")
+        for name, value in table.items():
+            if not isinstance(name, str) or not isinstance(value, _NUMBER):
+                _fail(section, f"{name!r} must map a string to a number")
+    histograms = document.get("histograms")
+    if not isinstance(histograms, dict):
+        _fail("histograms", "must be an object")
+    for name, data in histograms.items():
+        validate_histogram(f"histograms[{name!r}]", data)

@@ -1,0 +1,171 @@
+"""Span-based tracing: nested wall/CPU-time regions with attributes.
+
+A *span* is one timed region of the pipeline (``compile.rtl.constprop``,
+``exec.asm``, ``campaign.seed``).  Spans nest: the recorder keeps a stack
+of open spans, so a span started while another is open becomes its child
+and the export formats can reconstruct the whole tree.  Each span records
+
+* ``ts`` — wall-clock start (``time.time()`` epoch seconds, so spans from
+  different processes land on one timeline),
+* ``dur`` — wall duration (``perf_counter`` delta, monotonic),
+* ``cpu`` — CPU duration (``process_time`` delta),
+* ``attrs`` — free-form JSON-scalar attributes (step counts, verdicts).
+
+Span identity is the pair ``(pid, id)``: ids are sequential per process,
+and campaign workers ship their finished spans back to the parent
+recorder (:meth:`SpanRecorder.adopt`), where the pid keeps them distinct.
+
+Everything here is allocation-light but not free; the no-op path for
+disabled instrumentation lives in :mod:`repro.obs` (``NULL_SPAN``), never
+here.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+#: Span-record schema identifier (bump on any incompatible field change).
+SPAN_SCHEMA = "repro.obs.spans/1"
+
+
+class Span:
+    """One timed region; also its own context manager.
+
+    Use through :func:`repro.obs.span`; entering starts the clocks,
+    exiting stops them and files the record with the recorder.  ``set``
+    attaches attributes from inside the region::
+
+        with obs.span("exec.asm", engine="decoded") as sp:
+            behavior = run(...)
+            sp.set(steps=machine.steps)
+    """
+
+    __slots__ = ("recorder", "name", "attrs", "ts", "dur", "cpu", "pid",
+                 "sid", "parent", "_t0", "_c0")
+
+    def __init__(self, recorder: "SpanRecorder", name: str,
+                 attrs: Optional[dict] = None) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.ts = 0.0
+        self.dur = 0.0
+        self.cpu = 0.0
+        self.pid = recorder.pid
+        self.sid = 0
+        self.parent: Optional[int] = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (JSON scalars) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.recorder._open(self)
+        self.ts = time.time()
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.dur = time.perf_counter() - self._t0
+        self.cpu = time.process_time() - self._c0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.recorder._close(self)
+
+    def as_record(self) -> dict:
+        """The JSONL-ready record for this span."""
+        return {"name": self.name, "ts": round(self.ts, 6),
+                "dur": round(self.dur, 9), "cpu": round(self.cpu, 9),
+                "pid": self.pid, "id": self.sid, "parent": self.parent,
+                "attrs": self.attrs}
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.dur * 1000:.2f} ms, "
+                f"attrs={self.attrs!r})")
+
+
+class SpanRecorder:
+    """Collects finished spans (as plain record dicts) in finish order.
+
+    ``records`` holds dicts, not :class:`Span` objects, so adopted
+    cross-process spans and locally recorded ones are uniform and the
+    export step is a straight dump.
+    """
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.records: list[dict] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, attrs: Optional[dict] = None) -> Span:
+        return Span(self, name, attrs)
+
+    def _open(self, span: Span) -> None:
+        # fork() inheritance: a worker that inherited a pre-fork recorder
+        # must not reuse the parent's pid or continue its id sequence.
+        pid = os.getpid()
+        if pid != self.pid:
+            self.pid = pid
+            self.records = []
+            self._stack = []
+            self._next_id = 1
+        span.pid = pid
+        span.sid = self._next_id
+        self._next_id += 1
+        span.parent = self._stack[-1].sid if self._stack else None
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # out-of-order exit (generator suspension): drop from stack
+            self._stack = [s for s in self._stack if s is not span]
+        self.records.append(span.as_record())
+
+    def adopt(self, records: list[dict]) -> None:
+        """File span records produced by another process (campaign workers)."""
+        self.records.extend(records)
+
+    def drain(self) -> list[dict]:
+        """Return and clear the finished records (open spans stay open)."""
+        records, self.records = self.records, []
+        return records
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+
+class NullSpan:
+    """The shared no-op span handed out while instrumentation is off.
+
+    Supports the full :class:`Span` surface so instrumented code never
+    branches: ``with obs.span(...) as sp: ... sp.set(...)`` costs three
+    trivial method calls when disabled.
+    """
+
+    __slots__ = ()
+
+    dur = 0.0
+    cpu = 0.0
+    attrs: dict = {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from multiprocessing import Pool
 from typing import Optional
 
+from repro import obs
+from repro.obs.metrics import empty_snapshot, merge_snapshots
 from repro.testing.faults import validate_plant
 from repro.testing.oracles import (ABLATIONS, ORACLE_VERSION, SeedVerdict,
                                    check_seed)
@@ -49,6 +51,8 @@ class CampaignConfig:
     report_path: Optional[str] = None              #: JSONL campaign report
     repro_dir: Optional[str] = None                #: minimized .c reproducers
     time_budget: Optional[float] = None            #: wall-clock cap, seconds
+    obs: bool = False               #: per-seed spans + worker metric deltas
+    status_interval: Optional[float] = None        #: progress-line period, s
 
     def cache_key(self, source: str) -> str:
         """Content hash identifying (source, oracle configuration)."""
@@ -69,6 +73,9 @@ class CampaignReport:
     shrunk: dict[int, ShrinkResult]
     elapsed: float
     repro_files: dict[int, str]
+    #: Campaign-wide metrics snapshot (parent + merged worker deltas);
+    #: only populated when the campaign ran with ``config.obs``.
+    metrics: Optional[dict] = None
 
     @property
     def failures(self) -> list[SeedVerdict]:
@@ -126,9 +133,54 @@ def _pool_warmup() -> None:
         pass  # never let warm-up kill a worker; the seeds still run
 
 
+def _status_line(done: int, total: int, cached: int, failed: int,
+                 elapsed: float) -> str:
+    """One-line campaign progress summary with throughput and ETA."""
+    rate = done / elapsed if elapsed > 0 else 0.0
+    if rate > 0 and done < total:
+        eta = (total - done) / rate
+        eta_text = f"eta {eta:.0f}s"
+    else:
+        eta_text = "eta --"
+    return (f"[fuzz] {done}/{total} seeds  ok {done - failed}  "
+            f"fail {failed}  cached {cached}  "
+            f"{rate:.1f} seeds/s  {eta_text}")
+
+
 def _check_one(payload: tuple[int, CampaignConfig]) -> SeedVerdict:
-    """Pool worker: cache lookup, then the full oracle hierarchy."""
+    """Pool worker: cache lookup, then the full oracle hierarchy.
+
+    With ``config.obs`` the seed runs instrumented: one ``campaign.seed``
+    span (children: compile passes, interpreter runs, checker calls), a
+    per-seed metrics *delta* and a worker heartbeat gauge.  Delta and
+    spans ride back to the parent on the verdict
+    (``obs_metrics``/``obs_spans``), which merges them — the
+    multiprocessing pool aggregates without shared memory.
+    """
     seed, config = payload
+    if not config.obs:
+        return _check_one_plain(seed, config)
+    obs.enable()
+    # Discard anything inherited through fork() or left by pool warm-up
+    # so the attached snapshot is exactly this seed's delta.
+    obs.drain_metrics()
+    obs.drain_spans()
+    with obs.span("campaign.seed", seed=seed) as span:
+        verdict = _check_one_plain(seed, config)
+        span.set(ok=verdict.ok, cached=verdict.cached,
+                 events=verdict.events)
+        if not verdict.ok:
+            span.set(oracle=verdict.oracle, ablation=verdict.ablation)
+    obs.observe("campaign.seed_seconds", span.dur)
+    pid = os.getpid()
+    obs.set_gauge(f"campaign.worker.{pid}.heartbeat", time.time())
+    obs.add(f"campaign.worker.{pid}.seeds")
+    verdict.obs_metrics = obs.drain_metrics()
+    verdict.obs_spans = obs.drain_spans()
+    return verdict
+
+
+def _check_one_plain(seed: int, config: CampaignConfig) -> SeedVerdict:
     source = generate_program(seed, **config.gen_kwargs)
     cache_file = None
     if config.cache_dir is not None:
@@ -156,26 +208,57 @@ def _check_one(payload: tuple[int, CampaignConfig]) -> SeedVerdict:
 
 
 def run_campaign(config: CampaignConfig,
-                 progress=None) -> CampaignReport:
+                 progress=None, status=None) -> CampaignReport:
     """Run one campaign; returns the aggregate report.
 
     ``progress`` is an optional callable invoked with each
     ``SeedVerdict`` as it arrives (out of order under a pool).
+    ``status`` is an optional callable receiving periodic one-line
+    progress summaries (done/total, verdict counts, throughput, ETA)
+    every ``config.status_interval`` seconds.
     """
     # A typo'd plant must fail here, before any worker runs a seed.
     validate_plant(config.plant)
+    if config.obs:
+        obs.enable()
     started = time.perf_counter()
     work = [(seed, config)
             for seed in range(config.start, config.start + config.seeds)]
     verdicts: list[SeedVerdict] = []
+    # Worker observability payloads accumulate off-registry: the
+    # in-process (jobs=1) worker path drains the shared registry per
+    # seed, so parent-side state must not live there until the end.
+    merged_metrics = empty_snapshot()
+    adopted_spans: list[dict] = []
+    failed = cached = 0
+    last_status = started
 
     def deadline_hit() -> bool:
         return (config.time_budget is not None
                 and time.perf_counter() - started > config.time_budget)
 
+    def harvest(verdict: SeedVerdict) -> None:
+        """Fold one verdict's telemetry into the parent-side aggregates."""
+        nonlocal failed, cached, last_status
+        if verdict.obs_metrics is not None:
+            merge_snapshots(merged_metrics, verdict.obs_metrics)
+            verdict.obs_metrics = None
+        if verdict.obs_spans:
+            adopted_spans.extend(verdict.obs_spans)
+            verdict.obs_spans = None
+        failed += 0 if verdict.ok else 1
+        cached += 1 if verdict.cached else 0
+        now = time.perf_counter()
+        if (status is not None and config.status_interval is not None
+                and now - last_status >= config.status_interval):
+            last_status = now
+            status(_status_line(len(verdicts), len(work), cached, failed,
+                                now - started))
+
     if config.jobs <= 1:
         for payload in work:
             verdicts.append(_check_one(payload))
+            harvest(verdicts[-1])
             if progress:
                 progress(verdicts[-1])
             if deadline_hit():
@@ -189,12 +272,28 @@ def run_campaign(config: CampaignConfig,
             for verdict in pool.imap_unordered(_check_one, work,
                                                chunksize=chunksize):
                 verdicts.append(verdict)
+                harvest(verdict)
                 if progress:
                     progress(verdict)
                 if deadline_hit():
                     pool.terminate()
                     break
     verdicts.sort(key=lambda v: v.seed)
+
+    if config.obs:
+        # Merge the pool-wide worker deltas back into the live registry
+        # and count the parent-side campaign telemetry.
+        obs.merge(merged_metrics)
+        obs.adopt_spans(adopted_spans)
+        obs.add("campaign.seeds", len(verdicts))
+        obs.add("campaign.cache.hits", cached)
+        obs.add("campaign.cache.misses", len(verdicts) - cached)
+        for verdict in verdicts:
+            if verdict.ok:
+                obs.add("campaign.verdict.ok")
+            else:
+                obs.add("campaign.verdict.fail")
+                obs.add(f"campaign.verdict.fail.{verdict.oracle}")
 
     shrunk: dict[int, ShrinkResult] = {}
     repro_files: dict[int, str] = {}
@@ -205,6 +304,8 @@ def run_campaign(config: CampaignConfig,
             result = shrink_failure(verdict, metric_name=config.metric,
                                     plant=config.plant, deep=config.deep)
             shrunk[verdict.seed] = result
+            obs.add("campaign.shrink.attempts", result.attempts)
+            obs.add("campaign.shrink.minimized")
             source = result.source
             kwargs = result.gen_kwargs
         else:
@@ -224,8 +325,13 @@ def run_campaign(config: CampaignConfig,
             repro_files[verdict.seed] = path
 
     elapsed = time.perf_counter() - started
+    if status is not None and config.status_interval is not None:
+        status(_status_line(len(verdicts), len(work), cached, failed,
+                            elapsed))
     report = CampaignReport(config=config, verdicts=verdicts, shrunk=shrunk,
                             elapsed=elapsed, repro_files=repro_files)
+    if config.obs:
+        report.metrics = obs.snapshot()
     if config.report_path is not None:
         report_dir = os.path.dirname(config.report_path)
         if report_dir:

@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.analyzer import StackAnalyzer
 from repro.clight.semantics import run_streamed as stream_clight
 from repro.driver import (Compilation, CompilerOptions, compile_clight,
@@ -116,6 +117,12 @@ class SeedVerdict:
     configs_checked: int = 0
     cached: bool = False
     source: Optional[str] = None
+    #: Worker-side observability payloads (repro.obs): the per-seed
+    #: metrics delta and finished span records.  The campaign parent
+    #: merges and clears them on arrival; they never enter the JSONL
+    #: report (the merged campaign-wide snapshot does, via --metrics-out).
+    obs_metrics: Optional[dict] = None
+    obs_spans: Optional[list] = None
 
     def as_json(self) -> dict:
         record = {
@@ -262,10 +269,11 @@ def _check_seed(verdict: SeedVerdict, names: list[str], metric_name: str,
 
     deep_decoded = clight_outcome.steps >= DEEP_DECODE_MIN_STEPS
     for index, name in enumerate(names):
-        _check_ablation(verdict, name, compilations[name], b_clight,
-                        clight_output, analysis, metric_name, plant,
-                        probes=probes and index == 0, deep=deep,
-                        deep_decoded=deep_decoded)
+        with obs.span("campaign.ablation", ablation=name):
+            _check_ablation(verdict, name, compilations[name], b_clight,
+                            clight_output, analysis, metric_name, plant,
+                            probes=probes and index == 0, deep=deep,
+                            deep_decoded=deep_decoded)
         verdict.configs_checked += 1
 
     if analysis is not None:

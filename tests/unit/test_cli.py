@@ -2,7 +2,16 @@
 
 import pytest
 
+from repro import obs
 from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """CLI flags flip the process-global obs switch; isolate each test."""
+    yield
+    obs.disable()
+    obs.reset()
 
 
 @pytest.fixture
@@ -102,12 +111,12 @@ class TestCertify:
         other = tmp_path / "other.c"
         other.write_text("int twice(int x) { return x; } "
                          "int main() { return twice(twice(1)); }")
-        assert main(["check-cert", str(other), cert]) == 1
+        assert main(["check-cert", str(other), cert]) == 2
         assert "error" in capsys.readouterr().err
 
 
 class TestCheckCertRejection:
-    """Every rejection path exits 1 with a diagnostic, never a traceback."""
+    """Every rejection path exits 2 with a diagnostic, never a traceback."""
 
     @pytest.fixture
     def cert(self, program_file, tmp_path):
@@ -118,7 +127,7 @@ class TestCheckCertRejection:
     def _expect_reject(self, program_file, cert, capsys, needle):
         code = main(["check-cert", program_file, cert])
         captured = capsys.readouterr()
-        assert code == 1
+        assert code == 2
         assert "error" in captured.err and needle in captured.err
         assert "certificate OK" not in captured.out
 
@@ -179,19 +188,100 @@ class TestFuzzMatrixCLI:
 
 
 class TestErrors:
+    """Diagnosed errors exit 2 uniformly: one line on stderr, no traceback."""
+
     def test_missing_file(self, capsys):
-        assert main(["bounds", "/nonexistent/x.c"]) == 1
+        assert main(["bounds", "/nonexistent/x.c"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_directory_instead_of_file(self, tmp_path, capsys):
+        assert main(["bounds", str(tmp_path)]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_parse_error(self, tmp_path, capsys):
         path = tmp_path / "broken.c"
         path.write_text("int main( {")
-        assert main(["bounds", str(path)]) == 1
+        assert main(["bounds", str(path)]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_recursion_reported(self, tmp_path, capsys):
         path = tmp_path / "rec.c"
         path.write_text("int f(int n) { return f(n); } "
                         "int main() { return 0; }")
-        assert main(["bounds", str(path)]) == 1
+        assert main(["bounds", str(path)]) == 2
         assert "recursion" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["bounds", "run", "dump", "trace",
+                                         "profile", "certify"])
+    def test_uniform_across_subcommands(self, command, capsys):
+        assert main([command, "/nonexistent/x.c"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unwritable_output_diagnosed(self, program_file, capsys):
+        code = main(["bounds", program_file,
+                     "--metrics-out", "/nonexistent-dir/m.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_metrics_out(self, program_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        assert main(["bounds", program_file, "--check",
+                     "--metrics-out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro.obs.metrics/1"
+        assert document["counters"]["checker.nodes"] > 0
+
+    def test_trace_out_jsonl(self, program_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t.jsonl"
+        assert main(["run", program_file, "--trace-out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        names = {json.loads(line)["name"] for line in lines[1:]}
+        assert "compile.frontend" in names
+        assert "exec.asm" in names
+
+    def test_trace_out_chrome(self, program_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t.json"
+        assert main(["run", program_file, "--trace-out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        assert all(e["ph"] == "X" for e in document["traceEvents"])
+
+
+class TestTraceStreaming:
+    def test_truncation_marker_counts_hidden_events(self, program_file,
+                                                    capsys):
+        assert main(["trace", program_file, "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        # Exactly 2 events printed, the rest summarized.
+        assert len([line for line in out.splitlines()
+                    if line.startswith(("call(", "ret("))]) == 2
+        assert "+" in out and "more events" in out
+
+    def test_weight_covers_full_stream(self, program_file, capsys):
+        """The reported weight is identical however far --limit cuts."""
+        assert main(["trace", program_file, "--limit", "1"]) == 0
+        truncated = capsys.readouterr().out
+        assert main(["trace", program_file, "--limit", "100000"]) == 0
+        full = capsys.readouterr().out
+        weight = [line for line in full.splitlines() if "weight" in line]
+        assert weight and weight[0] in truncated
+
+
+class TestProfile:
+    def test_renders_span_tree(self, program_file, capsys):
+        assert main(["profile", program_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("compile.frontend", "compile.backend", "analyze.auto",
+                     "analyze.check", "exec.asm", "exec.clight", "exec.rtl",
+                     "exec.mach", "total"):
+            assert name in out, f"missing {name} in profile output"
+        assert "steps/s" in out and "ms" in out

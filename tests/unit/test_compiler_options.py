@@ -1,0 +1,101 @@
+"""Audit of ``CompilerOptions`` identity against the CLI's pass toggles.
+
+The compile caches (shared frontend, campaign ablations, corpus cache
+tags) key on ``CompilerOptions.key()``.  The bug class these tests pin
+down: a new pass toggle added to ``__init__`` and ``add_common`` but
+forgotten in a hand-maintained ``key()`` tuple would silently alias two
+different option sets in every cache.  ``key()`` is now derived from the
+instance dict, and these tests verify (a) every pairwise flag
+combination yields a distinct key, and (b) every CLI pass flag actually
+lands on a distinct ``CompilerOptions`` field — so the audit re-runs on
+every change to either side.
+"""
+
+import inspect
+import itertools
+
+from repro.__main__ import _build_parser, _options
+from repro.driver import CompilerOptions
+
+#: Every boolean toggle __init__ accepts, with its non-default value.
+FLAGS = [name for name in inspect.signature(CompilerOptions).parameters]
+
+
+def _options_with(enabled: tuple[str, ...]) -> CompilerOptions:
+    defaults = {name: parameter.default for name, parameter
+                in inspect.signature(CompilerOptions).parameters.items()}
+    return CompilerOptions(**{name: not defaults[name] if name in enabled
+                              else defaults[name] for name in defaults})
+
+
+class TestKeyDistinctness:
+    def test_every_pairwise_combination_is_distinct(self):
+        """Flip every subset of up to two flags: all keys differ."""
+        combinations = [()] + [
+            combo for r in (1, 2)
+            for combo in itertools.combinations(FLAGS, r)]
+        keys = {}
+        for combo in combinations:
+            key = _options_with(combo).key()
+            assert key not in keys, \
+                f"options {combo} and {keys[key]} collide on {key}"
+            keys[key] = combo
+
+    def test_all_subsets_are_distinct(self):
+        """The full powerset, while we are at it (2^5 = 32 keys)."""
+        keys = set()
+        for r in range(len(FLAGS) + 1):
+            for combo in itertools.combinations(FLAGS, r):
+                keys.add(_options_with(combo).key())
+        assert len(keys) == 2 ** len(FLAGS)
+
+    def test_eq_and_hash_follow_key(self):
+        a = CompilerOptions(cse=True)
+        b = CompilerOptions(cse=True)
+        c = CompilerOptions(tailcall=True)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_key_covers_every_field(self):
+        """No instance attribute may be missing from the key."""
+        options = CompilerOptions()
+        assert dict(options.key()) == vars(options)
+
+
+class TestCliFlagAudit:
+    # The CLI spelling of each pass toggle and the field it must flip.
+    CLI_FLAGS = {
+        "--no-constprop": "constprop",
+        "--no-deadcode": "deadcode",
+        "--cse": "cse",
+        "--tailcall": "tailcall",
+        "--spill-all": "spill_everything",
+    }
+
+    def _parse(self, extra: list[str]):
+        return _build_parser().parse_args(["bounds", "x.c"] + extra)
+
+    def test_every_cli_flag_flips_a_distinct_field(self):
+        baseline = _options(self._parse([]))
+        seen_keys = {baseline.key()}
+        for flag, field in self.CLI_FLAGS.items():
+            options = _options(self._parse([flag]))
+            assert getattr(options, field) != getattr(baseline, field), \
+                f"{flag} does not flip CompilerOptions.{field}"
+            assert options.key() not in seen_keys, \
+                f"{flag} produced a key collision"
+            seen_keys.add(options.key())
+
+    def test_cli_covers_every_init_toggle(self):
+        """A toggle added to __init__ must get a CLI spelling too."""
+        assert sorted(self.CLI_FLAGS.values()) == sorted(FLAGS)
+
+    def test_pairwise_cli_combinations_distinct(self):
+        flags = list(self.CLI_FLAGS)
+        keys = set()
+        for combo in ([()] + [c for r in (1, 2)
+                              for c in itertools.combinations(flags, r)]):
+            keys.add(_options(self._parse(list(combo))).key())
+        expected = 1 + len(flags) + len(flags) * (len(flags) - 1) // 2
+        assert len(keys) == expected

@@ -1,0 +1,89 @@
+"""Schema smoke test: validate real ``--trace-out``/``--metrics-out`` files.
+
+The validators in :mod:`repro.obs.export` are the executable definition
+of the export formats; this test runs actual CLI commands and feeds
+their output back through them, so the formats documented in
+``docs/OBSERVABILITY.md`` cannot drift silently.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.obs.export import validate_metrics_document, validate_spans_jsonl
+
+SOURCE = ("int helper(int x) { return x + 1; } "
+          "int main() { print_int(helper(41)); return 0; }")
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCliExports:
+    def test_bounds_exports_validate(self, program_file, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["bounds", program_file, "--check",
+                     "--trace-out", str(spans),
+                     "--metrics-out", str(metrics)]) == 0
+        count = validate_spans_jsonl(spans.read_text().splitlines())
+        assert count > 0
+        validate_metrics_document(json.loads(metrics.read_text()))
+
+    def test_run_exports_validate(self, program_file, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["run", program_file,
+                     "--trace-out", str(spans),
+                     "--metrics-out", str(metrics)]) == 0
+        validate_spans_jsonl(spans.read_text().splitlines())
+        document = json.loads(metrics.read_text())
+        validate_metrics_document(document)
+        # The execution layer reported its counters.
+        assert document["counters"]["interp.asm.runs"] >= 1
+        assert document["derived"]["interp.asm.steps_per_s"] > 0
+
+    def test_chrome_trace_is_loadable(self, program_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", program_file, "--trace-out", str(trace)]) == 0
+        document = json.loads(trace.read_text())
+        assert isinstance(document["traceEvents"], list)
+        for event in document["traceEvents"]:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_fuzz_exports_merge_worker_deltas(self, tmp_path, capsys):
+        """A 2-worker campaign's metrics file carries both workers'
+        telemetry and per-seed spans from inside the pool."""
+        spans = tmp_path / "spans.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["fuzz", "--seeds", "2", "--jobs", "2", "--no-cache",
+                     "--no-shrink", "--status-interval", "0",
+                     "--trace-out", str(spans),
+                     "--metrics-out", str(metrics)]) == 0
+        assert validate_spans_jsonl(spans.read_text().splitlines()) > 0
+        document = json.loads(metrics.read_text())
+        validate_metrics_document(document)
+        counters = document["counters"]
+        assert counters["campaign.seeds"] == 2
+        assert counters["campaign.verdict.ok"] == 2
+        worker_seed_counts = [value for name, value in counters.items()
+                              if name.startswith("campaign.worker.")
+                              and name.endswith(".seeds")]
+        assert sum(worker_seed_counts) == 2
+        # Per-seed spans were adopted from the workers.
+        names = [json.loads(line).get("name")
+                 for line in spans.read_text().splitlines()]
+        assert names.count("campaign.seed") == 2
