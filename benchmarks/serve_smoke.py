@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI smoke gate for ``repro serve``: boot, load, probe, gate.
+
+Boots the daemon in-process on an ephemeral port, replays a 20-request
+mixed hot/cold client mix over the packaged catalog, runs a deliberate
+saturation probe (concurrent chaos sleeps against a one-slot queue
+server), writes the final ``/metrics`` snapshot to ``--metrics-out``
+(the CI artifact), and gates:
+
+* store hit-rate > 0 — the hot half of the mix must replay from the
+  content-addressed store;
+* zero 5xx other than the probe's deliberate 503s;
+* every 200 body validates against the response schema.
+
+Exit 0 when all gates hold, 1 otherwise (one line per violated gate on
+stderr).  Stdlib only, like everything it tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, "src")
+
+from repro.programs.loader import load_source                    # noqa: E402
+from repro.serve import (BoundsServer, ServeConfig,              # noqa: E402
+                         validate_response_text)
+
+#: Cheap, auto-analyzable, structurally varied.
+SAMPLE = ("mibench/bitcount.c", "mibench/crc32.c",
+          "mibench/dijkstra.c", "mibench/fft.c")
+
+
+def _post(port: int, payload: dict) -> tuple[int, str]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/verify",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=180) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+def _metrics(port: int) -> dict:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                                timeout=30) as response:
+        return json.loads(response.read())
+
+
+def mixed_load(port: int, requests: int) -> list[tuple[int, str]]:
+    """``requests`` sequential POSTs cycling the sample: cold, then hot."""
+    results = []
+    for index in range(requests):
+        path = SAMPLE[index % len(SAMPLE)]
+        results.append(_post(port, {"source": load_source(path),
+                                    "filename": path}))
+    return results
+
+
+def saturation_probe(port: int, clients: int = 6) -> list[int]:
+    """Concurrent slow requests against a one-slot queue: some must 503."""
+    statuses = [0] * clients
+    source = "int main(void) { return 0; }"
+
+    def client(index: int) -> None:
+        statuses[index], _body = _post(
+            port, {"source": source, "chaos": "sleep:0.4"})
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    return statuses
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=20,
+                        help="mixed hot/cold request count (default 20)")
+    parser.add_argument("--metrics-out", default="serve-metrics.json",
+                        help="where to write the final /metrics snapshot")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    # Phase 1: the serving mix, against a pooled daemon with a store.
+    server = BoundsServer(ServeConfig(port=0, jobs=2, queue_depth=16,
+                                      timeout_s=120.0,
+                                      store_root=".repro-cache/serve-smoke"))
+    server.start_background()
+    port = server.bound_port
+    print(f"# serve-smoke: daemon on port {port}, "
+          f"{args.requests} mixed requests over {len(SAMPLE)} programs")
+    results = mixed_load(port, args.requests)
+    for index, (status, body) in enumerate(results):
+        if status != 200:
+            failures.append(f"request {index}: status {status}: {body[:200]}")
+            continue
+        try:
+            validate_response_text(body)
+        except ValueError as error:
+            failures.append(f"request {index}: invalid response: {error}")
+    snapshot = _metrics(port)
+    server.stop(drain_timeout_s=30.0)
+
+    hit_rate = snapshot.get("derived", {}).get("store.hit_rate", 0)
+    statuses = sorted({status for status, _body in results})
+    print(f"# serve-smoke: statuses {statuses}, store.hit_rate {hit_rate}")
+    if not hit_rate > 0:
+        failures.append(f"store hit-rate gate: {hit_rate} (expected > 0)")
+    counters = snapshot.get("counters", {})
+    bad_5xx = sum(value for name, value in counters.items()
+                  if name.startswith("serve.responses.5"))
+    if bad_5xx:
+        failures.append(f"{bad_5xx} undiagnosed 5xx responses in phase 1")
+
+    # Phase 2: the deliberate 503 probe, against a one-slot toy server.
+    probe = BoundsServer(ServeConfig(port=0, jobs=0, queue_depth=1,
+                                     timeout_s=30.0, store_root=None,
+                                     allow_chaos=True))
+    probe.start_background()
+    statuses = saturation_probe(probe.bound_port)
+    probe.stop(drain_timeout_s=10.0)
+    print(f"# serve-smoke: saturation probe statuses {sorted(statuses)}")
+    if 503 not in statuses:
+        failures.append("saturation probe never drew a 503")
+    if any(status not in (200, 503) for status in statuses):
+        failures.append(f"probe drew non-200/503 statuses: {statuses}")
+
+    with open(args.metrics_out, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+    print(f"# serve-smoke: metrics snapshot -> {args.metrics_out}")
+
+    for failure in failures:
+        print(f"serve-smoke: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("# serve-smoke: all gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@
     python -m repro dump    prog.c --level asm
     python -m repro trace   prog.c          # event trace of the execution
     python -m repro fuzz --seeds 200 --jobs 4   # differential campaign
+    python -m repro serve --port 8642       # certified-bounds HTTP daemon
 
 Common flags: ``-D NAME=VALUE`` feeds the preprocessor, ``--no-constprop``
 / ``--no-deadcode`` / ``--cse`` / ``--tailcall`` / ``--spill-all`` toggle
@@ -155,6 +156,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="period of the progress line (ETA, verdict "
                            "counts); 0 disables it")
     add_obs(fuzz)
+
+    serve = sub.add_parser(
+        "serve", help="run the certified-bounds HTTP daemon "
+                      "(docs/SERVING.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = pick an ephemeral port)")
+    serve.add_argument("--jobs", type=int, default=2, metavar="J",
+                       help="worker processes (0 = run in-process)")
+    serve.add_argument("--queue", type=int, default=16, metavar="N",
+                       help="max in-flight requests before 503 backpressure")
+    serve.add_argument("--timeout", type=float, default=60.0,
+                       metavar="SECONDS", help="per-request budget")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="content-addressed result store directory "
+                            "(default .repro-cache/serve)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="keep the result store in memory only")
+    serve.add_argument("--store-max-mb", type=int, default=256,
+                       metavar="MB", help="result-store size cap")
+    add_obs(serve)
     return parser
 
 
@@ -486,6 +508,18 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import DEFAULT_STORE_DIR, ServeConfig, run_server
+
+    store_root = None if args.no_store else (args.store_dir
+                                             or DEFAULT_STORE_DIR)
+    config = ServeConfig(host=args.host, port=args.port, jobs=args.jobs,
+                         queue_depth=args.queue, timeout_s=args.timeout,
+                         store_root=store_root,
+                         store_max_bytes=args.store_max_mb << 20)
+    return run_server(config)
+
+
 def _export_obs(args) -> None:
     """Write the requested span/metrics exports for a finished command."""
     trace_out = getattr(args, "trace_out", None)
@@ -504,7 +538,7 @@ def main(argv=None) -> int:
     handler = {"bounds": cmd_bounds, "run": cmd_run, "dump": cmd_dump,
                "trace": cmd_trace, "profile": cmd_profile,
                "certify": cmd_certify, "check-cert": cmd_check_cert,
-               "fuzz": cmd_fuzz}[args.command]
+               "fuzz": cmd_fuzz, "serve": cmd_serve}[args.command]
     if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
         obs.enable()
     # One uniform error policy for every subcommand: the ReproError

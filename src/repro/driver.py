@@ -13,6 +13,16 @@ the cost metric ``M(f) = SF(f) + 4``.
 Clight level, re-checks the emitted logic derivations, and instantiates
 the symbolic bounds with the compiler's metric — producing the verified
 per-function byte bounds of the paper's Table 1.
+
+The pipeline is deliberately exposed as *composable stages* —
+
+    compile_frontend → compile_clight → analyze_clight → check_analysis
+
+— each a pure function of its inputs, so callers can insert caching at
+any boundary.  ``verify_stack_bounds`` is the in-process composition;
+``repro.serve.pipeline`` is the same composition with a
+content-addressed result store between every stage (the daemon behind
+``python -m repro serve``).
 """
 
 from __future__ import annotations
@@ -209,6 +219,33 @@ def compile_c(source: str, filename: str = "<string>",
     return compile_clight(compile_frontend(source, filename, macros), options)
 
 
+def analyze_clight(clight: cl.Program) -> AnalysisResult:
+    """Pipeline stage: the certified automatic stack analyzer (paper §5).
+
+    Depends only on the Clight program — never on ``CompilerOptions`` —
+    so its result (symbolic bounds plus one logic derivation per
+    function) is shared across every backend ablation of a source.
+    """
+    return StackAnalyzer(clight).analyze()
+
+
+def check_analysis(analysis: AnalysisResult):
+    """Pipeline stage: re-check every emitted derivation exactly.
+
+    Raises :class:`AnalysisError` if any side condition was only
+    sampled; returns the :class:`~repro.logic.checker.CheckReport`
+    otherwise.  This is the trust root of the whole story — a cached or
+    served bound is only as good as the derivation re-check behind it.
+    """
+    report = analysis.check()
+    # Not an assert: the guarantee must survive ``python -O``.
+    if not report.fully_exact:
+        raise AnalysisError(
+            "analyzer emitted a sampled side condition; the derivation "
+            f"re-check is not exact ({report!r})")
+    return report
+
+
 class VerifiedBounds:
     """Verified stack bounds: symbolic (paper Table 2 style) and in bytes
     under the compiler's metric (paper Table 1 style)."""
@@ -253,12 +290,7 @@ def verify_stack_bounds(source: str, filename: str = "<string>",
     compiler's cost metric.
     """
     compilation = compile_c(source, filename, macros, options)
-    analysis = StackAnalyzer(compilation.clight).analyze()
+    analysis = analyze_clight(compilation.clight)
     if check_derivations:
-        report = analysis.check()
-        # Not an assert: the guarantee must survive ``python -O``.
-        if not report.fully_exact:
-            raise AnalysisError(
-                "analyzer emitted a sampled side condition; the derivation "
-                f"re-check is not exact ({report!r})")
+        check_analysis(analysis)
     return VerifiedBounds(compilation, analysis)

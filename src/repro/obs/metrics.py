@@ -179,6 +179,31 @@ def merge_snapshots(into: dict, snap: dict) -> dict:
     return into
 
 
+def histogram_quantile(data: dict, quantile: float) -> float:
+    """Estimate one quantile from a fixed-bucket histogram dict.
+
+    Returns the upper boundary of the bucket containing the quantile —
+    a conservative (over-)estimate, which is the right direction for
+    latency SLOs.  Observations in the overflow bucket are reported as
+    the last finite boundary (a documented floor, not a measurement).
+    """
+    count = data["count"]
+    if count <= 0:
+        raise ValueError("cannot take a quantile of an empty histogram")
+    rank = quantile * count
+    seen = 0
+    for boundary, bucket in zip(data["buckets"], data["counts"]):
+        seen += bucket
+        if seen >= rank:
+            return float(boundary)
+    return float(data["buckets"][-1])
+
+
+#: Quantiles attached per histogram under ``derived`` (SLO staples).
+DERIVED_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
 def derive_rates(snap: dict) -> dict:
     """Compute the derived ratios the snapshot's raw sums imply.
 
@@ -186,7 +211,10 @@ def derive_rates(snap: dict) -> dict:
       second counters;
     * ``<name>.hit_rate`` for every ``<name>.hits``/``<name>.misses``
       counter pair (frontend cache, decode caches, corpus cache, the
-      ``bexpr.nf`` normal-form memo).
+      serving result store, the ``bexpr.nf`` normal-form memo);
+    * ``<name>.p50``/``.p95``/``.p99`` for every histogram (bucket-
+      boundary estimates — see :func:`histogram_quantile`), so latency
+      SLO gates can read ``/metrics`` without re-deriving quantiles.
 
     Returned as a flat name→number dict; exporters attach it under the
     snapshot's ``"derived"`` key so consumers need no arithmetic.
@@ -205,4 +233,9 @@ def derive_rates(snap: dict) -> dict:
             if misses is not None and (steps + misses) > 0:
                 derived[base + ".hit_rate"] = round(
                     steps / (steps + misses), 6)
+    for name, data in snap.get("histograms", {}).items():
+        if data.get("count"):
+            for label, quantile in DERIVED_QUANTILES:
+                derived[f"{name}.{label}"] = histogram_quantile(data,
+                                                                quantile)
     return derived

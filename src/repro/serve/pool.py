@@ -1,0 +1,213 @@
+"""The serving worker pool: persistent processes, bounded in-flight work.
+
+``ServePool`` shards verify requests across a ``multiprocessing.Pool``
+that reuses the campaign pool's machinery: the same warmup initializer
+(:func:`repro.testing.campaign.pool_warmup` pays import/compile cold
+start once per worker) and the same telemetry protocol (workers drain a
+per-request metrics *delta* — heartbeat gauges included — that rides
+back on the result and is merged into the parent registry, so
+``/metrics`` reports pool-wide aggregates without shared memory).
+
+Capacity is a semaphore over *in-flight* requests (running + queued).
+``submit`` never blocks on a full queue: it raises
+:class:`PoolSaturated` immediately, which the HTTP layer turns into
+``503 Retry-After`` — load sheds at the door instead of growing an
+unbounded backlog.  Every accepted request gets a terminal answer: a
+result, a diagnosed 422, or — if the worker exceeds the per-request
+timeout or dies mid-request — a 5xx error response.  A lost worker's
+task is never silently retried (the pipeline is deterministic; the
+client owns the retry decision).
+
+``jobs=0`` runs requests in-process (serialized by a lock): no fork, no
+IPC — the mode unit tests and tiny deployments use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.pool
+import os
+import threading
+import time
+from multiprocessing import Pool
+from typing import Optional
+
+from repro import obs
+from repro.errors import ReproError
+from repro.serve.pipeline import ServeRequest, error_response, run_pipeline
+from repro.serve.store import DEFAULT_MAX_BYTES, ResultStore, ServeError
+from repro.testing.campaign import pool_warmup
+
+
+class PoolSaturated(ServeError):
+    """The in-flight queue is full; the caller should shed load (503)."""
+
+
+#: Worker-side store handles, one per (root, cap) this process has seen.
+_worker_stores: dict[tuple, ResultStore] = {}
+
+
+def _worker_store(root: Optional[str], max_bytes: int) -> ResultStore:
+    key = (root, max_bytes)
+    store = _worker_stores.get(key)
+    if store is None:
+        store = _worker_stores[key] = ResultStore(root, max_bytes)
+    return store
+
+
+def _apply_chaos(chaos: Optional[str]) -> None:
+    """Test-only fault hooks (never reachable from the HTTP API unless
+    the server was constructed with ``allow_chaos=True``)."""
+    if not chaos:
+        return
+    if chaos == "die":
+        os._exit(1)
+    if chaos.startswith("sleep:"):
+        time.sleep(float(chaos.split(":", 1)[1]))
+
+
+def _execute(payload: dict, store: ResultStore) -> tuple[int, dict]:
+    """Run one request against a store; returns ``(http_status, body)``."""
+    _apply_chaos(payload.get("chaos"))
+    request = ServeRequest(source=payload["source"],
+                           filename=payload["filename"],
+                           macros=payload["macros"],
+                           options=_options_from_key(payload["options"]))
+    try:
+        return 200, run_pipeline(request, store)
+    except ReproError as error:
+        obs.add("serve.pipeline.rejected")
+        return 422, error_response(error)
+
+
+def _options_from_key(items: list) -> "CompilerOptions":
+    from repro.driver import CompilerOptions
+
+    return CompilerOptions(**dict(items))
+
+
+def _serve_worker(payload: dict) -> tuple[int, dict, Optional[dict]]:
+    """Pool worker: one request, instrumented, delta shipped back.
+
+    Mirrors the campaign's ``_check_one``: enable obs, discard state
+    inherited through ``fork()``, run the request, stamp the worker
+    heartbeat gauge, and return the per-request metrics delta for the
+    parent to merge.
+    """
+    obs.enable()
+    obs.drain_metrics()
+    obs.drain_spans()
+    store = _worker_store(payload["store_root"], payload["store_max_bytes"])
+    with obs.span("serve.request", filename=payload["filename"]) as span:
+        status, body = _execute(payload, store)
+        span.set(status=status)
+    pid = os.getpid()
+    obs.set_gauge(f"serve.worker.{pid}.heartbeat", time.time())
+    obs.add(f"serve.worker.{pid}.requests")
+    return status, body, obs.drain_metrics()
+
+
+class ServePool:
+    """A bounded pool of verify workers with merged telemetry."""
+
+    def __init__(self, jobs: int = 2, queue_depth: int = 16,
+                 timeout_s: float = 60.0,
+                 store_root: Optional[str] = None,
+                 store_max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if queue_depth < 1:
+            raise ServeError("queue depth must be at least 1")
+        self.jobs = jobs
+        self.queue_depth = queue_depth
+        self.timeout_s = timeout_s
+        self.store_root = store_root
+        self.store_max_bytes = store_max_bytes
+        self._slots = threading.BoundedSemaphore(queue_depth)
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+        self._merge_lock = threading.Lock()
+        self._inline_lock = threading.Lock()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._store: Optional[ResultStore] = None
+        if jobs > 0:
+            try:
+                self._pool = Pool(processes=jobs, initializer=pool_warmup)
+            except Exception as error:
+                raise ServeError(
+                    f"worker pool failed to start: {error}") from error
+        else:
+            self._store = ResultStore(store_root, store_max_bytes)
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently accepted and not yet answered."""
+        with self._state_lock:
+            return self._inflight
+
+    def submit(self, source: str, filename: str = "<request>",
+               macros: Optional[dict[str, str]] = None,
+               options=None, chaos: Optional[str] = None
+               ) -> tuple[int, dict]:
+        """Run one request; returns ``(http_status, response_body)``.
+
+        Raises :class:`PoolSaturated` without blocking when every
+        in-flight slot is taken.  Once a request holds a slot it always
+        gets a terminal answer — timeouts and dead workers come back as
+        5xx error documents, never as a dropped request.
+        """
+        from repro.driver import CompilerOptions
+
+        options = options or CompilerOptions()
+        if not self._slots.acquire(blocking=False):
+            obs.add("serve.rejected")
+            raise PoolSaturated(
+                f"all {self.queue_depth} in-flight slots are taken")
+        with self._state_lock:
+            self._inflight += 1
+        try:
+            payload = {"source": source, "filename": filename,
+                       "macros": macros, "options": list(options.key()),
+                       "chaos": chaos, "store_root": self.store_root,
+                       "store_max_bytes": self.store_max_bytes}
+            if self._pool is None:
+                # In-process mode: the pipeline writes straight into the
+                # live registry; serialize actual execution.
+                with self._inline_lock:
+                    store = self._store
+                    assert store is not None
+                    return _execute(payload, store)
+            result = self._pool.apply_async(_serve_worker, (payload,))
+            try:
+                status, body, delta = result.get(self.timeout_s)
+            except multiprocessing.TimeoutError:
+                obs.add("serve.timeouts")
+                return 504, error_response(ServeError(
+                    f"request exceeded the {self.timeout_s:.0f}s budget "
+                    "or its worker died mid-request"))
+            except Exception as error:  # worker lost without a result
+                obs.add("serve.worker_failures")
+                return 500, error_response(ServeError(
+                    f"worker failed: {type(error).__name__}: {error}"))
+            if delta is not None:
+                with self._merge_lock:
+                    obs.merge(delta)
+            return status, body
+        finally:
+            with self._state_lock:
+                self._inflight -= 1
+            self._slots.release()
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait for in-flight requests to finish; True if all did."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.inflight == 0:
+                return True
+            time.sleep(0.02)
+        return self.inflight == 0
+
+    def close(self) -> None:
+        """Shut the worker processes down (in-flight answers first:
+        call :meth:`drain` before closing for a graceful exit)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

@@ -116,12 +116,14 @@ class CampaignReport:
         return record
 
 
-def _pool_warmup() -> None:
+def pool_warmup() -> None:
     """Pool initializer: pay the import/compile cold start once per worker.
 
     Importing the whole toolchain and compiling a trivial program in the
     initializer keeps the first real seed of every worker from absorbing
     module import time and the ``compile_frontend`` cache's cold miss.
+    Shared with the serving pool (``repro.serve.pool``): a daemon worker
+    has exactly the same cold start as a campaign worker.
     """
     try:
         import repro.analyzer  # noqa: F401
@@ -131,6 +133,9 @@ def _pool_warmup() -> None:
         compile_c("int main(void) { return 0; }", filename="<warmup>")
     except Exception:
         pass  # never let warm-up kill a worker; the seeds still run
+
+
+_pool_warmup = pool_warmup  # the historical private name, kept callable
 
 
 def _status_line(done: int, total: int, cached: int, failed: int,

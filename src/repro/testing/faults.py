@@ -27,6 +27,16 @@ organized by the layer it attacks:
     (``call(f)``/``ret(f)`` dropped or duplicated, an I/O event
     dropped).  The bracketing / pruned-trace / all-metrics-domination
     oracles must reject the mutant.
+``serving``
+    The serving path lies (``repro.serve``): a content-addressed store
+    entry is substituted with another key's bytes, a response JSON is
+    truncated on the wire, a worker dies mid-request.  The store's
+    integrity check, the response schema validator, and the pool's
+    per-request timeout respectively must turn each into a diagnosed
+    failure — a stale entry is never served, a truncated response is
+    never consumed, a dead worker never hangs or drops a request.
+    These operators are self-contained scenarios: ``apply()`` takes no
+    arguments and returns ``(detected, caught_by, diagnostic)``.
 
 ``run_mutation_matrix`` applies every registered operator to artifacts
 produced from catalog programs and generated seeds and reports, per
@@ -46,7 +56,7 @@ from repro.events.metrics import StackMetric
 from repro.events.trace import (CallEvent, Event, IOEvent, ReturnEvent,
                                 is_well_bracketed, prune)
 
-LAYERS = ("metric", "derivation", "certificate", "refinement")
+LAYERS = ("metric", "derivation", "certificate", "refinement", "serving")
 
 
 class UnknownFaultError(ValueError):
@@ -438,6 +448,75 @@ def refinement_oracles_reject(mutant: Sequence[Event],
 
 
 # ---------------------------------------------------------------------------
+# Serving operators: the serving path lies (see repro.serve)
+# ---------------------------------------------------------------------------
+
+#: Tiny program the serving scenarios verify (cheap, auto-analyzable).
+_SERVE_SOURCE = ("int leaf(int x) { int a[4]; a[x & 3] = x; return a[0]; }\n"
+                 "int main(void) { return leaf(3); }\n")
+
+
+@_register("stale-cache-entry", "serving",
+           "substitute one store entry's bytes into another key's slot")
+def _stale_cache_entry() -> tuple[bool, str, str]:
+    from repro.serve.pipeline import ServeRequest, run_pipeline
+    from repro.serve.store import ResultStore
+
+    store = ResultStore(root=None)
+    request = ServeRequest(_SERVE_SOURCE, filename="serve-fault.c")
+    other = ServeRequest("int main(void) { return 7; }",
+                         filename="serve-other.c")
+    run_pipeline(request, store)
+    run_pipeline(other, store)
+    key = request.keys()["analyze"]
+    stale = store.raw_read(other.keys()["analyze"])
+    store.raw_write(key, stale)
+    if store.get(key) is not None:
+        return False, "", "stale substituted entry was served"
+    # The poisoned entry must also be *recomputed*, not just refused.
+    response = run_pipeline(request, store)
+    if response["stages"]["analyze"] != "miss":
+        return False, "", "poisoned entry not recomputed"
+    return (True, "store-integrity",
+            "cross-key substitution rejected and recomputed")
+
+
+@_register("response-truncate", "serving",
+           "truncate the serving response JSON mid-document")
+def _response_truncate() -> tuple[bool, str, str]:
+    from repro.serve.pipeline import (ServeRequest, run_pipeline,
+                                      validate_response_text)
+    from repro.serve.store import ResultStore
+
+    response = run_pipeline(ServeRequest(_SERVE_SOURCE,
+                                         filename="serve-fault.c"),
+                            ResultStore(root=None))
+    text = json.dumps(response)
+    try:
+        validate_response_text(text[:len(text) // 2])
+    except ValueError as error:
+        return True, "response-schema", str(error)
+    return False, "", "truncated response accepted by the validator"
+
+
+@_register("worker-death", "serving",
+           "kill the worker process mid-request")
+def _worker_death() -> tuple[bool, str, str]:
+    from repro.serve.pool import ServePool
+
+    pool = ServePool(jobs=1, queue_depth=2, timeout_s=3.0, store_root=None)
+    try:
+        status, body = pool.submit(_SERVE_SOURCE, filename="serve-fault.c",
+                                   chaos="die")
+    finally:
+        pool.close()
+    if status >= 500 and body.get("verdict") == "error":
+        return True, "request-timeout", body["error"]
+    return False, "", (f"lost worker produced status {status}: "
+                       f"{body.get('verdict')!r}")
+
+
+# ---------------------------------------------------------------------------
 # The mutation matrix
 # ---------------------------------------------------------------------------
 
@@ -637,6 +716,21 @@ def run_mutation_matrix(catalog: Iterable[str] = DEFAULT_CATALOG,
                     break
             if not outcome.detected and not outcome.diagnostic:
                 outcome.diagnostic = "no applicable site in the corpus"
+
+        elif op.layer == "serving":
+            # Self-contained scenario: the operator injects its fault
+            # into a private store/pool and reports who caught it.
+            outcome.attempts += 1
+            outcome.detected_on = "serve-harness"
+            try:
+                detected, caught_by, diagnostic = op.apply()
+            except Exception as error:  # a crash is not a diagnostic
+                detected, caught_by = False, ""
+                diagnostic = (f"serving harness crashed: "
+                              f"{type(error).__name__}: {error}")
+            outcome.detected = detected
+            outcome.caught_by = caught_by
+            outcome.diagnostic = diagnostic
 
         elif op.layer == "refinement":
             for label, trace in traces()[:max_attempts]:

@@ -1,0 +1,305 @@
+"""End-to-end tests of the certified-bounds daemon (``repro serve``).
+
+The acceptance contract, executable:
+
+* served bounds are byte-identical to in-process
+  ``verify_stack_bounds`` over the catalog sample (the differential-
+  oracle pattern of ``test_sem_decode.py``, lifted to HTTP);
+* a repeat round is served from the content-addressed store at every
+  stage — verified through the ``/metrics`` hit/miss counters, not by
+  trusting the response;
+* a near-repeat round (same sources, different backend flags) is a
+  partial hit: only the backend stage recompiles;
+* a saturated queue answers 503 with ``Retry-After`` and never drops a
+  request it accepted;
+* ``SIGTERM`` drains in-flight requests and exits 0 (subprocess test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.driver import CompilerOptions, verify_stack_bounds
+from repro.programs.loader import load_source
+from repro.serve import STAGES, BoundsServer, ServeConfig
+
+#: The catalog sample: auto-analyzable, fast, structurally varied.
+SAMPLE = ("mibench/bitcount.c", "mibench/crc32.c",
+          "mibench/dijkstra.c", "mibench/fft.c")
+
+CLIENT_THREADS = 8
+
+
+def _post(port: int, payload: dict, timeout: float = 120.0):
+    """POST /verify; returns ``(status, body_dict, headers)``."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/verify",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), \
+                dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _concurrent(port: int, payloads: list[dict]) -> list:
+    """Fire all payloads concurrently; results in submission order."""
+    results: list = [None] * len(payloads)
+
+    def client(index: int) -> None:
+        results[index] = _post(port, payloads[index])
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(len(payloads))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(180)
+    assert all(result is not None for result in results), \
+        "a client thread never got an answer"
+    return results
+
+
+def _store_counters(port: int) -> dict[str, float]:
+    counters = _get(port, "/metrics")["counters"]
+    return {name: value for name, value in counters.items()
+            if name.startswith("store.")}
+
+
+def _delta(before: dict, after: dict) -> dict[str, float]:
+    return {name: after.get(name, 0) - before.get(name, 0)
+            for name in set(before) | set(after)}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One pooled daemon on an ephemeral port, module-wide."""
+    store = tmp_path_factory.mktemp("serve-store")
+    config = ServeConfig(port=0, jobs=2, queue_depth=16, timeout_s=120.0,
+                         store_root=str(store))
+    daemon = BoundsServer(config)
+    daemon.start_background()
+    yield daemon
+    assert daemon.stop(drain_timeout_s=30.0)
+    obs.disable()
+    obs.reset()
+
+
+class TestDifferentialOracle:
+    """Served bounds vs. the in-process pipeline, byte for byte."""
+
+    def test_concurrent_clients_match_in_process(self, server):
+        # 8 concurrent clients over the 4-program sample (each program
+        # twice) — the differential oracle must hold for every answer.
+        payloads = [{"source": load_source(path), "filename": path}
+                    for path in SAMPLE * (CLIENT_THREADS // len(SAMPLE))]
+        results = _concurrent(server.bound_port, payloads)
+        for path, (status, body, _headers) in zip(
+                SAMPLE * (CLIENT_THREADS // len(SAMPLE)), results):
+            assert status == 200, body
+            assert body["verdict"] == "verified"
+            expected = verify_stack_bounds(load_source(path), filename=path)
+            assert json.dumps(body["bounds"]["functions"], sort_keys=True) \
+                == json.dumps(expected.all_bytes(), sort_keys=True), path
+            assert body["bounds"]["stack_requirement"] \
+                == expected.stack_requirement(), path
+
+    def test_options_change_the_served_metric(self, server):
+        source = load_source("mibench/crc32.c")
+        _status, default_body, _ = _post(server.bound_port,
+                                         {"source": source})
+        status, spill_body, _ = _post(
+            server.bound_port,
+            {"source": source, "options": {"spill_everything": True}})
+        assert status == 200
+        expected = verify_stack_bounds(
+            source, options=CompilerOptions(spill_everything=True))
+        assert spill_body["bounds"]["functions"] == expected.all_bytes()
+        # The ablation genuinely changed the compiled metric.
+        assert spill_body["bounds"]["stack_requirement"] \
+            != default_body["bounds"]["stack_requirement"]
+
+    def test_rejected_program_is_a_422_diagnostic(self, server):
+        status, body, _ = _post(server.bound_port, {
+            "source": "int f(int n) { return f(n); } "
+                      "int main(void) { return 0; }"})
+        assert status == 422
+        assert body["verdict"] == "error"
+        assert "recursion" in body["error"]
+
+    def test_malformed_request_is_a_400(self, server):
+        status, body, _ = _post(server.bound_port, {
+            "source": "int main(void){return 0;}",
+            "options": {"no_such_pass": True}})
+        assert status == 400
+        assert "no_such_pass" in body["error"]
+
+
+class TestStoreHitsEveryStage:
+    """Cache behavior proved through /metrics counters, per stage."""
+
+    def test_repeat_round_hits_every_stage(self, server):
+        port = server.bound_port
+        payloads = [{"source": load_source(path), "filename": path}
+                    for path in SAMPLE]
+        _concurrent(port, payloads * 2)            # warm every key
+        before = _store_counters(port)
+        results = _concurrent(port, payloads * 2)  # the measured round
+        assert all(status == 200 for status, _b, _h in results)
+        for _status, body, _headers in results:
+            assert all(body["stages"][stage] == "hit" for stage in STAGES)
+        delta = _delta(before, _store_counters(port))
+        for stage in STAGES:
+            assert delta.get(f"store.{stage}.hits", 0) == len(payloads) * 2
+            assert delta.get(f"store.{stage}.misses", 0) == 0
+        assert delta.get("store.poisoned", 0) == 0
+
+    def test_near_repeat_misses_only_the_backend(self, server):
+        # Same (warm) sources under a fresh backend ablation: the
+        # option-independent stages replay, only the backend recompiles.
+        port = server.bound_port
+        payloads = [{"source": load_source(path), "filename": path,
+                     "options": {"cse": True}} for path in SAMPLE]
+        before = _store_counters(port)
+        results = _concurrent(port, payloads)
+        assert all(status == 200 for status, _b, _h in results)
+        for _status, body, _headers in results:
+            assert body["stages"]["backend"] == "miss"
+            assert body["stages"]["frontend"] == "hit"
+            assert body["stages"]["analyze"] == "hit"
+            assert body["stages"]["check"] == "hit"
+        delta = _delta(before, _store_counters(port))
+        assert delta.get("store.backend.misses", 0) == len(payloads)
+        for stage in ("frontend", "analyze", "check"):
+            assert delta.get(f"store.{stage}.misses", 0) == 0
+
+
+class TestBackpressure:
+    """A saturated queue sheds load without dropping accepted work."""
+
+    @pytest.fixture()
+    def tiny_server(self):
+        config = ServeConfig(port=0, jobs=0, queue_depth=1, timeout_s=30.0,
+                             store_root=None, allow_chaos=True)
+        daemon = BoundsServer(config)
+        daemon.start_background()
+        yield daemon
+        assert daemon.stop(drain_timeout_s=10.0)
+
+    def test_503_with_retry_after_and_no_dropped_requests(self, tiny_server):
+        port = tiny_server.bound_port
+        source = "int main(void) { return 0; }"
+        payloads = [{"source": source, "chaos": "sleep:0.5"}
+                    for _ in range(CLIENT_THREADS)]
+        results = _concurrent(port, payloads)
+        accepted = [(s, b) for s, b, _h in results if s == 200]
+        shed = [(s, b, h) for s, b, h in results if s == 503]
+        other = [(s, b) for s, b, _h in results if s not in (200, 503)]
+        assert not other, other
+        # With one in-flight slot and 0.5 s holds, concurrency must shed.
+        assert accepted and shed
+        # Every accepted request got a full verified answer.
+        for _status, body in accepted:
+            assert body["verdict"] == "verified"
+            assert body["bounds"]["functions"]["main"] >= 4
+        # Every shed request was told when to come back.
+        for _status, body, headers in shed:
+            assert headers.get("Retry-After") == "1"
+            assert body["verdict"] == "error"
+            assert "slots" in body["error"]
+        # The daemon recovers once the burst passes.
+        status, body, _ = _post(port, {"source": source})
+        assert status == 200 and body["verdict"] == "verified"
+
+    def test_chaos_is_ignored_without_opt_in(self, server):
+        # The production configuration must not expose the fault hooks.
+        started = time.perf_counter()
+        status, body, _ = _post(server.bound_port, {
+            "source": "int main(void) { return 0; }", "chaos": "sleep:5.0"})
+        assert status == 200 and body["verdict"] == "verified"
+        assert time.perf_counter() - started < 5.0
+
+
+class TestHealthz:
+    def test_health_document(self, server):
+        health = _get(server.bound_port, "/healthz")
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["inflight"] == 0
+        assert health["uptime_s"] >= 0
+
+    def test_unknown_endpoint_404(self, server):
+        try:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.bound_port}/nope", timeout=30)
+            assert False, "expected a 404"
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+
+
+class TestSignalDrain:
+    """SIGTERM stops accepting, drains in-flight work, exits 0."""
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--jobs", "0", "--no-store"],
+            stderr=subprocess.PIPE, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))))
+        try:
+            line = process.stderr.readline()
+            assert "serving certified bounds" in line
+            port = int(line.split("http://127.0.0.1:")[1].split()[0])
+            status, body, _ = _post(
+                port, {"source": "int main(void) { return 2; }"},
+                timeout=60)
+            assert status == 200 and body["verdict"] == "verified"
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            stderr = process.stderr.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert code == 0, stderr
+        assert "draining" in stderr
+        assert "shut down cleanly" in stderr
+
+    def test_bound_port_is_an_exit_2_diagnostic(self):
+        from repro.__main__ import main
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            code = main(["serve", "--port", str(port), "--jobs", "0",
+                         "--no-store"])
+            assert code == 2
+        finally:
+            blocker.close()
+            obs.disable()
+            obs.reset()

@@ -147,6 +147,39 @@ class TestRefinementOperators:
         assert not rejected
 
 
+class TestServingOperators:
+    """Each serving scenario injects its fault and names who caught it."""
+
+    def test_registry_has_the_three_scenarios(self):
+        names = {op.name for op in operators("serving")}
+        assert {"stale-cache-entry", "response-truncate",
+                "worker-death"} <= names
+
+    def test_stale_cache_entry_is_caught_by_store_integrity(self):
+        detected, caught_by, diagnostic = \
+            get_operator("stale-cache-entry").apply()
+        assert detected, diagnostic
+        assert caught_by == "store-integrity"
+
+    def test_response_truncate_is_caught_by_the_schema_validator(self):
+        detected, caught_by, diagnostic = \
+            get_operator("response-truncate").apply()
+        assert detected, diagnostic
+        assert caught_by == "response-schema"
+
+    def test_worker_death_is_caught_by_the_request_timeout(self):
+        detected, caught_by, diagnostic = \
+            get_operator("worker-death").apply()
+        assert detected, diagnostic
+        assert caught_by == "request-timeout"
+
+    def test_serving_operators_are_not_plants(self):
+        # --plant is a compiler-layer concept; the serving scenarios
+        # must never leak into the campaign's plant namespace.
+        for op in operators("serving"):
+            assert op.name not in metric_fault_names()
+
+
 class TestCatalogCorpusIsAnalyzable:
     def test_default_catalog_members_analyze(self):
         from repro.testing.faults import DEFAULT_CATALOG
