@@ -1,0 +1,181 @@
+"""Codegen-tier acceptance benchmark: generated Python vs. the oracles.
+
+Measures warm steps/sec of the per-program generated-Python engine
+(`repro.asm.codegen`) against the decoded closure interpreter and the
+legacy step loop on the standing BENCH workloads, and records the
+geometric-mean speedups — the acceptance numbers for the codegen tier
+(>= 2x over decoded, >= 8x over legacy on the ASM machine).  "Warm"
+means the per-program compile has already happened, which is the state
+every repeat execution is in: the campaign's stack probes, the serving
+daemon's probe path and the profile harness all run one program many
+times against one ``compile()`` call.
+
+Run standalone to refresh the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py [-o BENCH_codegen.json]
+
+CI runs the cheap regression gate only (warm codegen throughput on one
+program against a floor recorded with 2x headroom)::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py --check-floor
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.asm import codegen as asm_codegen
+from repro.asm.machine import run_program
+from repro.driver import compile_c
+from repro.events.trace import Converges
+from repro.programs.loader import load_source
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "BENCH_codegen.json")
+
+#: Program for the CI floor check: compiles in seconds, runs long
+#: enough (~220k steps) for a stable steps/sec figure.
+FLOOR_PROGRAM = "mibench/crc32.c"
+
+#: The standing BENCH workloads (the acceptance set for the tier).
+PROGRAMS = [
+    "mibench/crc32.c",
+    "mibench/dijkstra.c",
+    "recursive/fib.c",
+    "compcert/mandelbrot.c",
+    "mibench/blowfish.c",
+]
+
+FUEL = 150_000_000
+
+
+def _steps_per_s(asm, engine: str) -> tuple[float, int]:
+    start = time.perf_counter()
+    behavior, machine = run_program(asm, fuel=FUEL, engine=engine)
+    elapsed = time.perf_counter() - start
+    assert isinstance(behavior, Converges), behavior
+    return machine.steps / elapsed, machine.steps
+
+
+def _geomean(ratios: list[float]) -> float:
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def bench(repeats: int) -> dict:
+    out: dict = {}
+    vs_decoded: list[float] = []
+    vs_legacy: list[float] = []
+    for path in PROGRAMS:
+        compilation = compile_c(load_source(path), filename=path)
+        compile_start = time.perf_counter()
+        asm_codegen.codegen_program(compilation.asm)
+        compile_s = time.perf_counter() - compile_start
+        # Interleave the engines so cache/frequency drift hits all three.
+        best_legacy = best_decoded = best_codegen = 0.0
+        steps = 0
+        for _ in range(repeats):
+            legacy, steps = _steps_per_s(compilation.asm, "legacy")
+            decoded, _ = _steps_per_s(compilation.asm, "decoded")
+            codegen, _ = _steps_per_s(compilation.asm, "codegen")
+            best_legacy = max(best_legacy, legacy)
+            best_decoded = max(best_decoded, decoded)
+            best_codegen = max(best_codegen, codegen)
+        vs_decoded.append(best_codegen / best_decoded)
+        vs_legacy.append(best_codegen / best_legacy)
+        out[path] = {
+            "steps": steps,
+            "compile_s": round(compile_s, 4),
+            "legacy_steps_per_s": round(best_legacy),
+            "decoded_steps_per_s": round(best_decoded),
+            "codegen_steps_per_s": round(best_codegen),
+            "codegen_vs_decoded": round(best_codegen / best_decoded, 2),
+            "codegen_vs_legacy": round(best_codegen / best_legacy, 2),
+        }
+        print(f"  {path:28s} {steps:>9d} steps  "
+              f"legacy {best_legacy:>10,.0f}/s  "
+              f"decoded {best_decoded:>10,.0f}/s  "
+              f"codegen {best_codegen:>10,.0f}/s  "
+              f"({best_codegen / best_decoded:.2f}x/"
+              f"{best_codegen / best_legacy:.2f}x)")
+    out["geomean_vs_decoded"] = round(_geomean(vs_decoded), 2)
+    out["geomean_vs_legacy"] = round(_geomean(vs_legacy), 2)
+    print(f"  geomean: {out['geomean_vs_decoded']:.2f}x over decoded, "
+          f"{out['geomean_vs_legacy']:.2f}x over legacy")
+    return out
+
+
+def check_floor() -> int:
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    floor = baseline["floor_codegen_steps_per_s"]
+    compilation = compile_c(load_source(FLOOR_PROGRAM),
+                            filename=FLOOR_PROGRAM)
+    asm_codegen.codegen_program(compilation.asm)   # measure warm
+    # Best of three: CI machines are noisy and the gate only needs to
+    # catch real regressions (the floor already has 2x headroom).
+    best = max(_steps_per_s(compilation.asm, "codegen")[0]
+               for _ in range(3))
+    print(f"warm codegen throughput on {FLOOR_PROGRAM}: "
+          f"{best:,.0f} steps/s (floor {floor:,} steps/s)")
+    if best < floor:
+        print("FAIL: codegen-tier throughput regressed below the "
+              "checked-in floor", file=sys.stderr)
+        return 1
+    # The tier must also still beat the decoded oracle — catching a
+    # "codegen silently fell back to decoded" regression that absolute
+    # throughput alone might miss on a fast machine.
+    decoded = max(_steps_per_s(compilation.asm, "decoded")[0]
+                  for _ in range(3))
+    print(f"decoded throughput on {FLOOR_PROGRAM}: {decoded:,.0f} steps/s "
+          f"({best / decoded:.2f}x)")
+    if best <= decoded:
+        print("FAIL: codegen tier is no faster than the decoded engine",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=BASELINE_PATH,
+                        help="where to write the JSON baseline")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved best-of-N per engine")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="only verify warm codegen throughput against "
+                             "the committed floor (CI mode)")
+    args = parser.parse_args(argv)
+
+    if args.check_floor:
+        return check_floor()
+
+    results = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    print("asm: codegen vs decoded vs legacy steps/sec (warm)")
+    results["asm"] = bench(args.repeats)
+
+    floor_codegen = results["asm"][FLOOR_PROGRAM]["codegen_steps_per_s"]
+    results["floor_program"] = FLOOR_PROGRAM
+    results["floor_codegen_steps_per_s"] = floor_codegen // 2  # 2x headroom
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,9 @@
 
 Measures the three hot paths the execution-engine overhaul targets:
 
-* ``interpreter``: steps/sec of the pre-decoded engine vs. the legacy
-  isinstance-chain step loop, per catalog program;
+* ``interpreter``: steps/sec of all three execution tiers — the legacy
+  isinstance-chain step loop, the pre-decoded closure engine and the
+  per-program generated-Python (codegen) tier — per catalog program;
 * ``frontend``: compiling one generated seed at every campaign ablation
   point with and without frontend sharing;
 * ``nf_memo``: normal-form memoization hit rate and the bound_le-heavy
@@ -61,29 +62,39 @@ INTERP_PROGRAMS = [
 FUEL = 150_000_000
 
 
-def _run_steps_per_s(asm, decoded: bool) -> tuple[float, int]:
+def _run_steps_per_s(asm, engine: str) -> tuple[float, int]:
     start = time.perf_counter()
-    behavior, machine = run_program(asm, fuel=FUEL, decoded=decoded)
+    behavior, machine = run_program(asm, fuel=FUEL, engine=engine)
     elapsed = time.perf_counter() - start
     assert isinstance(behavior, Converges), behavior
     return machine.steps / elapsed, machine.steps
 
 
 def bench_interpreter() -> dict:
+    from repro.asm import codegen as asm_codegen
+
     out = {}
     for path in INTERP_PROGRAMS:
         compilation = compile_c(load_source(path), filename=path)
-        legacy, steps = _run_steps_per_s(compilation.asm, decoded=False)
-        decoded, _ = _run_steps_per_s(compilation.asm, decoded=True)
+        # Warm the per-program compile so the codegen column measures the
+        # steady state (the serving daemon's and campaign's hot path).
+        asm_codegen.codegen_program(compilation.asm)
+        legacy, steps = _run_steps_per_s(compilation.asm, "legacy")
+        decoded, _ = _run_steps_per_s(compilation.asm, "decoded")
+        codegen, _ = _run_steps_per_s(compilation.asm, "codegen")
         out[path] = {
             "steps": steps,
             "legacy_steps_per_s": round(legacy),
             "decoded_steps_per_s": round(decoded),
+            "codegen_steps_per_s": round(codegen),
             "speedup": round(decoded / legacy, 2),
+            "codegen_vs_decoded": round(codegen / decoded, 2),
+            "codegen_vs_legacy": round(codegen / legacy, 2),
         }
         print(f"  {path:28s} {steps:>9d} steps  "
               f"legacy {legacy:>10,.0f}/s  decoded {decoded:>10,.0f}/s  "
-              f"{decoded / legacy:.1f}x")
+              f"codegen {codegen:>10,.0f}/s  "
+              f"({codegen / decoded:.1f}x/{codegen / legacy:.1f}x)")
     return out
 
 
@@ -203,7 +214,7 @@ def check_floor() -> int:
                             filename=FLOOR_PROGRAM)
     # Best of three: CI machines are noisy and the gate only needs to
     # catch real regressions (the floor already has 2x headroom).
-    best = max(_run_steps_per_s(compilation.asm, decoded=True)[0]
+    best = max(_run_steps_per_s(compilation.asm, "decoded")[0]
                for _ in range(3))
     print(f"decoded throughput on {FLOOR_PROGRAM}: {best:,.0f} steps/s "
           f"(floor {floor:,} steps/s)")

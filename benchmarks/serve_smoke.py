@@ -10,7 +10,11 @@ server), writes the final ``/metrics`` snapshot to ``--metrics-out``
 * store hit-rate > 0 — the hot half of the mix must replay from the
   content-addressed store;
 * zero 5xx other than the probe's deliberate 503s;
-* every 200 body validates against the response schema.
+* every 200 body validates against the response schema;
+* the codegen warm path: two ``probe`` requests for the same program
+  execute at the verified bound on the codegen tier, and the second
+  must reuse the compiled code object — exactly one codegen compile in
+  the metrics, and the response says ``warm: true``.
 
 Exit 0 when all gates hold, 1 otherwise (one line per violated gate on
 stderr).  Stdlib only, like everything it tests.
@@ -135,6 +139,53 @@ def main(argv=None) -> int:
         failures.append("saturation probe never drew a 503")
     if any(status not in (200, 503) for status in statuses):
         failures.append(f"probe drew non-200/503 statuses: {statuses}")
+
+    # Phase 3: the codegen warm path, against an in-process server (the
+    # pipeline, pool and metrics share one registry there, so the gate
+    # reads exactly the compiles this phase caused).
+    warm_server = BoundsServer(ServeConfig(port=0, jobs=0, queue_depth=4,
+                                           timeout_s=120.0, store_root=None))
+    warm_server.start_background()
+    warm_port = warm_server.bound_port
+    payload = {"source": load_source("mibench/dijkstra.c"),
+               "filename": "mibench/dijkstra.c", "probe": True}
+    probe_results = [_post(warm_port, dict(payload)) for _ in range(2)]
+    warm_snapshot = _metrics(warm_port)
+    warm_server.stop(drain_timeout_s=10.0)
+
+    probe_bodies = []
+    for index, (status, body) in enumerate(probe_results):
+        if status != 200:
+            failures.append(
+                f"probe request {index}: status {status}: {body[:200]}")
+            continue
+        try:
+            probe_bodies.append(validate_response_text(body))
+        except ValueError as error:
+            failures.append(f"probe request {index}: invalid: {error}")
+    if len(probe_bodies) == 2:
+        cold, hot = (body.get("probe") or {} for body in probe_bodies)
+        print(f"# serve-smoke: probe cold warm={cold.get('warm')} "
+              f"measured={cold.get('measured_bytes')}B of "
+              f"{cold.get('stack_bytes')}B; hot warm={hot.get('warm')}")
+        if not (cold.get("converged") and hot.get("converged")):
+            failures.append("probe did not converge at the served bound")
+        if cold.get("warm") is not False or hot.get("warm") is not True:
+            failures.append(
+                f"warm path broken: cold.warm={cold.get('warm')} "
+                f"hot.warm={hot.get('warm')}")
+    warm_counters = warm_snapshot.get("counters", {})
+    codegen_hits = warm_counters.get("codegen.asm.cache.hits", 0)
+    compiles = warm_snapshot.get("histograms", {}) \
+        .get("codegen.compile_seconds", {}).get("count", 0)
+    print(f"# serve-smoke: codegen compiles {compiles}, "
+          f"cache hits {codegen_hits}")
+    if not codegen_hits >= 1:
+        failures.append(
+            f"warm probe did not hit the codegen cache ({codegen_hits})")
+    if compiles != 1:
+        failures.append(
+            f"warm path re-ran codegen: {compiles} compiles (expected 1)")
 
     with open(args.metrics_out, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)

@@ -74,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stack", type=int, default=None, metavar="BYTES",
                      help="stack size sz (default: the verified bound)")
     run.add_argument("--fuel", type=int, default=200_000_000)
+    run.add_argument("--engine", default=None,
+                     choices=["legacy", "decoded", "codegen"],
+                     help="force an execution tier (default: codegen; "
+                          "legacy and decoded stay as oracles)")
 
     dump = add_common(sub.add_parser(
         "dump", help="print an intermediate representation"))
@@ -93,8 +97,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         "analysis, execution)"))
     profile.add_argument("--fuel", type=int, default=200_000_000)
     profile.add_argument("--legacy", action="store_true",
-                         help="also time the legacy (non-decoded) "
-                              "interpreter for comparison")
+                         help="accepted for compatibility; all three "
+                              "tiers are always timed")
 
     certify = add_common(sub.add_parser(
         "certify", help="emit a re-checkable proof certificate (JSON)"))
@@ -237,7 +241,7 @@ def cmd_run(args) -> int:
     # the 4 being main's return-address slot of the paper's metric).
     output: list = []
     behavior, machine = compilation.run(stack_bytes=sz, output=output,
-                                        fuel=args.fuel)
+                                        fuel=args.fuel, engine=args.engine)
     for item in output:
         print(item)
     print(f"# {type(behavior).__name__}"
@@ -373,11 +377,9 @@ def cmd_profile(args) -> int:
     sz = analysis.bound_bytes(compilation.asm.main, compilation.metric)
     analysis.check()
 
-    engines = [("decoded", True)]
-    if args.legacy:
-        engines.append(("legacy", False))
-    for _label, decoded in engines:
-        compilation.run(stack_bytes=sz + 4, fuel=args.fuel, decoded=decoded)
+    tiers = ["legacy", "decoded", "codegen"]
+    for tier in tiers:
+        compilation.run(stack_bytes=sz + 4, fuel=args.fuel, engine=tier)
 
     # Per-language interpreter throughput: the same tower levels the
     # deep campaign mode executes, on their streaming entry points.
@@ -385,13 +387,51 @@ def cmd_profile(args) -> int:
               ("rtl", rtl_sem, compilation.rtl),
               ("mach", mach_sem, compilation.mach)]
     for _level, sem, program in levels:
-        for _label, decoded in engines:
+        for tier in tiers:
             sem.run_streamed(program, null_sink, fuel=args.fuel,
-                             decoded=decoded)
+                             engine=tier)
 
     print(f"# stack bound for {compilation.asm.main}: {sz} bytes")
-    _print_span_tree(obs.span_records()[mark:])
+    records = obs.span_records()[mark:]
+    _print_span_tree(records)
+    _print_tier_table(records)
     return 0
+
+
+def _print_tier_table(records: list[dict]) -> None:
+    """Per-language throughput of the three tiers, from the span tree.
+
+    Every ``exec.*`` span carries ``engine`` and ``steps`` attrs; the
+    table is a pure rendering of those records — there is no second
+    timing path.
+    """
+    rates: dict[str, dict[str, float]] = {}
+    for record in records:
+        name = record["name"]
+        if not name.startswith("exec."):
+            continue
+        attrs = dict(record.get("attrs") or {})
+        engine, steps = attrs.get("engine"), attrs.get("steps")
+        if engine is None or not steps or not record["dur"]:
+            continue
+        rates.setdefault(name.split(".", 1)[1], {})[engine] = \
+            steps / record["dur"]
+    if not rates:
+        return
+    print()
+    print(f"{'level':10s} {'legacy':>14s} {'decoded':>14s} "
+          f"{'codegen':>14s}   speedup vs legacy")
+    for level in ("clight", "rtl", "mach", "asm"):
+        row = rates.get(level)
+        if not row:
+            continue
+        cells = [f"{row[e]:>14,.0f}" if e in row else f"{'—':>14s}"
+                 for e in ("legacy", "decoded", "codegen")]
+        legacy = row.get("legacy")
+        ratios = "  ".join(
+            f"{e}×{row[e] / legacy:.1f}"
+            for e in ("decoded", "codegen") if e in row and legacy)
+        print(f"{level:10s} {' '.join(cells)}   {ratios}")
 
 
 def cmd_certify(args) -> int:

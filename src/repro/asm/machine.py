@@ -49,6 +49,12 @@ DEFAULT_FUEL = 50_000_000
 #: every call site.
 DEFAULT_DECODED = True
 
+#: The tier used when decoding is enabled at all (``DEFAULT_DECODED`` is
+#: the kill switch back to the legacy loop): ``"codegen"`` compiles each
+#: program to specialized Python (:mod:`repro.asm.codegen`); ``"decoded"``
+#: is the threaded-code interpreter kept as a differential oracle.
+DEFAULT_ENGINE = "codegen"
+
 _INT_BINOPS = {
     "add": ints.add, "sub": ints.sub, "mul": ints.mul,
     "divs": ints.div_s, "divu": ints.div_u,
@@ -77,12 +83,16 @@ class AsmMachine:
                  stack_bytes: int = DEFAULT_STACK_BYTES,
                  arena_bytes: int = DEFAULT_ARENA_BYTES,
                  output: Optional[list] = None,
-                 decoded: Optional[bool] = None) -> None:
+                 decoded: Optional[bool] = None,
+                 engine: Optional[str] = None) -> None:
+        from repro import engines
         self.program = program
         self.output = output
-        if decoded is None:
-            decoded = DEFAULT_DECODED
-        self.decoded = decoded
+        engine = engines.resolve(DEFAULT_DECODED, DEFAULT_ENGINE,
+                                 decoded, engine)
+        self.engine = engine
+        self.decoded = engine != "legacy"
+        decoded = self.decoded
 
         # Global layout.
         self.global_addr: dict[str, int] = {}
@@ -130,11 +140,15 @@ class AsmMachine:
         self.steps = 0
 
         # Decoded-engine state: bound per-instruction closures plus the
-        # (ops, pc) hand-off cells used at call/return boundaries.
+        # (ops, pc) hand-off cells used at call/return boundaries.  The
+        # codegen engine binds lazily — only if it has to deopt into the
+        # decoded engine (fuel tails, wild return addresses).
         self._ops: Optional[list] = None
         self._pc = 0
         self._trace: list = []
-        if decoded:
+        self._bound = None
+        self._cg_steps = 0
+        if engine == "decoded":
             bind_machine(self)
 
     # -- startup --------------------------------------------------------------
@@ -433,33 +447,41 @@ def run_program(program: asm.AsmProgram,
                 stack_bytes: int = DEFAULT_STACK_BYTES,
                 fuel: int = DEFAULT_FUEL,
                 output: Optional[list] = None,
-                decoded: Optional[bool] = None
+                decoded: Optional[bool] = None,
+                engine: Optional[str] = None
                 ) -> tuple[Behavior, AsmMachine]:
     """Run on ASMsz; returns the behavior and the machine (for the monitor).
 
-    ``decoded`` selects the engine (None = :data:`DEFAULT_DECODED`): the
-    pre-decoded threaded-code interpreter, or the legacy step loop kept as
-    the differential oracle.
+    ``engine`` selects the tier (``"legacy"``/``"decoded"``/``"codegen"``;
+    None defers to ``decoded`` and then the module defaults); ``decoded``
+    is the older boolean selector, kept for existing call sites.
     """
     machine = AsmMachine(program, stack_bytes=stack_bytes, output=output,
-                         decoded=decoded)
+                         decoded=decoded, engine=engine)
     if obs.enabled:
         # One span per run, wrapped around the whole loop: the hot path
         # itself carries zero added per-step work, enabled or not.
-        engine = "decoded" if machine.decoded else "legacy"
-        with obs.span("exec.asm", engine=engine) as sp:
+        with obs.span("exec.asm", engine=machine.engine) as sp:
             behavior = _execute(machine, fuel)
         sp.set(kind=type(behavior).__name__, steps=machine.steps,
                watermark=machine.measured_stack_usage)
         obs.add("interp.asm.steps", machine.steps)
         obs.add("interp.asm.seconds", sp.dur)
         obs.add("interp.asm.runs")
+        if machine.engine == "codegen":
+            obs.add("interp.codegen.steps", machine.steps)
+            obs.add("interp.codegen.seconds", sp.dur)
+            obs.add("interp.codegen.runs")
         return behavior, machine
     return _execute(machine, fuel), machine
 
 
 def _execute(machine: AsmMachine, fuel: int) -> Behavior:
     """Run ``machine`` to a behavior on its selected engine."""
+    if machine.engine == "codegen":
+        from repro.asm.codegen import run_codegen
+
+        return run_codegen(machine, fuel=fuel)
     if machine.decoded:
         from repro.asm.decode import run_decoded
 

@@ -1,0 +1,140 @@
+"""Per-program specialized driver for the Clight codegen tier.
+
+The decoded engine (:mod:`repro.clight.decode`) already compiles every
+statement into threaded closures; what is left on the hot path is the
+generic driver — the per-step ``for i in range(fuel)`` bookkeeping and
+the interpretive ``_enter_main`` entry.  This tier generates Python
+source *per program*: the entry sequence is constant-folded (the arity
+guard is resolved at generation time, temp counts and stack-block specs
+become literals) and the dispatch loop is unrolled so the fuel check
+runs once per batch.  Step accounting survives unrolling via
+:func:`repro.engines.recover_steps`, which reads the batch counter and
+the raising statement's ordinal out of the traceback — the raising op
+is *not* counted, exactly like the decoded/legacy loops.
+
+Specializations are cached per program in a ``WeakKeyDictionary`` (the
+Clight decoder itself caches, so program objects are stable keys).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+from weakref import WeakKeyDictionary
+
+from repro import engines, obs
+from repro.clight import ast as cl
+from repro.clight import decode
+from repro.clight.decode import KCALL, K_STOP, UNDEF
+from repro.errors import DynamicError, FuelExhaustedError
+from repro.events.stream import Consumer, StreamOutcome
+
+_FILENAME = "<codegen:clight>"
+
+_NAMESPACE = {
+    "UNDEF": UNDEF,
+    "KCALL": KCALL,
+    "K_STOP": K_STOP,
+    "DynamicError": DynamicError,
+}
+
+
+class _Spec:
+    __slots__ = ("run", "slots", "source")
+
+    def __init__(self, run, slots, source) -> None:
+        self.run = run
+        self.slots = slots
+        self.source = source
+
+
+_spec_cache: "WeakKeyDictionary[cl.Program, _Spec]" = WeakKeyDictionary()
+
+
+def _entry_lines(program: cl.Program, dprog) -> list[str]:
+    """The constant-folded equivalent of ``decode._enter_main``."""
+    main = program.function(program.main)
+    if main.params:
+        return ["raise DynamicError("
+                "'main with parameters is not supported')"]
+    rec = dprog.functions[program.main]
+    lines = [
+        "m.kont = (KCALL, None, None, m.temps, m.blocks, K_STOP)",
+        f"m.temps = [UNDEF] * {rec.n_temps}",
+    ]
+    if rec.block_spec:
+        lines.append("alloc = m.memory.alloc")
+        blocks = ", ".join(f"alloc({size}, tag={tag!r})"
+                           for size, tag in rec.block_spec)
+        lines.append(f"m.blocks = [{blocks}]")
+    else:
+        lines.append("m.blocks = []")
+    lines.append("m.frec = rec")
+    lines.append("m.sink(rec.call_event)")
+    lines.append("code = rec.entry")
+    return lines
+
+
+def specialize(program: cl.Program, dprog=None) -> _Spec:
+    """Generate (or fetch) the specialized driver for ``program``."""
+    spec = _spec_cache.get(program)
+    if spec is not None:
+        if obs.enabled:
+            obs.add("codegen.clight.cache.hits")
+        return spec
+    if obs.enabled:
+        obs.add("codegen.clight.cache.misses")
+    if dprog is None:
+        dprog = decode.decode_program(program)
+    t0 = time.perf_counter()
+    run, slots, source = engines.build_driver(
+        _FILENAME, _entry_lines(program, dprog), _NAMESPACE)
+    spec = _Spec(run, slots, source)
+    if obs.enabled:
+        obs.observe("codegen.compile_seconds", time.perf_counter() - t0)
+    _spec_cache[program] = spec
+    return spec
+
+
+def codegen_source(program: cl.Program) -> str:
+    """The generated driver source (CI artifact on differential failure)."""
+    return specialize(program).source
+
+
+def run_streamed(program: cl.Program, sink: Consumer, fuel: int,
+                 output: Optional[list] = None) -> StreamOutcome:
+    """Run the codegen driver, feeding every event into ``sink``.
+
+    Classification is statement-for-statement the decoded tail: the
+    fuel edge (completing on the very last unit reports divergence),
+    the ``FuelExhaustedError`` special case, and ``GoesWrong`` step
+    counts that exclude the raising op all match.
+    """
+    dprog = decode.decode_program(program)
+    counting = decode._Counting(sink)
+    m = decode.DecodedClightMachine(program, counting, output=output)
+    spec = specialize(program, dprog)
+    rec = dprog.functions[program.main]
+    try:
+        try:
+            spec.run(m, rec, fuel)
+            return StreamOutcome(StreamOutcome.DIVERGES,
+                                 events=counting.count, steps=fuel)
+        except TypeError as exc:
+            i, code = engines.recover_steps(exc, _FILENAME, spec.slots)
+            if i is None or code is not None:
+                raise  # a genuine TypeError inside an op
+    except FuelExhaustedError as exc:
+        i, _ = engines.recover_steps(exc, _FILENAME, spec.slots)
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i or 0)
+    except DynamicError as exc:
+        i, _ = engines.recover_steps(exc, _FILENAME, spec.slots)
+        return StreamOutcome(StreamOutcome.GOES_WRONG, reason=str(exc),
+                             events=counting.count, steps=i or 0)
+    if not m.done:
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i)
+    return StreamOutcome(StreamOutcome.CONVERGES,
+                         return_code=m.return_code,
+                         events=counting.count, steps=i)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import obs, ops
+from repro import engines, obs, ops
 from repro.clight import ast as cl
 from repro.errors import (DynamicError, FuelExhaustedError, MemoryError_,
                           UndefinedBehaviorError)
@@ -35,6 +35,12 @@ DEFAULT_FUEL = 2_000_000
 #: to run this module's legacy statement-tree step loop, which stays as
 #: the differential oracle.
 DEFAULT_DECODED = True
+
+#: Tier used when decoding is enabled at all: ``"codegen"`` (the
+#: per-program specialized driver) or ``"decoded"``.  Per-call
+#: ``engine=`` arguments override; ``DEFAULT_DECODED = False`` still
+#: forces the legacy loop everywhere (the old kill switch).
+DEFAULT_ENGINE = "codegen"
 
 
 # ---------------------------------------------------------------------------
@@ -347,7 +353,8 @@ class ClightMachine:
 
 def run_streamed(program: cl.Program, sink: Consumer,
                  fuel: int = DEFAULT_FUEL, output: Optional[list] = None,
-                 decoded: Optional[bool] = None) -> StreamOutcome:
+                 decoded: Optional[bool] = None,
+                 engine: Optional[str] = None) -> StreamOutcome:
     """Run ``program``, pushing every event into ``sink`` as it is emitted.
 
     This is the streaming entry point: consumers (pruned-trace matchers,
@@ -356,25 +363,31 @@ def run_streamed(program: cl.Program, sink: Consumer,
     (None = :data:`DEFAULT_DECODED`); both engines produce the same
     events, outcome classification and step counts by construction.
     """
-    if decoded is None:
-        decoded = DEFAULT_DECODED
+    engine = engines.resolve(DEFAULT_DECODED, DEFAULT_ENGINE,
+                             decoded, engine)
     if obs.enabled:
         # Wrapped at the entry point only — the step loops stay untouched.
-        with obs.span("exec.clight",
-                      engine="decoded" if decoded else "legacy") as sp:
-            outcome = _run_streamed(program, sink, fuel, output, decoded)
+        with obs.span("exec.clight", engine=engine) as sp:
+            outcome = _run_streamed(program, sink, fuel, output, engine)
         sp.set(kind=outcome.kind, steps=outcome.steps,
                events=outcome.events)
         obs.add("interp.clight.steps", outcome.steps)
         obs.add("interp.clight.seconds", sp.dur)
         obs.add("interp.clight.runs")
+        if engine == "codegen":
+            obs.add("interp.codegen.steps", outcome.steps)
+            obs.add("interp.codegen.seconds", sp.dur)
+            obs.add("interp.codegen.runs")
         return outcome
-    return _run_streamed(program, sink, fuel, output, decoded)
+    return _run_streamed(program, sink, fuel, output, engine)
 
 
 def _run_streamed(program: cl.Program, sink: Consumer, fuel: int,
-                  output: Optional[list], decoded: bool) -> StreamOutcome:
-    if decoded:
+                  output: Optional[list], engine: str) -> StreamOutcome:
+    if engine == "codegen":
+        from repro.clight import codegen
+        return codegen.run_streamed(program, sink, fuel, output=output)
+    if engine == "decoded":
         from repro.clight import decode
         return decode.run_streamed(program, sink, fuel, output=output)
     counting = CountingSink(sink)
@@ -408,11 +421,12 @@ def _run_streamed(program: cl.Program, sink: Consumer, fuel: int,
 
 def run_program(program: cl.Program, fuel: int = DEFAULT_FUEL,
                 output: Optional[list] = None,
-                decoded: Optional[bool] = None) -> Behavior:
+                decoded: Optional[bool] = None,
+                engine: Optional[str] = None) -> Behavior:
     """Run ``program`` from ``main`` and classify the result as a behavior."""
     trace: list[Event] = []
     outcome = run_streamed(program, trace.append, fuel, output=output,
-                           decoded=decoded)
+                           decoded=decoded, engine=engine)
     return outcome.to_behavior(trace)
 
 

@@ -1,0 +1,115 @@
+"""Per-program specialized driver for the Mach codegen tier.
+
+Same scheme as :mod:`repro.rtl.codegen` (see there for the rationale):
+constant-folded entry (frame size and tag inlined; Mach's entry has no
+arity guard — parameters arrive in registers), unrolled dispatch,
+traceback-based step recovery.  Mach programs are rebuilt per lowering,
+so drivers are memoized by their folded-constant tuple, not per program
+object.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro import engines, obs
+from repro.errors import DynamicError
+from repro.events.stream import Consumer, StreamOutcome
+from repro.mach import ast as mach
+from repro.mach import decode
+
+_FILENAME = "<codegen:mach>"
+
+_NAMESPACE: dict = {}
+
+
+class _Spec:
+    __slots__ = ("run", "slots", "source")
+
+    def __init__(self, run, slots, source) -> None:
+        self.run = run
+        self.slots = slots
+        self.source = source
+
+
+_spec_cache: dict[tuple, _Spec] = {}
+_SPEC_CACHE_CAP = 1024
+
+
+def _entry_lines(rec) -> list[str]:
+    """Constant-folded equivalent of the decoded entry sequence."""
+    lines = []
+    if rec.frame_size > 0:
+        lines.append(f"m.frame = m.memory.alloc({rec.frame_size}, "
+                     f"tag={rec.frame_tag!r})")
+    lines.append("m.frec = rec")
+    lines.append("m.sink(rec.call_event)")
+    lines.append("code = rec.entry")
+    return lines
+
+
+def specialize(rec) -> _Spec:
+    """Generate (or fetch) the specialized driver for this entry shape."""
+    key = (rec.frame_size, rec.frame_tag)
+    spec = _spec_cache.get(key)
+    if spec is not None:
+        if obs.enabled:
+            obs.add("codegen.mach.cache.hits")
+        return spec
+    if obs.enabled:
+        obs.add("codegen.mach.cache.misses")
+    t0 = time.perf_counter()
+    run, slots, source = engines.build_driver(
+        _FILENAME, _entry_lines(rec), _NAMESPACE)
+    spec = _Spec(run, slots, source)
+    if obs.enabled:
+        obs.observe("codegen.compile_seconds", time.perf_counter() - t0)
+    if len(_spec_cache) >= _SPEC_CACHE_CAP:
+        _spec_cache.clear()
+    _spec_cache[key] = spec
+    return spec
+
+
+def codegen_source(program: mach.MachProgram) -> str:
+    """The generated driver source (CI artifact on differential failure)."""
+    rec = decode.decode_program(program).functions[program.main]
+    return specialize(rec).source
+
+
+def run_streamed(program: mach.MachProgram, sink: Consumer,
+                 fuel: int, output: Optional[list] = None) -> StreamOutcome:
+    """Run the codegen driver, pushing events to ``sink``.
+
+    The classification tail mirrors
+    :func:`repro.mach.decode.run_streamed` — no arity check, no
+    ``FuelExhaustedError`` special case, fuel edge reports divergence,
+    step counts exclude the raising op.
+    """
+    main = program.functions.get(program.main)
+    if main is None:
+        return StreamOutcome(StreamOutcome.GOES_WRONG,
+                             reason="no main function")
+    dprog = decode.decode_program(program)
+    counting = decode._Counting(sink)
+    m = decode.DecodedMachMachine(program, dprog, counting, output=output)
+    rec = dprog.functions[program.main]
+    spec = specialize(rec)
+    try:
+        try:
+            spec.run(m, rec, fuel)
+            return StreamOutcome(StreamOutcome.DIVERGES,
+                                 events=counting.count, steps=fuel)
+        except TypeError as exc:
+            i, code = engines.recover_steps(exc, _FILENAME, spec.slots)
+            if i is None or code is not None:
+                raise  # a genuine TypeError inside an op
+    except DynamicError as exc:
+        i, _ = engines.recover_steps(exc, _FILENAME, spec.slots)
+        return StreamOutcome(StreamOutcome.GOES_WRONG, reason=str(exc),
+                             events=counting.count, steps=i or 0)
+    if not m.done:
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i)
+    return StreamOutcome(StreamOutcome.CONVERGES, return_code=m.return_code,
+                         events=counting.count, steps=i)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import obs, ops
+from repro import engines, obs, ops
 from repro.errors import DynamicError, MemoryError_, UndefinedBehaviorError
 from repro.events.stream import Consumer, CountingSink, StreamOutcome
 from repro.events.trace import (Behavior, CallEvent, Converges, Diverges,
@@ -31,6 +31,12 @@ DEFAULT_FUEL = 20_000_000
 #: :mod:`repro.mach.decode` by default; ``decoded=False`` re-runs on the
 #: original ``step()`` machine below (kept as the differential oracle).
 DEFAULT_DECODED = True
+
+#: Tier used when decoding is enabled at all: ``"codegen"`` (the
+#: per-program specialized driver) or ``"decoded"``.  Per-call
+#: ``engine=`` arguments override; ``DEFAULT_DECODED = False`` still
+#: forces the legacy loop everywhere (the old kill switch).
+DEFAULT_ENGINE = "codegen"
 
 
 class _Activation:
@@ -199,7 +205,8 @@ class MachMachine:
 
 def run_streamed(program: mach.MachProgram, sink: Consumer,
                  fuel: int = DEFAULT_FUEL, output: Optional[list] = None,
-                 decoded: Optional[bool] = None) -> StreamOutcome:
+                 decoded: Optional[bool] = None,
+                 engine: Optional[str] = None) -> StreamOutcome:
     """Run ``program``, pushing every event into ``sink`` as emitted.
 
     ``decoded`` selects the engine (None = :data:`DEFAULT_DECODED`);
@@ -207,25 +214,31 @@ def run_streamed(program: mach.MachProgram, sink: Consumer,
     step counts by construction.  Like RTL, the legacy Mach loop treats
     ``FuelExhaustedError`` like any other ``DynamicError``.
     """
-    if decoded is None:
-        decoded = DEFAULT_DECODED
+    engine = engines.resolve(DEFAULT_DECODED, DEFAULT_ENGINE,
+                             decoded, engine)
     if obs.enabled:
         # Wrapped at the entry point only — the step loops stay untouched.
-        with obs.span("exec.mach",
-                      engine="decoded" if decoded else "legacy") as sp:
-            outcome = _run_streamed(program, sink, fuel, output, decoded)
+        with obs.span("exec.mach", engine=engine) as sp:
+            outcome = _run_streamed(program, sink, fuel, output, engine)
         sp.set(kind=outcome.kind, steps=outcome.steps,
                events=outcome.events)
         obs.add("interp.mach.steps", outcome.steps)
         obs.add("interp.mach.seconds", sp.dur)
         obs.add("interp.mach.runs")
+        if engine == "codegen":
+            obs.add("interp.codegen.steps", outcome.steps)
+            obs.add("interp.codegen.seconds", sp.dur)
+            obs.add("interp.codegen.runs")
         return outcome
-    return _run_streamed(program, sink, fuel, output, decoded)
+    return _run_streamed(program, sink, fuel, output, engine)
 
 
 def _run_streamed(program: mach.MachProgram, sink: Consumer, fuel: int,
-                  output: Optional[list], decoded: bool) -> StreamOutcome:
-    if decoded:
+                  output: Optional[list], engine: str) -> StreamOutcome:
+    if engine == "codegen":
+        from repro.mach import codegen
+        return codegen.run_streamed(program, sink, fuel, output=output)
+    if engine == "decoded":
         from repro.mach import decode
         return decode.run_streamed(program, sink, fuel, output=output)
     counting = CountingSink(sink)
@@ -260,8 +273,9 @@ def _run_streamed(program: mach.MachProgram, sink: Consumer, fuel: int,
 
 def run_program(program: mach.MachProgram, fuel: int = DEFAULT_FUEL,
                 output: Optional[list] = None,
-                decoded: Optional[bool] = None) -> Behavior:
+                decoded: Optional[bool] = None,
+                engine: Optional[str] = None) -> Behavior:
     trace: list[Event] = []
     outcome = run_streamed(program, trace.append, fuel, output=output,
-                           decoded=decoded)
+                           decoded=decoded, engine=engine)
     return outcome.to_behavior(trace)

@@ -36,18 +36,19 @@ class MeasuredRun:
 def measure_compilation(compilation: Compilation,
                         stack_bytes: int = 1 << 20,
                         fuel: int = DEFAULT_FUEL,
-                        decoded: Optional[bool] = None) -> MeasuredRun:
+                        decoded: Optional[bool] = None,
+                        engine: Optional[str] = None) -> MeasuredRun:
     """Run the compiled program under the monitor.
 
-    ``decoded`` picks the ASMsz engine (None = the default); the
-    measured watermark must not depend on it — the engines share the
-    monitor, and ``tests/unit/test_monitor_watermark.py`` holds them
-    to identical accounting.
+    ``decoded``/``engine`` pick the ASMsz tier (None = the default);
+    the measured watermark must not depend on it — all engines share
+    the monitor, and ``tests/unit/test_monitor_watermark.py`` holds
+    them to identical accounting.
     """
     output: list = []
     behavior, machine = compilation.run(stack_bytes=stack_bytes,
                                         output=output, fuel=fuel,
-                                        decoded=decoded)
+                                        decoded=decoded, engine=engine)
     return MeasuredRun(behavior, machine.measured_stack_usage,
                        getattr(behavior, "return_code", None), output)
 
@@ -55,11 +56,12 @@ def measure_compilation(compilation: Compilation,
 def measure_c_program(source: str, macros: Optional[dict[str, str]] = None,
                       options: Optional[CompilerOptions] = None,
                       stack_bytes: int = 1 << 20,
-                      decoded: Optional[bool] = None) -> MeasuredRun:
+                      decoded: Optional[bool] = None,
+                      engine: Optional[str] = None) -> MeasuredRun:
     """Compile a C program and measure one execution."""
     compilation = compile_c(source, macros=macros, options=options)
     return measure_compilation(compilation, stack_bytes=stack_bytes,
-                               decoded=decoded)
+                               decoded=decoded, engine=engine)
 
 
 class TightnessProbe:

@@ -1,0 +1,131 @@
+"""Per-program specialized driver for the RTL codegen tier.
+
+Same scheme as :mod:`repro.clight.codegen`: the decoded closures stay
+the execution substrate, and this tier generates a per-program Python
+driver with the entry sequence constant-folded (arity guard resolved at
+generation time, register count / stack size / frame tag inlined as
+literals) and the dispatch loop unrolled.  Step recovery goes through
+:func:`repro.engines.recover_steps`.
+
+The RTL optimization passes mutate graphs in place, so — like the RTL
+decoder itself — nothing is cached per program object.  The generated
+*source* only depends on a handful of folded constants, though, so
+compiled drivers are memoized by that constant tuple: re-running a
+mutated program regenerates its threaded code but reuses the driver.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro import engines, obs
+from repro.clight.decode import UNDEF
+from repro.errors import DynamicError, UndefinedBehaviorError
+from repro.events.stream import Consumer, StreamOutcome
+from repro.rtl import ast as rtl
+from repro.rtl import decode
+
+_FILENAME = "<codegen:rtl>"
+
+_NAMESPACE = {
+    "UNDEF": UNDEF,
+    "UndefinedBehaviorError": UndefinedBehaviorError,
+}
+
+
+class _Spec:
+    __slots__ = ("run", "slots", "source")
+
+    def __init__(self, run, slots, source) -> None:
+        self.run = run
+        self.slots = slots
+        self.source = source
+
+
+#: Driver memo keyed by the folded-constant tuple (bounded: cleared
+#: wholesale if a pathological campaign ever makes it grow large).
+_spec_cache: dict[tuple, _Spec] = {}
+_SPEC_CACHE_CAP = 1024
+
+
+def _entry_lines(main: rtl.RTLFunction, rec) -> list[str]:
+    """Constant-folded equivalent of the decoded entry sequence."""
+    if main.params:
+        return [f"raise UndefinedBehaviorError("
+                f"{main.name + ': arity mismatch'!r})"]
+    lines = [f"m.regs = [UNDEF] * {rec.n_regs}"]
+    if rec.stacksize > 0:
+        lines.append(f"m.frame = m.memory.alloc({rec.stacksize}, "
+                     f"tag={rec.frame_tag!r})")
+    lines.append("m.frec = rec")
+    lines.append("m.sink(rec.call_event)")
+    lines.append("code = rec.entry")
+    return lines
+
+
+def specialize(main: rtl.RTLFunction, rec) -> _Spec:
+    """Generate (or fetch) the specialized driver for this entry shape."""
+    key = (main.name, bool(main.params), rec.n_regs, rec.stacksize)
+    spec = _spec_cache.get(key)
+    if spec is not None:
+        if obs.enabled:
+            obs.add("codegen.rtl.cache.hits")
+        return spec
+    if obs.enabled:
+        obs.add("codegen.rtl.cache.misses")
+    t0 = time.perf_counter()
+    run, slots, source = engines.build_driver(
+        _FILENAME, _entry_lines(main, rec), _NAMESPACE)
+    spec = _Spec(run, slots, source)
+    if obs.enabled:
+        obs.observe("codegen.compile_seconds", time.perf_counter() - t0)
+    if len(_spec_cache) >= _SPEC_CACHE_CAP:
+        _spec_cache.clear()
+    _spec_cache[key] = spec
+    return spec
+
+
+def codegen_source(program: rtl.RTLProgram) -> str:
+    """The generated driver source (CI artifact on differential failure)."""
+    main = program.functions[program.main]
+    rec = decode.decode_program(program).functions[program.main]
+    return specialize(main, rec).source
+
+
+def run_streamed(program: rtl.RTLProgram, sink: Consumer,
+                 fuel: int, output: Optional[list] = None) -> StreamOutcome:
+    """Run the codegen driver, pushing events to ``sink``.
+
+    The classification tail mirrors :func:`repro.rtl.decode.run_streamed`
+    — no ``FuelExhaustedError`` special case (it classifies as
+    ``GoesWrong``, like the legacy RTL loop), the fuel edge reports
+    divergence, and step counts exclude the raising op.
+    """
+    main = program.functions.get(program.main)
+    if main is None:
+        return StreamOutcome(StreamOutcome.GOES_WRONG,
+                             reason="no main function")
+    dprog = decode.decode_program(program)
+    counting = decode._Counting(sink)
+    m = decode.DecodedRTLMachine(program, counting, output=output)
+    rec = dprog.functions[program.main]
+    spec = specialize(main, rec)
+    try:
+        try:
+            spec.run(m, rec, fuel)
+            return StreamOutcome(StreamOutcome.DIVERGES,
+                                 events=counting.count, steps=fuel)
+        except TypeError as exc:
+            i, code = engines.recover_steps(exc, _FILENAME, spec.slots)
+            if i is None or code is not None:
+                raise  # a genuine TypeError inside an op
+    except DynamicError as exc:
+        i, _ = engines.recover_steps(exc, _FILENAME, spec.slots)
+        return StreamOutcome(StreamOutcome.GOES_WRONG, reason=str(exc),
+                             events=counting.count, steps=i or 0)
+    if not m.done:
+        return StreamOutcome(StreamOutcome.DIVERGES,
+                             events=counting.count, steps=i)
+    return StreamOutcome(StreamOutcome.CONVERGES, return_code=m.return_code,
+                         events=counting.count, steps=i)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import inspect
 import json
 import time
+from collections import OrderedDict
 from typing import Any, Optional
 
 from repro import obs
@@ -54,11 +55,15 @@ class ServeRequest:
 
     def __init__(self, source: str, filename: str = "<request>",
                  macros: Optional[dict[str, str]] = None,
-                 options: Optional[CompilerOptions] = None) -> None:
+                 options: Optional[CompilerOptions] = None,
+                 probe: bool = False) -> None:
         self.source = source
         self.filename = filename
         self.macros = macros
         self.options = options or CompilerOptions()
+        #: Execute the program at its verified bound on the codegen tier
+        #: and attach the observed watermark to the response.
+        self.probe = probe
 
     def keys(self) -> dict[str, str]:
         """The store key of every stage boundary for this request."""
@@ -93,6 +98,68 @@ def options_from_json(data: Optional[dict]) -> CompilerOptions:
     return CompilerOptions(**data)
 
 
+#: Compiled programs kept warm across requests, keyed by the backend
+#: stage key (source x options).  Holding the ``AsmProgram`` alive keeps
+#: its generated code object alive too — the codegen tier caches per
+#: program in a ``WeakKeyDictionary`` — so a warm probe skips re-codegen
+#: entirely.  Small and LRU-bounded: entries are whole programs.
+_warm_programs: "OrderedDict[str, Any]" = OrderedDict()
+_WARM_CAP = 32
+
+#: Probe executions are demonstrations, not campaigns: cap the fuel.
+PROBE_FUEL = 50_000_000
+
+
+def _warm_put(key: str, asm_program: Any) -> None:
+    _warm_programs[key] = asm_program
+    _warm_programs.move_to_end(key)
+    while len(_warm_programs) > _WARM_CAP:
+        _warm_programs.popitem(last=False)
+
+
+def _warm_get(key: str) -> Optional[Any]:
+    asm_program = _warm_programs.get(key)
+    if asm_program is not None:
+        _warm_programs.move_to_end(key)
+        obs.add("serve.codegen.warm_hits")
+    else:
+        obs.add("serve.codegen.warm_misses")
+    return asm_program
+
+
+def _run_probe(request: ServeRequest, backend_key: str, clight,
+               stack_bytes: int, warm: bool) -> dict:
+    """Execute at the verified bound on the codegen tier.
+
+    The probe is the serving-path version of the Theorem 1 experiment:
+    a stack block of exactly the served ``stack_requirement`` bytes must
+    run the program to completion, and the measured high-water mark is
+    returned next to the bound it must stay under.
+    """
+    from repro.asm.machine import run_program
+    from repro.events.trace import Converges
+
+    asm_program = _warm_get(backend_key)
+    if asm_program is None:
+        asm_program = compile_clight(clight, request.options).asm
+        _warm_put(backend_key, asm_program)
+    output: list = []
+    behavior, machine = run_program(asm_program, stack_bytes=stack_bytes,
+                                    output=output, fuel=PROBE_FUEL,
+                                    engine="codegen")
+    converged = isinstance(behavior, Converges)
+    probe = {"engine": "codegen", "warm": warm,
+             "stack_bytes": stack_bytes, "converged": converged,
+             "measured_bytes": machine.measured_stack_usage,
+             "steps": machine.steps}
+    if converged:
+        probe["return_code"] = behavior.return_code
+    else:
+        probe["reason"] = getattr(behavior, "reason",
+                                  type(behavior).__name__)
+    return probe
+
+
 def run_pipeline(request: ServeRequest, store: ResultStore) -> dict:
     """Run (or replay) the full verify pipeline for one request.
 
@@ -103,6 +170,11 @@ def run_pipeline(request: ServeRequest, store: ResultStore) -> dict:
     """
     started = time.perf_counter()
     keys = request.keys()
+    # Warmness is a property of the *request boundary*: was the compiled
+    # program already resident when this request arrived?  (The backend
+    # stage itself populates the cache, so probing after the stages
+    # would always look warm.)
+    probe_was_warm = keys["backend"] in _warm_programs
     stages: dict[str, str] = {}
     with store.pinned(*keys.values()):
         with obs.span("serve.pipeline", filename=request.filename):
@@ -126,6 +198,7 @@ def run_pipeline(request: ServeRequest, store: ResultStore) -> dict:
                            "metric": compilation.metric.as_dict(),
                            "main": compilation.asm.main}
                 store.put(keys["backend"], backend)
+                _warm_put(keys["backend"], compilation.asm)
             else:
                 stages["backend"] = "hit"
 
@@ -154,6 +227,11 @@ def run_pipeline(request: ServeRequest, store: ResultStore) -> dict:
                 stages["check"] = "hit"
 
     response = _assemble(request, backend, certificate_text, check, stages)
+    if request.probe:
+        with obs.span("serve.probe", filename=request.filename):
+            response["probe"] = _run_probe(
+                request, keys["backend"], clight,
+                response["bounds"]["stack_requirement"], probe_was_warm)
     elapsed = time.perf_counter() - started
     response["elapsed_s"] = round(elapsed, 6)
     obs.observe("serve.pipeline_seconds", elapsed)
@@ -249,6 +327,27 @@ def validate_response(data: Any) -> dict:
     for stage, status in stages.items():
         if status not in ("hit", "miss"):
             _fail(f"stage {stage}: unknown status {status!r}")
+    probe = data.get("probe")
+    if probe is not None:
+        if not isinstance(probe, dict):
+            _fail("probe must be an object")
+        if probe.get("engine") not in ("legacy", "decoded", "codegen"):
+            _fail(f"probe.engine unknown: {probe.get('engine')!r}")
+        for field in ("warm", "converged"):
+            if not isinstance(probe.get(field), bool):
+                _fail(f"probe.{field} must be a boolean")
+        for field in ("stack_bytes", "measured_bytes", "steps"):
+            value = probe.get(field)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                _fail(f"probe.{field} must be a non-negative integer")
+        if probe["converged"]:
+            if not isinstance(probe.get("return_code"), int):
+                _fail("converged probe without a return code")
+            if probe["measured_bytes"] > probe["stack_bytes"]:
+                _fail("probe watermark exceeds its stack block")
+        elif not isinstance(probe.get("reason"), str):
+            _fail("non-converged probe without a reason")
     return data
 
 

@@ -71,7 +71,8 @@ def _execute(payload: dict, store: ResultStore) -> tuple[int, dict]:
     request = ServeRequest(source=payload["source"],
                            filename=payload["filename"],
                            macros=payload["macros"],
-                           options=_options_from_key(payload["options"]))
+                           options=_options_from_key(payload["options"]),
+                           probe=bool(payload.get("probe", False)))
     try:
         return 200, run_pipeline(request, store)
     except ReproError as error:
@@ -144,8 +145,8 @@ class ServePool:
 
     def submit(self, source: str, filename: str = "<request>",
                macros: Optional[dict[str, str]] = None,
-               options=None, chaos: Optional[str] = None
-               ) -> tuple[int, dict]:
+               options=None, chaos: Optional[str] = None,
+               probe: bool = False) -> tuple[int, dict]:
         """Run one request; returns ``(http_status, response_body)``.
 
         Raises :class:`PoolSaturated` without blocking when every
@@ -165,7 +166,8 @@ class ServePool:
         try:
             payload = {"source": source, "filename": filename,
                        "macros": macros, "options": list(options.key()),
-                       "chaos": chaos, "store_root": self.store_root,
+                       "chaos": chaos, "probe": probe,
+                       "store_root": self.store_root,
                        "store_max_bytes": self.store_max_bytes}
             if self._pool is None:
                 # In-process mode: the pipeline writes straight into the

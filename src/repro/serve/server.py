@@ -178,7 +178,8 @@ class _Handler(BaseHTTPRequestHandler):
         fields = {"source": data["source"],
                   "filename": str(data.get("filename", "<request>")),
                   "macros": macros,
-                  "options": options_from_json(data.get("options"))}
+                  "options": options_from_json(data.get("options")),
+                  "probe": bool(data.get("probe", False))}
         if self._srv.config.allow_chaos and data.get("chaos"):
             fields["chaos"] = str(data["chaos"])
         return fields

@@ -328,6 +328,23 @@ def run_campaign(config: CampaignConfig,
             with open(path, "w") as handle:
                 handle.write(header + source)
             repro_files[verdict.seed] = path
+            # A differential failure implicating the codegen tier is
+            # debugged from the exact Python it executed, so dump the
+            # generated engine source next to the .c (CI uploads both).
+            try:
+                from repro.asm.codegen import codegen_source
+                from repro.driver import compile_c
+
+                compilation = compile_c(
+                    source, filename=path,
+                    options=ABLATIONS.get(verdict.ablation))
+                generated = (f"# codegen-tier source for {path} "
+                             f"(ablation {verdict.ablation!r})\n"
+                             + codegen_source(compilation.asm))
+                with open(path[:-2] + ".codegen.py", "w") as handle:
+                    handle.write(generated)
+            except Exception:
+                pass   # reproducer may not compile; the .c is the artifact
 
     elapsed = time.perf_counter() - started
     if status is not None and config.status_interval is not None:

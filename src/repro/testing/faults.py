@@ -37,6 +37,15 @@ organized by the layer it attacks:
     never consumed, a dead worker never hangs or drops a request.
     These operators are self-contained scenarios: ``apply()`` takes no
     arguments and returns ``(detected, caught_by, diagnostic)``.
+``codegen``
+    The generated-Python execution tier miscompiles (``repro.asm.codegen``):
+    a fused cmp+branch jumps to the wrong arm, a fused push+call drops
+    the ESP adjustment, a superinstruction folds a stale constant.  Each
+    operator flips the tier's ``_MISCOMPILE`` knob on a hand-built
+    program that is guaranteed to contain the fusion site and the
+    decoded differential oracle must observe the divergence (return
+    code, trace, watermark or failure reason).  Self-contained
+    scenarios, like the serving layer.
 
 ``run_mutation_matrix`` applies every registered operator to artifacts
 produced from catalog programs and generated seeds and reports, per
@@ -56,7 +65,8 @@ from repro.events.metrics import StackMetric
 from repro.events.trace import (CallEvent, Event, IOEvent, ReturnEvent,
                                 is_well_bracketed, prune)
 
-LAYERS = ("metric", "derivation", "certificate", "refinement", "serving")
+LAYERS = ("metric", "derivation", "certificate", "refinement", "serving",
+          "codegen")
 
 
 class UnknownFaultError(ValueError):
@@ -517,6 +527,121 @@ def _worker_death() -> tuple[bool, str, str]:
 
 
 # ---------------------------------------------------------------------------
+# Codegen operators: the generated-Python tier miscompiles
+# ---------------------------------------------------------------------------
+
+#: Behavior fingerprint the codegen differential oracle compares.
+def _codegen_fingerprint(program, engine):
+    from repro.asm.machine import run_program
+
+    output: list = []
+    behavior, machine = run_program(program, stack_bytes=1 << 16,
+                                    output=output, fuel=100_000,
+                                    engine=engine)
+    return (type(behavior).__name__,
+            getattr(behavior, "return_code", None),
+            getattr(behavior, "reason", None), tuple(behavior.trace),
+            tuple(output), machine.measured_stack_usage, machine.steps)
+
+
+def _codegen_miscompile(knob: str, program) -> tuple[bool, str, str]:
+    """Run ``program`` with the miscompile knob on; diff against decoded."""
+    from repro.asm import codegen
+
+    decoded = _codegen_fingerprint(program, "decoded")
+    previous = codegen._MISCOMPILE
+    codegen._MISCOMPILE = knob
+    try:
+        mutant = _codegen_fingerprint(program, "codegen")
+    finally:
+        codegen._MISCOMPILE = previous
+    # The knob must not leak into the per-program cache: a clean rerun
+    # has to match the oracle again.
+    clean = _codegen_fingerprint(program, "codegen")
+    if clean != decoded:
+        return False, "", "miscompile leaked into the codegen cache"
+    if mutant == decoded:
+        return False, "", ("miscompiled execution matched the decoded "
+                           "oracle (fusion site not exercised)")
+    return (True, "codegen-differential",
+            f"decoded={decoded[:3]} codegen={mutant[:3]}")
+
+
+def _asm_program(functions: dict, globals_=()) -> "asm_ast.AsmProgram":
+    from repro.asm import ast as asm_ast
+
+    return asm_ast.AsmProgram(
+        list(globals_),
+        {name: asm_ast.AsmFunction(name, body, frame_size=0)
+         for name, body in functions.items()},
+        externals=set(), main="main")
+
+
+@_register("fused-branch-swap", "codegen",
+           "swap the taken/untaken arms of a fused cmp+branch")
+def _fused_branch_swap() -> tuple[bool, str, str]:
+    from repro.asm import ast as a
+
+    # The cmp feeds the jcc directly, so the block terminator is the
+    # fused superinstruction; 5 > 3 must reach the taken arm (222).
+    program = _asm_program({"main": [
+        a.Pmovimm("eax", 5),
+        a.Pmovimm("ecx", 3),
+        a.Pbinop("cmp_gtu", "eax", "ecx"),
+        a.Pjcc("eax", 1),
+        a.Pmovimm("eax", 111),
+        a.Pret(),
+        a.Plabel(1),
+        a.Pmovimm("eax", 222),
+        a.Pret(),
+    ]})
+    return _codegen_miscompile("swap-branch", program)
+
+
+@_register("fused-call-esp-drop", "codegen",
+           "drop the ESP adjustment folded into a fused push+call")
+def _fused_call_esp_drop() -> tuple[bool, str, str]:
+    from repro.asm import ast as a
+
+    # Pespadd(-16) immediately before an internal call is fused into
+    # one combined stack check; dropping the adjustment shifts the
+    # watermark (and the post-call Pespadd unbalances ESP).
+    program = _asm_program({
+        "main": [
+            a.Pespadd(-16),
+            a.Pcall("leaf"),
+            a.Pespadd(16),
+            a.Pret(),
+        ],
+        "leaf": [
+            a.Pmovimm("eax", 7),
+            a.Pret(),
+        ],
+    })
+    return _codegen_miscompile("drop-espadjust", program)
+
+
+@_register("fused-load-stale-const", "codegen",
+           "fold a stale constant into a fused load+op superinstruction")
+def _fused_load_stale_const() -> tuple[bool, str, str]:
+    from repro.asm import ast as a
+    from repro.clight.ast import GlobalVar
+    from repro.memory.chunks import Chunk
+
+    # The int32 load feeds the add, so the pair fuses; a stale folded
+    # constant turns 1 + 42 into 1 + 0.
+    program = _asm_program(
+        {"main": [
+            a.Pmovimm("eax", 1),
+            a.Pload(Chunk.INT32, "ecx", a.AGlobal("g")),
+            a.Pbinop("add", "eax", "ecx"),
+            a.Pret(),
+        ]},
+        globals_=[GlobalVar("g", 4, 4, (42).to_bytes(4, "little"))])
+    return _codegen_miscompile("stale-const", program)
+
+
+# ---------------------------------------------------------------------------
 # The mutation matrix
 # ---------------------------------------------------------------------------
 
@@ -717,11 +842,13 @@ def run_mutation_matrix(catalog: Iterable[str] = DEFAULT_CATALOG,
             if not outcome.detected and not outcome.diagnostic:
                 outcome.diagnostic = "no applicable site in the corpus"
 
-        elif op.layer == "serving":
+        elif op.layer in ("serving", "codegen"):
             # Self-contained scenario: the operator injects its fault
-            # into a private store/pool and reports who caught it.
+            # into a private store/pool (or a private miscompiled
+            # engine) and reports who caught it.
             outcome.attempts += 1
-            outcome.detected_on = "serve-harness"
+            outcome.detected_on = ("serve-harness" if op.layer == "serving"
+                                   else "codegen-harness")
             try:
                 detected, caught_by, diagnostic = op.apply()
             except Exception as error:  # a crash is not a diagnostic

@@ -359,13 +359,14 @@ def _check_ablation(verdict: SeedVerdict, name: str, compilation: Compilation,
             if need_collect:
                 consumers.append(collected.append)
             outcome = stream(program, Tee(*consumers), fuel=INTERP_FUEL,
-                             decoded=deep_decoded)
+                             engine=None if deep_decoded else "legacy")
             refinement_ok = (outcome.converged and pruned.matched()
                              and outcome.return_code == b_clight.return_code)
             if not refinement_ok:
                 trace: list = []
                 behavior = stream(program, trace.append, fuel=INTERP_FUEL,
-                                  decoded=deep_decoded).to_behavior(trace)
+                                  engine=None if deep_decoded
+                                  else "legacy").to_behavior(trace)
                 try:
                     check_refinement(behavior, b_clight)
                 except RefinementFailure as failure:

@@ -1,0 +1,46 @@
+"""The ``--stack`` hint contract under the codegen tier, catalog-wide.
+
+`test_stack_hint.py` pins the paper's 4-byte gap (bound N runs, N - 4
+overflows) on the default engine.  The codegen tier fuses instructions
+that move ESP — espadd+call superinstructions combine two stack checks
+into one — so this sweep re-proves the exact boundary there: the bound
+is exactly sufficient, one slot less overflows, and the measured
+high-water mark is byte-identical to the decoded engine's.  Fusion
+cannot be allowed to smuggle off-by-one ESP accounting past Theorem 1.
+"""
+
+import pytest
+
+from repro.analyzer import StackAnalyzer
+from repro.driver import compile_c
+from repro.events.trace import Converges, GoesWrong
+from repro.programs.catalog import AUTO_ANALYZABLE
+from repro.programs.loader import load_source
+
+FUEL = 150_000_000
+
+
+@pytest.mark.parametrize("path", AUTO_ANALYZABLE)
+def test_bound_exactly_sufficient_under_codegen(path):
+    compilation = compile_c(load_source(path), filename=path)
+    analysis = StackAnalyzer(compilation.clight).analyze()
+    bound = analysis.bound_bytes(compilation.asm.main, compilation.metric)
+
+    at_bound, machine = compilation.run(stack_bytes=bound, fuel=FUEL,
+                                        engine="codegen")
+    assert isinstance(at_bound, Converges), (
+        f"{path}: --stack {bound} must suffice on codegen, got "
+        f"{at_bound!r}")
+    assert machine.measured_stack_usage <= bound
+
+    # The watermark must be byte-identical to the decoded engine's: the
+    # monitor is shared, and fused ESP updates must hit it identically.
+    _decoded, oracle = compilation.run(stack_bytes=bound, fuel=FUEL,
+                                       engine="decoded")
+    assert machine.measured_stack_usage == oracle.measured_stack_usage
+
+    under, _machine = compilation.run(stack_bytes=bound - 4, fuel=FUEL,
+                                      engine="codegen")
+    assert isinstance(under, GoesWrong), (
+        f"{path}: --stack {bound - 4} must overflow under codegen")
+    assert "overflow" in under.reason

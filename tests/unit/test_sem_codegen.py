@@ -1,0 +1,114 @@
+"""Differential suite: the Clight/RTL/Mach codegen drivers vs. decoded.
+
+The codegen tier's semantics drivers generate per-program Python (entry
+sequence constant-folded, dispatch loop unrolled) around the decoded
+closures.  They must be observationally identical to the decoded
+engines — which `test_sem_decode.py` already holds to the legacy
+machines — including the step-accounting fine print: the raising op is
+not counted, and the fuel edge (finishing on the last unit) classifies
+as divergence.  The unrolled loop recovers step counts from the
+traceback, so the fuel-edge sweep here walks every batch boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clight import semantics as clight_sem
+from repro.driver import compile_c
+from repro.mach import semantics as mach_sem
+from repro.programs.catalog import ALL_RUNNABLE
+from repro.programs.loader import load_source
+from repro.rtl import semantics as rtl_sem
+from repro.testing.oracles import ABLATIONS
+from repro.testing.progen import generate_program
+
+CLIGHT_FUEL = 5_000_000
+INTERP_FUEL = 50_000_000
+
+#: (name, semantics module, Compilation attribute, fuel) per level.
+LEVELS = [
+    ("clight", clight_sem, "clight", CLIGHT_FUEL),
+    ("rtl", rtl_sem, "rtl", INTERP_FUEL),
+    ("mach", mach_sem, "mach", INTERP_FUEL),
+]
+
+
+def _stream_fingerprint(sem, program, fuel, engine):
+    trace: list = []
+    output: list = []
+    outcome = sem.run_streamed(program, trace.append, fuel=fuel,
+                               output=output, engine=engine)
+    return (outcome.kind, outcome.return_code, outcome.reason,
+            outcome.events, outcome.steps, tuple(trace), tuple(output))
+
+
+def _assert_levels_agree(compilation, context="", engines=("decoded",
+                                                           "codegen")):
+    for name, sem, attr, fuel in LEVELS:
+        program = getattr(compilation, attr)
+        prints = [_stream_fingerprint(sem, program, fuel, engine)
+                  for engine in engines]
+        assert all(p == prints[0] for p in prints), \
+            f"{name} disagrees {context}"
+
+
+@pytest.mark.parametrize("path", ALL_RUNNABLE)
+def test_catalog_program_agrees(path):
+    compilation = compile_c(load_source(path), filename=path)
+    _assert_levels_agree(compilation, context=f"on {path}")
+
+
+def test_all_three_tiers_agree():
+    """The full triple, including legacy, on the paper example."""
+    compilation = compile_c(load_source("paper_example.c"),
+                            filename="paper_example.c")
+    _assert_levels_agree(compilation, context="on paper_example.c",
+                         engines=("legacy", "decoded", "codegen"))
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 5))
+def test_generated_seed_agrees_at_every_ablation(seed):
+    source = generate_program(seed)
+    for name, options in ABLATIONS.items():
+        compilation = compile_c(source, filename=f"seed{seed}.c",
+                                options=options)
+        _assert_levels_agree(compilation, context=f"under ablation {name!r}")
+
+
+@pytest.mark.parametrize("fuel", [0, 1, 7, 15, 16, 17, 31, 32, 10_000])
+def test_fuel_edges_agree(fuel):
+    compilation = compile_c(load_source("compcert/mandelbrot.c"),
+                            filename="compcert/mandelbrot.c")
+    for name, sem, attr, _fuel in LEVELS:
+        program = getattr(compilation, attr)
+        decoded = _stream_fingerprint(sem, program, fuel, "decoded")
+        generated = _stream_fingerprint(sem, program, fuel, "codegen")
+        assert decoded == generated, f"{name} disagrees at fuel={fuel}"
+        if fuel:
+            assert decoded[0] == "diverges"
+            assert decoded[4] == fuel
+
+
+@pytest.mark.parametrize("engine", ["legacy", "decoded", "codegen"])
+def test_run_program_matches_run_streamed(engine):
+    """`run_program` is the materialized view of `run_streamed`."""
+    compilation = compile_c(load_source("paper_example.c"),
+                            filename="paper_example.c")
+    for name, sem, attr, fuel in LEVELS:
+        program = getattr(compilation, attr)
+        behavior = sem.run_program(program, fuel=fuel, engine=engine)
+        trace: list = []
+        outcome = sem.run_streamed(program, trace.append, fuel=fuel,
+                                   engine=engine)
+        assert outcome.to_behavior(trace).__class__ is behavior.__class__
+        assert tuple(trace) == tuple(behavior.trace)
+
+
+def test_clight_driver_is_cached():
+    compilation = compile_c(load_source("paper_example.c"),
+                            filename="paper_example.c")
+    from repro.clight import codegen as clight_codegen
+    first = clight_codegen.specialize(compilation.clight)
+    assert clight_codegen.specialize(compilation.clight) is first
+    assert "def run(m, rec, fuel):" in first.source
