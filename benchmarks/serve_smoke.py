@@ -14,7 +14,15 @@ server), writes the final ``/metrics`` snapshot to ``--metrics-out``
 * the codegen warm path: two ``probe`` requests for the same program
   execute at the verified bound on the codegen tier, and the second
   must reuse the compiled code object — exactly one codegen compile in
-  the metrics, and the response says ``warm: true``.
+  the metrics, and the response says ``warm: true``;
+* in-batch dedup: a 3-item ``POST /batch`` with one duplicate streams
+  all three results but runs the pipeline twice — the duplicate comes
+  back with a ``duplicate_of`` marker and ``serve.batch.deduped``
+  counts it;
+* restart warmth: a *subprocess* daemon fills a store directory, a
+  second daemon on the same directory answers from the persisted
+  artifacts — its probe reports ``codegen: "store"`` and its metrics
+  show exactly zero codegen regenerations.
 
 Exit 0 when all gates hold, 1 otherwise (one line per violated gate on
 stderr).  Stdlib only, like everything it tests.
@@ -24,7 +32,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
+import signal
+import subprocess
 import sys
+import tempfile
 import threading
 import urllib.error
 import urllib.request
@@ -40,9 +53,9 @@ SAMPLE = ("mibench/bitcount.c", "mibench/crc32.c",
           "mibench/dijkstra.c", "mibench/fft.c")
 
 
-def _post(port: int, payload: dict) -> tuple[int, str]:
+def _post_path(port: int, path: str, payload: dict) -> tuple[int, str]:
     request = urllib.request.Request(
-        f"http://127.0.0.1:{port}/verify",
+        f"http://127.0.0.1:{port}{path}",
         data=json.dumps(payload).encode(),
         headers={"Content-Type": "application/json"})
     try:
@@ -50,6 +63,39 @@ def _post(port: int, payload: dict) -> tuple[int, str]:
             return response.status, response.read().decode()
     except urllib.error.HTTPError as error:
         return error.code, error.read().decode()
+
+
+def _post(port: int, payload: dict) -> tuple[int, str]:
+    return _post_path(port, "/verify", payload)
+
+
+def _subprocess_round(store_dir: str, payload: dict) -> tuple[dict, int]:
+    """Boot a daemon subprocess, run one probe, return (probe, compiles)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "0", "--store-dir", store_dir],
+        stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        line = process.stderr.readline()
+        if "serving certified bounds" not in line:
+            raise RuntimeError(f"daemon failed to boot: {line!r}")
+        port = int(line.split("http://127.0.0.1:")[1].split()[0])
+        status, body = _post(port, dict(payload))
+        if status != 200:
+            raise RuntimeError(f"probe status {status}: {body[:200]}")
+        probe = json.loads(body).get("probe") or {}
+        compiles = _metrics(port).get("histograms", {}) \
+            .get("codegen.compile_seconds", {}).get("count", 0)
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+    return probe, compiles
 
 
 def _metrics(port: int) -> dict:
@@ -186,6 +232,76 @@ def main(argv=None) -> int:
     if compiles != 1:
         failures.append(
             f"warm path re-ran codegen: {compiles} compiles (expected 1)")
+
+    # Phase 4: in-batch dedup, against the same in-process server shape.
+    # Three items, first and last identical: the stream must carry all
+    # three results but the pipeline must run only twice.
+    batch_server = BoundsServer(ServeConfig(port=0, jobs=2, queue_depth=8,
+                                            timeout_s=120.0,
+                                            store_root=None))
+    batch_server.start_background()
+    batch_port = batch_server.bound_port
+    item_a = {"source": load_source("mibench/crc32.c"),
+              "filename": "mibench/crc32.c"}
+    item_b = {"source": load_source("mibench/bitcount.c"),
+              "filename": "mibench/bitcount.c"}
+    status, body = _post_path(batch_port, "/batch",
+                              {"items": [item_a, item_b, dict(item_a)]})
+    batch_snapshot = _metrics(batch_port)
+    batch_server.stop(drain_timeout_s=10.0)
+    if status != 200:
+        failures.append(f"batch: status {status}: {body[:200]}")
+    else:
+        lines = [json.loads(line) for line in body.splitlines()]
+        header, footer = lines[0], lines[-1]
+        by_index = {line["index"]: line for line in lines[1:-1]}
+        print(f"# serve-smoke: batch items={header.get('items')} "
+              f"unique={header.get('unique')} done={footer.get('done')}")
+        if header.get("unique") != 2:
+            failures.append(f"batch dedup missed: unique="
+                            f"{header.get('unique')} (expected 2)")
+        if footer.get("done") is not True:
+            failures.append("batch stream has no done footer")
+        if sorted(by_index) != [0, 1, 2]:
+            failures.append(f"batch stream lost items: {sorted(by_index)}")
+        elif by_index[2].get("duplicate_of") != 0:
+            failures.append(f"duplicate item not marked: "
+                            f"{by_index[2].get('duplicate_of')!r}")
+        bad = [i for i, line in by_index.items() if line["status"] != 200]
+        if bad:
+            failures.append(f"batch items {bad} did not return 200")
+    deduped = batch_snapshot.get("counters", {}).get("serve.batch.deduped", 0)
+    if deduped < 1:
+        failures.append(f"serve.batch.deduped is {deduped} (expected >= 1)")
+
+    # Phase 5: restart warmth.  Subprocess daemons (an honest restart:
+    # fresh process, only the store directory survives) — the second
+    # daemon must answer the probe from the persisted codegen artifact
+    # without a single regeneration.
+    store_dir = tempfile.mkdtemp(prefix="serve-smoke-restart-")
+    payload = {"source": load_source("mibench/crc32.c"),
+               "filename": "mibench/crc32.c", "probe": True}
+    try:
+        cold_probe, _compiles = _subprocess_round(store_dir, payload)
+        warm_probe, compiles = _subprocess_round(store_dir, payload)
+    except RuntimeError as error:
+        failures.append(f"restart phase: {error}")
+        cold_probe = warm_probe = {}
+        compiles = -1
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    print(f"# serve-smoke: restart codegen cold={cold_probe.get('codegen')} "
+          f"warm={warm_probe.get('codegen')}, warm compiles={compiles}")
+    if cold_probe.get("codegen") != "generated":
+        failures.append(f"cold daemon probe codegen="
+                        f"{cold_probe.get('codegen')!r} "
+                        "(expected 'generated')")
+    if warm_probe.get("codegen") != "store":
+        failures.append(f"restarted daemon probe codegen="
+                        f"{warm_probe.get('codegen')!r} (expected 'store')")
+    if compiles != 0:
+        failures.append(f"restarted daemon ran codegen {compiles} time(s) "
+                        "(expected exactly 0)")
 
     with open(args.metrics_out, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)

@@ -23,20 +23,22 @@ CLI: ``python -m repro serve``; API + schema: ``docs/SERVING.md``.
 
 from repro.serve.pipeline import (RESPONSE_SCHEMA, STAGES, ServeRequest,
                                   error_response, options_from_json,
-                                  run_pipeline, validate_response,
-                                  validate_response_text)
+                                  reset_warm, run_pipeline,
+                                  validate_response, validate_response_text)
 from repro.serve.pool import PoolSaturated, ServePool
-from repro.serve.server import (DEFAULT_STORE_DIR, BoundsServer, ServeConfig,
+from repro.serve.server import (BATCH_SCHEMA, DEFAULT_STORE_DIR,
+                                MAX_BATCH_ITEMS, BoundsServer, ServeConfig,
                                 run_server)
 from repro.serve.store import (DEFAULT_MAX_BYTES, STORE_SCHEMA, ResultStore,
                                ServeError, options_digest, source_digest,
                                stage_key)
 
 __all__ = [
-    "BoundsServer", "DEFAULT_MAX_BYTES", "DEFAULT_STORE_DIR",
-    "PoolSaturated", "RESPONSE_SCHEMA", "ResultStore", "STAGES",
-    "STORE_SCHEMA", "ServeConfig", "ServeError", "ServePool",
-    "ServeRequest", "error_response", "options_digest",
-    "options_from_json", "run_pipeline", "run_server", "source_digest",
-    "stage_key", "validate_response", "validate_response_text",
+    "BATCH_SCHEMA", "BoundsServer", "DEFAULT_MAX_BYTES",
+    "DEFAULT_STORE_DIR", "MAX_BATCH_ITEMS", "PoolSaturated",
+    "RESPONSE_SCHEMA", "ResultStore", "STAGES", "STORE_SCHEMA",
+    "ServeConfig", "ServeError", "ServePool", "ServeRequest",
+    "error_response", "options_digest", "options_from_json", "reset_warm",
+    "run_pipeline", "run_server", "source_digest", "stage_key",
+    "validate_response", "validate_response_text",
 ]

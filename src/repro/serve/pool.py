@@ -34,12 +34,25 @@ from typing import Optional
 from repro import obs
 from repro.errors import ReproError
 from repro.serve.pipeline import ServeRequest, error_response, run_pipeline
-from repro.serve.store import DEFAULT_MAX_BYTES, ResultStore, ServeError
+from repro.serve.store import (DEFAULT_MAX_BYTES, ResultStore, ServeError,
+                               options_digest, source_digest)
 from repro.testing.campaign import pool_warmup
 
 
 class PoolSaturated(ServeError):
     """The in-flight queue is full; the caller should shed load (503)."""
+
+
+class _Flight:
+    """One in-flight single-flight computation and its terminal answer."""
+
+    __slots__ = ("done", "status", "body", "saturated")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.status: Optional[int] = None
+        self.body: Optional[dict] = None
+        self.saturated = False
 
 
 #: Worker-side store handles, one per (root, cap) this process has seen.
@@ -126,6 +139,8 @@ class ServePool:
         self._state_lock = threading.Lock()
         self._merge_lock = threading.Lock()
         self._inline_lock = threading.Lock()
+        self._flights: dict[tuple, _Flight] = {}
+        self._flights_lock = threading.Lock()
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._store: Optional[ResultStore] = None
         if jobs > 0:
@@ -146,18 +161,86 @@ class ServePool:
     def submit(self, source: str, filename: str = "<request>",
                macros: Optional[dict[str, str]] = None,
                options=None, chaos: Optional[str] = None,
-               probe: bool = False) -> tuple[int, dict]:
+               probe: bool = False, block: bool = False) -> tuple[int, dict]:
         """Run one request; returns ``(http_status, response_body)``.
 
-        Raises :class:`PoolSaturated` without blocking when every
-        in-flight slot is taken.  Once a request holds a slot it always
-        gets a terminal answer — timeouts and dead workers come back as
-        5xx error documents, never as a dropped request.
+        **Single-flight:** concurrent submits with an identical
+        ``(source, macros, options, probe)`` identity collapse onto one
+        in-flight computation — the first caller (the *leader*) runs the
+        pipeline, every later caller (a *follower*) waits on the
+        leader's answer and receives a copy with a ``collapsed: true``
+        marker, consuming no pool slot and no worker
+        (``serve.singleflight.{leaders,followers}`` count both roles).
+        Requests carrying a ``chaos`` hook bypass collapsing — fault
+        injection must reach the worker it targets.
+
+        Raises :class:`PoolSaturated` when every in-flight slot is taken
+        — immediately with ``block=False`` (the ``/verify`` door: load
+        sheds as 503), after waiting up to the request budget with
+        ``block=True`` (the ``/batch`` fan-out: items queue politely
+        instead of shedding their own batch).  Once a request holds a
+        slot it always gets a terminal answer — timeouts and dead
+        workers come back as 5xx error documents, never as a dropped
+        request.
         """
         from repro.driver import CompilerOptions
 
         options = options or CompilerOptions()
-        if not self._slots.acquire(blocking=False):
+        if chaos is not None:
+            return self._dispatch(source, filename, macros, options,
+                                  chaos, probe, block)
+        key = (source_digest(source, macros), options_digest(options),
+               bool(probe))
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = self._flights[key] = _Flight()
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            return self._follow(flight)
+        obs.add("serve.singleflight.leaders")
+        try:
+            status, body = self._dispatch(source, filename, macros,
+                                          options, chaos, probe, block)
+            flight.status, flight.body = status, body
+            return status, body
+        except PoolSaturated:
+            flight.saturated = True
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+
+    def _follow(self, flight: _Flight) -> tuple[int, dict]:
+        """Wait out a leader's computation and copy its answer."""
+        obs.add("serve.singleflight.followers")
+        if not flight.done.wait(self.timeout_s + 30.0):
+            obs.add("serve.timeouts")
+            return 504, error_response(ServeError(
+                "collapsed request: the leading computation exceeded "
+                f"the {self.timeout_s:.0f}s budget"))
+        if flight.saturated:
+            obs.add("serve.rejected")
+            raise PoolSaturated(
+                f"all {self.queue_depth} in-flight slots are taken")
+        if flight.status is None:
+            return 500, error_response(ServeError(
+                "collapsed request: the leading computation failed"))
+        body = dict(flight.body or {})
+        body["collapsed"] = True
+        return flight.status, body
+
+    def _dispatch(self, source: str, filename: str,
+                  macros: Optional[dict[str, str]], options,
+                  chaos: Optional[str], probe: bool,
+                  block: bool) -> tuple[int, dict]:
+        """Slot accounting + worker dispatch for one uncollapsed request."""
+        if not self._slots.acquire(blocking=block,
+                                   timeout=self.timeout_s if block
+                                   else None):
             obs.add("serve.rejected")
             raise PoolSaturated(
                 f"all {self.queue_depth} in-flight slots are taken")

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import signal
 import sys
 import threading
@@ -46,7 +47,8 @@ from repro.obs.export import metrics_document
 from repro.serve.pipeline import (ServeRequest, error_response,
                                   options_from_json, validate_response)
 from repro.serve.pool import PoolSaturated, ServePool
-from repro.serve.store import DEFAULT_MAX_BYTES, ServeError
+from repro.serve.store import (DEFAULT_MAX_BYTES, ServeError, options_digest,
+                               source_digest)
 
 #: Where the daemon keeps its result store by default (a sibling of the
 #: campaign's corpus cache).
@@ -54,6 +56,12 @@ DEFAULT_STORE_DIR = os.path.join(".repro-cache", "serve")
 
 #: Seconds a 503 tells the client to back off before retrying.
 RETRY_AFTER_S = 1
+
+#: Batch response stream schema identifier (one NDJSON line per item).
+BATCH_SCHEMA = "repro.serve.batch/1"
+
+#: Most items one ``POST /batch`` may carry.
+MAX_BATCH_ITEMS = 64
 
 
 class ServeConfig:
@@ -114,9 +122,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(404, {"error": f"no such endpoint {self.path}"})
 
-    # -- POST /verify ------------------------------------------------------
+    # -- POST /verify and /batch -------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/batch":
+            self._do_batch()
+            return
         if self.path != "/verify":
             self._send_json(404, {"error": f"no such endpoint {self.path}"})
             return
@@ -133,15 +144,120 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(503, error_response(error),
                             headers={"Retry-After": str(RETRY_AFTER_S)})
             return
-        if status == 200:
-            # Self-check before the bytes leave the process: a response
-            # that fails its own schema is a 500, not a client surprise.
-            try:
-                validate_response(body)
-            except ValueError as error:
-                status, body = 500, error_response(ServeError(str(error)))
+        status, body = _self_check(status, body)
         self._send_json(status, body)
-        obs.observe("serve.request_seconds", time.perf_counter() - started)
+        _observe_request(started, status, body)
+
+    # -- POST /batch -------------------------------------------------------
+
+    def _do_batch(self) -> None:
+        """Verify a list of sources in one request, streaming NDJSON.
+
+        The batch is deduplicated up front — items agreeing on
+        ``(source, macros, options, probe)`` share one pipeline
+        execution, the duplicates carrying a ``duplicate_of`` reference
+        to their representative's index — and the residual unique items
+        fan out across the worker pool concurrently (queuing politely
+        on a full pool instead of shedding).  Results stream back one
+        JSON line per item in completion order, so a bulk client starts
+        consuming answers while the tail is still compiling.
+        """
+        started = time.perf_counter()
+        obs.add("serve.batch.requests")
+        try:
+            items = self._parse_batch_body()
+        except ServeError as error:
+            self._send_json(400, error_response(error))
+            return
+        obs.add("serve.batch.items", len(items))
+        representatives: dict[tuple, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for index, fields in enumerate(items):
+            key = (source_digest(fields["source"], fields["macros"]),
+                   options_digest(fields["options"]),
+                   bool(fields["probe"]))
+            if key in representatives:
+                duplicate_of[index] = representatives[key]
+            else:
+                representatives[key] = index
+        obs.add("serve.batch.deduped", len(duplicate_of))
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        self._send_chunk({"schema": BATCH_SCHEMA, "items": len(items),
+                          "unique": len(representatives)})
+
+        answers: "queue.Queue[tuple[int, int, dict]]" = queue.Queue()
+
+        def run_one(index: int) -> None:
+            item_started = time.perf_counter()
+            try:
+                status, body = self._srv.pool.submit(
+                    block=True, **items[index])
+            except PoolSaturated as error:
+                status, body = 503, error_response(error)
+            status, body = _self_check(status, body)
+            _observe_request(item_started, status, body)
+            answers.put((index, status, body))
+
+        threads = [threading.Thread(target=run_one, args=(index,),
+                                    daemon=True)
+                   for index in representatives.values()]
+        for thread in threads:
+            thread.start()
+        followers: dict[int, list[int]] = {}
+        for index, representative in duplicate_of.items():
+            followers.setdefault(representative, []).append(index)
+        for _ in range(len(representatives)):
+            index, status, body = answers.get()
+            self._send_chunk({"index": index, "status": status,
+                              "body": body})
+            for duplicate in followers.get(index, ()):
+                self._send_chunk({"index": duplicate, "status": status,
+                                  "duplicate_of": index, "body": body})
+        for thread in threads:
+            thread.join(1.0)
+        self._send_chunk({"done": True})
+        self.wfile.write(b"0\r\n\r\n")
+        obs.add("serve.responses.200")
+        obs.observe("serve.batch_seconds", time.perf_counter() - started)
+
+    def _send_chunk(self, payload: dict) -> None:
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.wfile.write(f"{len(data):X}\r\n".encode())
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
+    def _parse_batch_body(self) -> list[dict]:
+        """The per-item ``ServePool.submit`` kwargs for one batch."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ServeError("malformed Content-Length") from None
+        try:
+            data = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            raise ServeError(f"request is not valid JSON: {error}") \
+                from None
+        if not isinstance(data, dict) \
+                or not isinstance(data.get("items"), list):
+            raise ServeError('batch request must be {"items": [...]}')
+        items = data["items"]
+        if not items:
+            raise ServeError("batch needs at least one item")
+        if len(items) > MAX_BATCH_ITEMS:
+            raise ServeError(
+                f"batch carries {len(items)} items "
+                f"(limit {MAX_BATCH_ITEMS})")
+        fields = []
+        for index, item in enumerate(items):
+            try:
+                fields.append(_request_fields(item))
+            except ServeError as error:
+                raise ServeError(f"batch item {index}: {error}") from None
+        return fields
 
     def _parse_request_body(self) -> dict:
         """The ``ServePool.submit`` kwargs for this HTTP request.
@@ -166,23 +282,65 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise ServeError(f"request is not valid JSON: {error}") \
                 from None
-        if not isinstance(data, dict) \
-                or not isinstance(data.get("source"), str):
-            raise ServeError('request must be {"source": "<C text>", ...}')
-        macros = data.get("macros")
-        if macros is not None and (
-                not isinstance(macros, dict)
-                or not all(isinstance(k, str) and isinstance(v, str)
-                           for k, v in macros.items())):
-            raise ServeError("macros must map names to string values")
-        fields = {"source": data["source"],
-                  "filename": str(data.get("filename", "<request>")),
-                  "macros": macros,
-                  "options": options_from_json(data.get("options")),
-                  "probe": bool(data.get("probe", False))}
-        if self._srv.config.allow_chaos and data.get("chaos"):
+        fields = _request_fields(data)
+        if self._srv.config.allow_chaos and isinstance(data, dict) \
+                and data.get("chaos"):
             fields["chaos"] = str(data["chaos"])
         return fields
+
+
+def _request_fields(data) -> dict:
+    """Validate one JSON verify item into ``ServePool.submit`` kwargs.
+
+    Shared by ``/verify`` (the whole body) and ``/batch`` (per item);
+    the test-only ``chaos`` hook is deliberately not part of this
+    surface — batch items never carry faults.
+    """
+    if not isinstance(data, dict) \
+            or not isinstance(data.get("source"), str):
+        raise ServeError('request must be {"source": "<C text>", ...}')
+    macros = data.get("macros")
+    if macros is not None and (
+            not isinstance(macros, dict)
+            or not all(isinstance(k, str) and isinstance(v, str)
+                       for k, v in macros.items())):
+        raise ServeError("macros must map names to string values")
+    return {"source": data["source"],
+            "filename": str(data.get("filename", "<request>")),
+            "macros": macros,
+            "options": options_from_json(data.get("options")),
+            "probe": bool(data.get("probe", False))}
+
+
+def _self_check(status: int, body: dict) -> tuple[int, dict]:
+    """Validate a 200 body before the bytes leave the process: a
+    response that fails its own schema is a 500, not a client surprise."""
+    if status == 200:
+        try:
+            validate_response(body)
+        except ValueError as error:
+            return 500, error_response(ServeError(str(error)))
+    return status, body
+
+
+def _observe_request(started: float, status: int, body: dict) -> None:
+    """Latency telemetry for one answered request.
+
+    ``serve.request_seconds`` keeps the whole population;
+    ``serve.warm_seconds`` / ``serve.cold_seconds`` split the verified
+    answers by whether every pipeline stage replayed from the store, so
+    the ``/metrics`` quantiles stop mixing two regimes that differ by
+    orders of magnitude.  Error responses have no stages and stay out
+    of the split.
+    """
+    elapsed = time.perf_counter() - started
+    obs.observe("serve.request_seconds", elapsed)
+    if status == 200:
+        stages = body.get("stages") or {}
+        warm = bool(stages) and all(outcome == "hit"
+                                    for outcome in stages.values())
+        obs.observe("serve.warm_seconds" if warm
+                    else "serve.cold_seconds", elapsed)
 
 
 class BoundsServer(ThreadingHTTPServer):

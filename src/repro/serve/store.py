@@ -178,6 +178,12 @@ class ResultStore:
                 handle.write(text)
             os.replace(tmp, self._path(key))
 
+    def discard(self, key: str) -> None:
+        """Drop one entry (the poison-drop seam for callers that layer
+        their own payload-level validation, e.g. the codegen artifact's
+        ``CODEGEN_VERSION`` check)."""
+        self._discard(key)
+
     def _discard(self, key: str) -> None:
         with self._lock:
             if self.root is None:
@@ -312,6 +318,7 @@ class ResultStore:
             entries = sorted(self._entries(), key=lambda e: e[2])
             total = sum(size for _h, size, _s in entries)
             if total <= self.max_bytes:
+                obs.set_gauge("store.bytes", total)
                 return
             pinned = self._pinned_handles()
             for handle, size, _stamp in entries:
@@ -329,6 +336,9 @@ class ResultStore:
                         continue
                 total -= size
                 obs.add("store.evictions")
+            # The LRU cap is observable before it thrashes: /metrics
+            # reports occupancy next to the eviction counter.
+            obs.set_gauge("store.bytes", total)
 
     def __contains__(self, key: str) -> bool:
         return self.raw_read(key) is not None

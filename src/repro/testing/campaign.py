@@ -138,6 +138,18 @@ def pool_warmup() -> None:
 _pool_warmup = pool_warmup  # the historical private name, kept callable
 
 
+def chunksize_for(n_work: int, jobs: int) -> int:
+    """Seeds per IPC round-trip for an ``imap_unordered`` campaign.
+
+    Aim for ~4 chunks per worker over the whole campaign: big enough to
+    amortize dispatch overhead on large workloads, small enough that the
+    tail stays balanced (seed costs vary widely) and a time-budget
+    ``terminate()`` does not strand a long chunk.  Floor of 1 for
+    workloads smaller than the worker count.
+    """
+    return max(1, n_work // (4 * max(1, jobs)))
+
+
 def _status_line(done: int, total: int, cached: int, failed: int,
                  elapsed: float) -> str:
     """One-line campaign progress summary with throughput and ETA."""
@@ -269,10 +281,7 @@ def run_campaign(config: CampaignConfig,
             if deadline_hit():
                 break
     else:
-        # Batch seeds per IPC round-trip, but keep chunks small enough
-        # that the tail stays balanced (seed costs vary widely) and a
-        # time-budget terminate() does not strand a long chunk.
-        chunksize = max(1, min(4, len(work) // (4 * config.jobs)))
+        chunksize = chunksize_for(len(work), config.jobs)
         with Pool(processes=config.jobs, initializer=_pool_warmup) as pool:
             for verdict in pool.imap_unordered(_check_one, work,
                                                chunksize=chunksize):

@@ -86,6 +86,28 @@ def _store_counters(port: int) -> dict[str, float]:
             if name.startswith("store.")}
 
 
+def _pipeline_stats(port: int) -> dict[str, float]:
+    """Counters plus histogram counts — the single-flight evidence."""
+    snapshot = _get(port, "/metrics")
+    stats = dict(snapshot["counters"])
+    for name, data in snapshot["histograms"].items():
+        stats[f"{name}.count"] = data["count"]
+    return stats
+
+
+def _post_batch(port: int, items: list[dict],
+                timeout: float = 180.0) -> list[dict]:
+    """POST /batch; returns the parsed NDJSON lines."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/batch",
+        data=json.dumps({"items": items}).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.status == 200
+        text = response.read().decode()
+    return [json.loads(line) for line in text.splitlines()]
+
+
 def _delta(before: dict, after: dict) -> dict[str, float]:
     return {name: after.get(name, 0) - before.get(name, 0)
             for name in set(before) | set(after)}
@@ -162,9 +184,12 @@ class TestStoreHitsEveryStage:
         port = server.bound_port
         payloads = [{"source": load_source(path), "filename": path}
                     for path in SAMPLE]
-        _concurrent(port, payloads * 2)            # warm every key
+        _concurrent(port, payloads)                # warm every key
         before = _store_counters(port)
-        results = _concurrent(port, payloads * 2)  # the measured round
+        # Two measured rounds, each of distinct requests: concurrent
+        # *identical* requests would collapse onto one single-flight
+        # execution and touch the store once for the whole burst.
+        results = _concurrent(port, payloads) + _concurrent(port, payloads)
         assert all(status == 200 for status, _b, _h in results)
         for _status, body, _headers in results:
             assert all(body["stages"][stage] == "hit" for stage in STAGES)
@@ -255,6 +280,156 @@ class TestHealthz:
             assert False, "expected a 404"
         except urllib.error.HTTPError as error:
             assert error.code == 404
+
+
+class TestSingleFlight:
+    """Concurrent identical requests collapse onto one computation."""
+
+    def test_identical_burst_runs_the_pipeline_once(self, server):
+        port = server.bound_port
+        burst = 6
+        # A macros tag nobody else uses guarantees a cold (slow) key, so
+        # the followers genuinely arrive while the leader is in flight.
+        payload = {"source": load_source("mibench/crc32.c"),
+                   "filename": "mibench/crc32.c",
+                   "macros": {"X_SINGLE_FLIGHT_BURST": "1"}}
+        before = _pipeline_stats(port)
+        results = _concurrent(port, [dict(payload) for _ in range(burst)])
+        assert all(status == 200 for status, _b, _h in results)
+        delta = _delta(before, _pipeline_stats(port))
+        # Exactly one pipeline execution for the whole burst...
+        assert delta.get("serve.singleflight.leaders", 0) == 1
+        assert delta.get("serve.singleflight.followers", 0) == burst - 1
+        assert delta.get("serve.pipeline_seconds.count", 0) == 1
+        # ...every follower says so, and every answer is the same bound.
+        collapsed = [body for _s, body, _h in results
+                     if body.get("collapsed") is True]
+        assert len(collapsed) == burst - 1
+        bounds = {body["bounds"]["stack_requirement"]
+                  for _s, body, _h in results}
+        assert len(bounds) == 1
+
+    def test_distinct_requests_do_not_collapse(self, server):
+        port = server.bound_port
+        payloads = [{"source": load_source(path), "filename": path,
+                     "macros": {"X_NO_COLLAPSE": str(index)}}
+                    for index, path in enumerate(SAMPLE[:2])]
+        before = _pipeline_stats(port)
+        results = _concurrent(port, payloads)
+        assert all(status == 200 for status, _b, _h in results)
+        delta = _delta(before, _pipeline_stats(port))
+        assert delta.get("serve.singleflight.leaders", 0) == 2
+        assert delta.get("serve.singleflight.followers", 0) == 0
+        assert not any(body.get("collapsed") for _s, body, _h in results)
+
+
+class TestBatch:
+    """POST /batch: in-batch dedup, pool fan-out, streamed results."""
+
+    def test_batch_dedups_and_streams_every_item(self, server):
+        port = server.bound_port
+        source = load_source("mibench/bitcount.c")
+        items = [{"source": source, "filename": "one.c"},
+                 {"source": "int main(void) { return 5; }"},
+                 {"source": source, "filename": "dup-of-one.c"}]
+        before = _pipeline_stats(port)
+        lines = _post_batch(port, items)
+        header, results, footer = lines[0], lines[1:-1], lines[-1]
+        assert header["schema"] == "repro.serve.batch/1"
+        assert header["items"] == 3 and header["unique"] == 2
+        assert footer == {"done": True}
+        by_index = {line["index"]: line for line in results}
+        assert set(by_index) == {0, 1, 2}
+        for line in results:
+            assert line["status"] == 200
+            assert line["body"]["verdict"] == "verified"
+        # The duplicate rode its representative's computation.
+        assert by_index[2]["duplicate_of"] == 0
+        assert "duplicate_of" not in by_index[0]
+        assert by_index[2]["body"]["bounds"] \
+            == by_index[0]["body"]["bounds"]
+        # The served bounds match the in-process oracle.
+        expected = verify_stack_bounds(source, filename="one.c")
+        assert by_index[0]["body"]["bounds"]["functions"] \
+            == expected.all_bytes()
+        delta = _delta(before, _pipeline_stats(port))
+        assert delta.get("serve.batch.requests", 0) == 1
+        assert delta.get("serve.batch.items", 0) == 3
+        assert delta.get("serve.batch.deduped", 0) == 1
+
+    def test_malformed_batch_is_a_400(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.bound_port}/batch",
+            data=json.dumps({"items": [{"source": 7}]}).encode(),
+            headers={"Content-Type": "application/json"})
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            assert False, "expected a 400"
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+            assert "batch item 0" in json.loads(error.read())["error"]
+
+
+class TestRestartPersistence:
+    """The store — codegen artifacts included — survives a restart."""
+
+    #: Small, auto-analyzable, runs in microseconds at its bound.
+    SOURCE = ("int leaf(int x) { int a[6]; a[x % 6] = x; return a[0]; }\n"
+              "int main(void) { return leaf(4); }\n")
+
+    def _spawn(self, store_dir: str) -> subprocess.Popen:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--jobs", "0", "--store-dir", store_dir],
+            stderr=subprocess.PIPE, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))))
+
+    def _serve_once(self, store_dir: str) -> tuple[dict, dict]:
+        """Boot, serve one probe request, SIGTERM; returns (body, metrics)."""
+        process = self._spawn(store_dir)
+        try:
+            line = process.stderr.readline()
+            assert "serving certified bounds" in line
+            port = int(line.split("http://127.0.0.1:")[1].split()[0])
+            status, body, _ = _post(
+                port, {"source": self.SOURCE, "probe": True}, timeout=120)
+            assert status == 200, body
+            metrics = _get(port, "/metrics")
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        return body, metrics
+
+    def test_second_daemon_is_warm_with_zero_codegen_compiles(
+            self, tmp_path):
+        store_dir = str(tmp_path / "store")
+
+        cold_body, cold_metrics = self._serve_once(store_dir)
+        assert cold_body["stages"] == {stage: "miss" for stage in STAGES}
+        assert cold_body["probe"]["codegen"] == "generated"
+        assert cold_metrics["histograms"].get(
+            "codegen.compile_seconds", {}).get("count", 0) == 1
+
+        warm_body, warm_metrics = self._serve_once(store_dir)
+        # Every stage replays from the store...
+        assert warm_body["stages"] == {stage: "hit" for stage in STAGES}
+        # ...the probe compiled the *persisted* source...
+        assert warm_body["probe"]["codegen"] == "store"
+        assert warm_body["bounds"] == cold_body["bounds"]
+        # ...and this daemon regenerated exactly nothing.
+        counters = warm_metrics["counters"]
+        histograms = warm_metrics["histograms"]
+        assert histograms.get("codegen.compile_seconds",
+                              {}).get("count", 0) == 0
+        assert counters.get("codegen.asm.installs", 0) == 1
+        assert counters.get("store.codegen.hits", 0) == 1
+        assert counters.get("store.misses", 0) == 0
 
 
 class TestSignalDrain:

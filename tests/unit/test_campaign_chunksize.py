@@ -1,0 +1,45 @@
+"""Unit tests of the campaign's IPC chunk sizing (``chunksize_for``).
+
+The heuristic targets ~4 chunks per worker: large campaigns get large
+chunks (amortized dispatch), small campaigns floor at 1 (every worker
+gets work), and nothing caps the growth — the historical ``min(4, …)``
+clamp meant a 10k-seed overnight campaign paid one IPC round-trip per 4
+seeds regardless of scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.campaign import chunksize_for
+
+
+class TestChunksizeFor:
+    @pytest.mark.parametrize("n_work,jobs,expected", [
+        (1, 4, 1),            # tiny workload: floor
+        (8, 4, 1),            # fewer seeds than 4*jobs: floor
+        (16, 4, 1),           # boundary: exactly one seed per chunk
+        (64, 4, 4),           # the old cap's last honest answer
+        (100, 4, 6),
+        (400, 2, 50),         # the old heuristic said 4
+        (1_000, 8, 31),
+        (10_000, 4, 625),     # large campaign: large chunks
+        (256, 1, 64),         # single worker still batches
+    ])
+    def test_representative_pairs(self, n_work, jobs, expected):
+        assert chunksize_for(n_work, jobs) == expected
+
+    def test_grows_with_workload_instead_of_capping(self):
+        sizes = [chunksize_for(n, 4) for n in (10, 100, 1_000, 10_000)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 4, "the min(4, ...) cap is back"
+
+    def test_about_four_chunks_per_worker(self):
+        for n_work, jobs in ((128, 2), (1_000, 8), (5_000, 16)):
+            chunks = n_work / chunksize_for(n_work, jobs)
+            assert chunks >= 4 * jobs          # tail stays balanced
+            assert chunks <= 8 * jobs + jobs   # dispatch stays amortized
+
+    def test_degenerate_inputs_floor_at_one(self):
+        assert chunksize_for(0, 4) == 1
+        assert chunksize_for(5, 0) == 1   # jobs guard: no ZeroDivisionError

@@ -221,3 +221,24 @@ class TestEviction:
             store.put(f"backend:src{index}:opt", {"pad": "x" * 100})
         assert store.size_bytes() <= 2000
         assert _counter("store.evictions") > 0
+
+    @pytest.mark.parametrize("root", [None, "disk"])
+    def test_occupancy_gauge_tracks_puts(self, tmp_path, metrics, root):
+        """``store.bytes`` makes the LRU cap observable on /metrics."""
+        store = ResultStore(str(tmp_path) if root else None,
+                            max_bytes=1 << 20)
+        assert "store.bytes" not in obs.snapshot()["gauges"]
+        store.put("backend:src0:opt", {"pad": "x" * 100})
+        first = obs.snapshot()["gauges"]["store.bytes"]
+        assert first > 0
+        store.put("backend:src1:opt", {"pad": "x" * 100})
+        assert obs.snapshot()["gauges"]["store.bytes"] > first
+        assert obs.snapshot()["gauges"]["store.bytes"] \
+            == store.size_bytes()
+
+    def test_occupancy_gauge_reflects_eviction(self, metrics):
+        store = ResultStore(max_bytes=2000)
+        for index in range(40):
+            store.put(f"backend:src{index}:opt", {"pad": "x" * 100})
+        assert _counter("store.evictions") > 0
+        assert obs.snapshot()["gauges"]["store.bytes"] <= 2000
