@@ -127,6 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also interpret the RTL and Mach levels")
     fuzz.add_argument("--recursion", action="store_true",
                       help="generate (bounded) recursive programs too")
+    fuzz.add_argument("--funcptr", action="store_true",
+                      help="generate function-pointer dispatch programs too")
     fuzz.add_argument("--no-probes", action="store_true",
                       help="skip the bound-tightness stack probes")
     fuzz.add_argument("--no-shrink", action="store_true",
@@ -216,12 +218,21 @@ def cmd_bounds(args) -> int:
         status = "exact" if report.fully_exact else "sampled"
         print(f"# derivations re-checked: {report.nodes} nodes, "
               f"{report.exact_conditions} side conditions ({status})")
+    from repro.logic.bexpr import param_names
+
     metric = compilation.metric
     print(f"{'function':24s} {'SF':>6s} {'M(f)':>6s} {'bound':>8s}")
     for name in sorted(analysis.functions):
+        expr = analysis.bound_expr(name)
+        if param_names(expr):
+            # A recursive function's bound depends on its arguments;
+            # print it symbolically (callers with concrete arguments —
+            # main included — still get byte figures below).
+            bound = repr(expr)
+        else:
+            bound = f"{analysis.bound_bytes(name, metric):8d}"
         print(f"{name:24s} {compilation.frame_sizes[name]:6d} "
-              f"{metric.cost(name):6d} "
-              f"{analysis.bound_bytes(name, metric):8d}")
+              f"{metric.cost(name):6d} {bound}")
     main_bound = analysis.bound_bytes(compilation.asm.main, metric)
     print(f"\nstack requirement for {compilation.asm.main}: "
           f"{main_bound} bytes (run with --stack {main_bound})")
@@ -508,7 +519,11 @@ def cmd_fuzz(args) -> int:
         cache_dir = None if args.no_cache else (args.cache_dir
                                                 or DEFAULT_CACHE_DIR)
         repro_dir = args.repro_dir or "repro-failures"
-        gen_kwargs = {"recursion": True} if args.recursion else {}
+        gen_kwargs = {}
+        if args.recursion:
+            gen_kwargs["recursion"] = True
+        if args.funcptr:
+            gen_kwargs["funcptr"] = True
         config = CampaignConfig(
             seeds=args.seeds, start=args.start, jobs=args.jobs,
             metric=args.metric, plant=args.plant, gen_kwargs=gen_kwargs,

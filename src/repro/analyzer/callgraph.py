@@ -1,9 +1,14 @@
 """Call graphs of Clight programs, with recursion detection.
 
-The automatic analyzer needs functions in topological order of the call
-graph and must reject recursion (paper §5).  Strongly connected components
-are computed with Tarjan's algorithm so that the error message can name
-the whole recursive cycle, not just one function.
+The automatic analyzer needs functions in bottom-up order of the call
+graph.  Strongly connected components are computed with an iterative
+Tarjan's algorithm (no recursion limit on deep call chains): singleton
+SCCs analyze directly, self-recursive singletons go through the
+ranking-function inference (:mod:`repro.analyzer.recursion`), and larger
+components (mutual recursion) are rejected with the whole cycle named in
+the error.  Indirect calls never appear here: the Clight lowering
+devirtualizes them against the value analysis' candidate sets
+(:mod:`repro.analyzer.values`), so this graph is always direct.
 """
 
 from __future__ import annotations
@@ -34,46 +39,60 @@ class CallGraph:
         return self.calls[name]
 
     def sccs(self) -> list[list[str]]:
-        """Strongly connected components in reverse topological order."""
-        index_counter = [0]
+        """Strongly connected components in reverse topological order.
+
+        Iterative Tarjan: an explicit work stack replaces the recursive
+        ``strongconnect``, so arbitrarily deep call chains (progen likes
+        those) never approach the Python recursion limit — and nothing
+        touches the process-global ``sys.setrecursionlimit``, which was
+        not safe under the serve pool's concurrent requests.
+        """
+        index_counter = 0
         stack: list[str] = []
         lowlink: dict[str, int] = {}
         index: dict[str, int] = {}
         on_stack: set[str] = set()
         result: list[list[str]] = []
 
-        def strongconnect(node: str) -> None:
-            index[node] = index_counter[0]
-            lowlink[node] = index_counter[0]
-            index_counter[0] += 1
-            stack.append(node)
-            on_stack.add(node)
-            for succ in sorted(self.calls[node]):
-                if succ not in index:
-                    strongconnect(succ)
-                    lowlink[node] = min(lowlink[node], lowlink[succ])
-                elif succ in on_stack:
-                    lowlink[node] = min(lowlink[node], index[succ])
-            if lowlink[node] == index[node]:
-                component: list[str] = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == node:
+        for root in sorted(self.calls):
+            if root in index:
+                continue
+            # Each frame is (node, iterator over its successors).
+            work: list[tuple[str, Iterator[str]]] = []
+            index[root] = lowlink[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            work.append((root, iter(sorted(self.calls[root]))))
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = index_counter
+                        index_counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(self.calls[succ]))))
+                        advanced = True
                         break
-                result.append(component)
-
-        import sys
-
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 4 * len(self.calls) + 100))
-        try:
-            for node in sorted(self.calls):
-                if node not in index:
-                    strongconnect(node)
-        finally:
-            sys.setrecursionlimit(old_limit)
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(component)
         return result
 
     def recursive_components(self) -> list[list[str]]:
@@ -87,12 +106,19 @@ class CallGraph:
         return out
 
     def topological_order(self) -> list[str]:
-        """Callees before callers; raises on recursion."""
+        """Callees before callers; raises on recursion.
+
+        The raised :class:`AnalysisError` carries the recursive SCCs as
+        structured data (``error.sccs``), so the recursion analyzer can
+        dispatch on exactly which functions were recursive and serve
+        responses can report them, without re-running SCC detection.
+        """
         recursive = self.recursive_components()
         if recursive:
             pretty = "; ".join(" <-> ".join(c) for c in recursive)
             raise AnalysisError(
-                f"the automatic analyzer does not support recursion: {pretty}")
+                f"the automatic analyzer does not support recursion: {pretty}",
+                sccs=recursive)
         return [component[0] for component in self.sccs()]
 
 

@@ -1,0 +1,770 @@
+"""Automatic ranking-function inference for self-recursive functions.
+
+The paper handles recursion only through hand-written Table 2 derivations;
+this module closes the gap for the *structural* fragment those programs
+actually use: a self-recursive function with an integer measure — a
+formal, or a difference of two formals (``hi - lo``) — that every
+recursive call site decreases (by a constant, or by halving), guarded by a
+branch on the measure that provides the base case.
+
+The inference is deliberately untrusted.  It only *proposes* a parametric
+spec ``P_f`` together with ordinary ``Q:CALL`` instantiations (the
+``spec_args`` of the paper's auxiliary-state mechanism, e.g.
+``Z -> Z - 1``); the proposal is then validated by building a normal
+``auto_bound`` derivation for the body under the hypothesized Γ entry and
+running :func:`repro.logic.checker.check_function_spec` over a declared
+verification domain.  A wrong candidate (too small a bound, a measure
+that does not decrease) fails the sampled induction and is discarded, so
+the trust root stays with the certificate checker — the same position the
+manual Table 2 specs occupy.
+
+Two residual trust gaps are documented (and covered differentially by the
+ASMsz watermark tests): the ``spec_args`` at a call site are auxiliary
+state, not verified against the code (exactly as for manual specs), and
+sites whose argument the symbolic walk cannot express (``qsort``'s
+partition point) fall back to the assumption "measure decreases by one".
+
+The same symbolic walk powers the *plan* computation for callers of
+parametric functions: ``main`` calling ``bsearch(x, 0, N)`` needs the
+spec instantiation ``n := N - 0``, which is read off the callee's
+parameter recipe and the symbolic values of the arguments.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro import obs
+from repro.clight import ast as cl
+from repro.errors import AnalysisError, DerivationError
+from repro.logic import derivation as dv
+from repro.logic.assertions import FunContext, FunSpec, Post
+from repro.logic.bexpr import (BConst, BExpr, BFrameDiff, BHalf, BLog2,
+                               BMul, BParamDiff, BScale, ZERO, badd, bmax,
+                               bmetric, bparam, fold_with_params,
+                               param_names)
+from repro.logic.checker import CheckerContext, check_function_spec
+
+# Verification domains: the induction step of an inferred spec is checked
+# exhaustively over these measure values (the executable surrogate for the
+# paper's Coq side-condition proofs, same role as table2's domains).
+LINEAR_DOMAIN = range(0, 601)
+LOG_DOMAIN = range(2, 1026)
+# Auxiliary parameters that merely pass through the recursion (constants
+# threaded into a non-recursive callee) are sampled, not swept.
+EXTRA_DOMAIN = (0, 1, 5, 63, 256, 1024)
+
+_MAX_ENVS = 24
+
+
+# ---------------------------------------------------------------------------
+# Symbolic values: a tiny abstract domain over the function's formals
+# ---------------------------------------------------------------------------
+
+
+class Sym:
+    """An abstract value: affine over the formals, a floor/ceil half of an
+    affine form, a product of two affine forms, an interval ``[0, limit]``
+    (the result of masking with a constant), or ⊤."""
+
+    __slots__ = ("kind", "coeffs", "const", "ceil", "limit", "left", "right")
+
+    def __init__(self, kind: str, coeffs=None, const: int = 0,
+                 ceil: bool = False, limit: int = 0,
+                 left: "Sym | None" = None, right: "Sym | None" = None) -> None:
+        self.kind = kind
+        self.coeffs = {n: c for n, c in (coeffs or {}).items() if c != 0}
+        self.const = const
+        self.ceil = ceil
+        self.limit = limit
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        if self.kind == "aff":
+            parts = [f"{c}*{n}" for n, c in sorted(self.coeffs.items())]
+            parts.append(str(self.const))
+            return " + ".join(parts)
+        if self.kind == "half":
+            op = "ceil_half" if self.ceil else "half"
+            return f"{op}({Sym('aff', self.coeffs, self.const)!r})"
+        if self.kind == "bounded":
+            return f"[0..{self.limit}]"
+        if self.kind == "mul":
+            return f"({self.left!r}) * ({self.right!r})"
+        return "⊤"
+
+
+SYM_TOP = Sym("top")
+
+
+def _aff(coeffs=None, const: int = 0) -> Sym:
+    return Sym("aff", coeffs, const)
+
+
+def _formal(name: str) -> Sym:
+    return Sym("aff", {name: 1})
+
+
+def sym_eq(a: Sym, b: Sym) -> bool:
+    if a.kind != b.kind:
+        return False
+    if a.kind in ("aff", "half"):
+        return (a.coeffs == b.coeffs and a.const == b.const
+                and a.ceil == b.ceil)
+    if a.kind == "bounded":
+        return a.limit == b.limit
+    if a.kind == "mul":
+        return sym_eq(a.left, b.left) and sym_eq(a.right, b.right)
+    return True  # top
+
+
+def sym_add(a: Sym, b: Sym) -> Sym:
+    if a.kind == "aff" and b.kind == "aff":
+        coeffs = dict(a.coeffs)
+        for name, c in b.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + c
+        return _aff(coeffs, a.const + b.const)
+    # floor(A/2) + B = floor((A + 2B)/2), and likewise for ceil.
+    if a.kind == "half" and b.kind == "aff":
+        doubled = {n: 2 * c for n, c in b.coeffs.items()}
+        coeffs = dict(a.coeffs)
+        for name, c in doubled.items():
+            coeffs[name] = coeffs.get(name, 0) + c
+        return Sym("half", coeffs, a.const + 2 * b.const, ceil=a.ceil)
+    if b.kind == "half" and a.kind == "aff":
+        return sym_add(b, a)
+    return SYM_TOP
+
+
+def _sym_neg(a: Sym) -> Sym:
+    if a.kind == "aff":
+        return _aff({n: -c for n, c in a.coeffs.items()}, -a.const)
+    return SYM_TOP
+
+
+def sym_sub(a: Sym, b: Sym) -> Sym:
+    # A - floor(B/2) = ceil((2A - B)/2): the floor/ceil flips.
+    if b.kind == "half" and a.kind == "aff":
+        coeffs = {n: 2 * c for n, c in a.coeffs.items()}
+        for name, c in b.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) - c
+        return Sym("half", coeffs, 2 * a.const - b.const, ceil=not b.ceil)
+    if b.kind == "aff":
+        return sym_add(a, _sym_neg(b))
+    return SYM_TOP
+
+
+def sym_mul(a: Sym, b: Sym) -> Sym:
+    for x, y in ((a, b), (b, a)):
+        if x.kind == "aff" and not x.coeffs:
+            if y.kind == "aff" and x.const >= 0:
+                return _aff({n: x.const * c for n, c in y.coeffs.items()},
+                            x.const * y.const)
+            return SYM_TOP
+    if a.kind == "aff" and b.kind == "aff":
+        return Sym("mul", left=a, right=b)
+    return SYM_TOP
+
+
+def eval_expr(expr: cl.Expr, env: Mapping[str, Sym]) -> Sym:
+    if isinstance(expr, cl.EConstInt):
+        return _aff(const=expr.value)
+    if isinstance(expr, cl.ETemp):
+        return env.get(expr.name, SYM_TOP)
+    if isinstance(expr, cl.EBinop):
+        left = eval_expr(expr.left, env)
+        right = eval_expr(expr.right, env)
+        if expr.op == "add":
+            return sym_add(left, right)
+        if expr.op == "sub":
+            return sym_sub(left, right)
+        if expr.op == "mul":
+            return sym_mul(left, right)
+        if expr.op in ("divu", "divs"):
+            if isinstance(expr.right, cl.EConstInt) and expr.right.value == 2 \
+                    and left.kind == "aff":
+                return Sym("half", left.coeffs, left.const, ceil=False)
+            return SYM_TOP
+        if expr.op == "and":
+            # ``e & m`` lies in [0, m]: a sound worst case for monotone
+            # parametric bounds (progen masks recursion arguments this way).
+            for side in (expr.right, expr.left):
+                if isinstance(side, cl.EConstInt) and side.value >= 0:
+                    return Sym("bounded", limit=side.value)
+            return SYM_TOP
+        if expr.op.startswith("cmp"):
+            return Sym("bounded", limit=1)
+        return SYM_TOP
+    return SYM_TOP
+
+
+# ---------------------------------------------------------------------------
+# The path-sensitive symbolic walk
+# ---------------------------------------------------------------------------
+
+
+class SiteRecord:
+    """One call statement with its argument values per reaching path."""
+
+    __slots__ = ("stmt", "callee", "disjuncts")
+
+    def __init__(self, stmt: cl.SCall) -> None:
+        self.stmt = stmt
+        self.callee = stmt.callee
+        self.disjuncts: list[tuple[Sym, ...]] = []
+
+    def add(self, args: tuple[Sym, ...]) -> None:
+        for seen in self.disjuncts:
+            if len(seen) == len(args) and all(
+                    sym_eq(a, b) for a, b in zip(seen, args)):
+                return
+        self.disjuncts.append(args)
+
+
+class SymbolicWalk:
+    """Disjunctive symbolic execution of one function body."""
+
+    def __init__(self, function: cl.Function) -> None:
+        self.function = function
+        self.sites: dict[int, SiteRecord] = {}
+        env = {}
+        for index, name in enumerate(function.params):
+            if not function.param_is_float[index]:
+                env[name] = _formal(name)
+        self._walk(function.body, [env])
+
+    def site_list(self) -> list[SiteRecord]:
+        return list(self.sites.values())
+
+    def _walk(self, stmt: cl.Stmt, envs: list[dict]) -> list[dict]:
+        if not envs:
+            return envs
+        if isinstance(stmt, cl.SSkip):
+            return envs
+        if isinstance(stmt, cl.SSet):
+            for env in envs:
+                env[stmt.temp] = eval_expr(stmt.expr, env)
+            return envs
+        if isinstance(stmt, cl.SStore):
+            return envs
+        if isinstance(stmt, cl.SCall):
+            record = self.sites.get(id(stmt))
+            if record is None:
+                record = self.sites[id(stmt)] = SiteRecord(stmt)
+            for env in envs:
+                record.add(tuple(eval_expr(a, env) for a in stmt.args))
+                if stmt.dest is not None:
+                    env[stmt.dest] = SYM_TOP
+            return envs
+        if isinstance(stmt, cl.SSeq):
+            return self._walk(stmt.second, self._walk(stmt.first, envs))
+        if isinstance(stmt, cl.SIf):
+            then_envs = self._walk(stmt.then, [dict(e) for e in envs])
+            else_envs = self._walk(stmt.otherwise, [dict(e) for e in envs])
+            return self._cap(then_envs + else_envs)
+        if isinstance(stmt, cl.SLoop):
+            havoc = _assigned_temps(stmt)
+            entry = []
+            for env in envs:
+                clean = dict(env)
+                for name in havoc:
+                    clean[name] = SYM_TOP
+                entry.append(clean)
+            entry = self._cap(entry)
+            # One abstract iteration with the havocked environment records
+            # every call site inside the loop soundly; the fall-through
+            # environment is the havocked one (the loop may run 0+ times).
+            after_body = self._walk(stmt.body, [dict(e) for e in entry])
+            self._walk(stmt.post, after_body)
+            return entry
+        if isinstance(stmt, cl.SBlock):
+            return self._walk(stmt.body, envs)
+        if isinstance(stmt, (cl.SBreak, cl.SContinue, cl.SReturn)):
+            return []
+        return envs
+
+    @staticmethod
+    def _cap(envs: list[dict]) -> list[dict]:
+        if len(envs) <= _MAX_ENVS:
+            return envs
+        merged = dict(envs[0])
+        for env in envs[1:]:
+            for name in set(merged) | set(env):
+                a, b = merged.get(name, SYM_TOP), env.get(name, SYM_TOP)
+                merged[name] = a if sym_eq(a, b) else SYM_TOP
+        return [merged]
+
+
+def _assigned_temps(stmt: cl.Stmt) -> set[str]:
+    out: set[str] = set()
+    if isinstance(stmt, cl.SSet):
+        out.add(stmt.temp)
+    elif isinstance(stmt, cl.SCall):
+        if stmt.dest is not None:
+            out.add(stmt.dest)
+    elif isinstance(stmt, cl.SSeq):
+        out |= _assigned_temps(stmt.first) | _assigned_temps(stmt.second)
+    elif isinstance(stmt, cl.SIf):
+        out |= _assigned_temps(stmt.then) | _assigned_temps(stmt.otherwise)
+    elif isinstance(stmt, cl.SLoop):
+        out |= _assigned_temps(stmt.body) | _assigned_temps(stmt.post)
+    elif isinstance(stmt, cl.SBlock):
+        out |= _assigned_temps(stmt.body)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Translating symbolic values to bound expressions
+# ---------------------------------------------------------------------------
+
+
+def qualify(fname: str, formal: str) -> str:
+    """The spec-parameter name of a caller formal.
+
+    Qualification avoids collisions between the parameter namespaces of
+    different functions' specs (every spec param is global to Γ).
+    """
+    return f"{fname}${formal}"
+
+
+def _aff_to_bexpr(coeffs: Mapping[str, int], const: int,
+                  fname: str) -> BExpr:
+    positive: list[BExpr] = []
+    negative: list[BExpr] = []
+    for name, coeff in sorted(coeffs.items()):
+        atom = bparam(qualify(fname, name))
+        term = atom if abs(coeff) == 1 else BScale(abs(coeff), atom)
+        (positive if coeff > 0 else negative).append(term)
+    if const > 0:
+        positive.append(BConst(const))
+    elif const < 0:
+        negative.append(BConst(-const))
+    pos = badd(*positive) if positive else ZERO
+    if not negative:
+        return pos
+    return BParamDiff(pos, badd(*negative))
+
+
+def sym_to_bexpr(value: Sym, fname: str) -> Optional[BExpr]:
+    """A bound expression over ``fname``'s qualified formals, or None."""
+    if value.kind == "aff":
+        return _aff_to_bexpr(value.coeffs, value.const, fname)
+    if value.kind == "half":
+        return BHalf(_aff_to_bexpr(value.coeffs, value.const, fname),
+                     value.ceil)
+    if value.kind == "bounded":
+        return BConst(value.limit)
+    if value.kind == "mul":
+        left = sym_to_bexpr(value.left, fname)
+        right = sym_to_bexpr(value.right, fname)
+        if left is None or right is None:
+            return None
+        return BMul(left, right)
+    return None
+
+
+def _worst_case(exprs: Sequence[BExpr]) -> BExpr:
+    """Join the per-path instantiations: parametric bounds are monotone in
+    their parameters, so the pointwise max of the candidates is sound."""
+    unique: list[BExpr] = []
+    for expr in exprs:
+        if not any(expr is seen for seen in unique):
+            unique.append(expr)
+    if len(unique) == 1:
+        return unique[0]
+    return bmax(*unique)
+
+
+# ---------------------------------------------------------------------------
+# Caller-side plans for parametric callees
+# ---------------------------------------------------------------------------
+
+Recipe = Mapping[str, tuple]  # spec param -> ("formal", i) | ("diff", j, i)
+
+
+def _apply_recipe(entry: tuple, args: Sequence[Sym]) -> Sym:
+    if entry[0] == "formal":
+        index = entry[1]
+        return args[index] if index < len(args) else SYM_TOP
+    if entry[0] == "diff":
+        _tag, j, i = entry
+        if j < len(args) and i < len(args):
+            return sym_sub(args[j], args[i])
+        return SYM_TOP
+    return SYM_TOP
+
+
+def build_call_plans(function: cl.Function, gamma: FunContext,
+                     recipes: Mapping[str, Recipe],
+                     walk: Optional[SymbolicWalk] = None,
+                     skip_callees: Iterable[str] = ()
+                     ) -> dict[int, dict[str, BExpr]]:
+    """Spec instantiations for every call to a parametric callee.
+
+    Returns a mapping ``id(SCall) -> spec_args`` for :func:`auto_bound`.
+    Raises :class:`AnalysisError` when an argument feeding a spec
+    parameter cannot be expressed over the caller's formals.
+    """
+    skip = set(skip_callees)
+    plans: dict[int, dict[str, BExpr]] = {}
+    walk = walk or SymbolicWalk(function)
+    for site in walk.site_list():
+        callee = site.callee
+        if callee in skip or callee not in gamma:
+            continue
+        spec = gamma[callee]
+        if not spec.params:
+            continue
+        recipe = recipes.get(callee)
+        if recipe is None:
+            raise AnalysisError(
+                f"{function.name}: call to parametric {callee!r} but no "
+                "argument recipe is registered for it")
+        spec_args: dict[str, BExpr] = {}
+        for param in spec.params:
+            entry = recipe.get(param)
+            if entry is None:
+                raise AnalysisError(
+                    f"{function.name}: no recipe for spec parameter "
+                    f"{param!r} of {callee!r}")
+            candidates: list[BExpr] = []
+            for args in site.disjuncts:
+                expr = sym_to_bexpr(_apply_recipe(entry, args),
+                                    function.name)
+                if expr is None:
+                    raise AnalysisError(
+                        f"{function.name}: argument of {callee!r} feeding "
+                        f"spec parameter {param!r} is not expressible over "
+                        f"{function.name}'s formals — the value analysis "
+                        "cannot plan this call")
+                candidates.append(expr)
+            if not candidates:
+                raise AnalysisError(
+                    f"{function.name}: call to {callee!r} is unreachable "
+                    "in the symbolic walk; cannot plan its spec arguments")
+            spec_args[param] = _worst_case(candidates)
+        plans[id(site.stmt)] = spec_args
+    return plans
+
+
+# ---------------------------------------------------------------------------
+# Measure inference
+# ---------------------------------------------------------------------------
+
+
+class Measure:
+    """A candidate ranking function: a formal or a difference of two."""
+
+    __slots__ = ("kind", "j", "i")
+
+    def __init__(self, kind: str, j: int, i: int = 0) -> None:
+        self.kind = kind  # "formal" (index j) or "diff" (formal_j - formal_i)
+        self.j = j
+        self.i = i
+
+    def recipe_entry(self) -> tuple:
+        if self.kind == "formal":
+            return ("formal", self.j)
+        return ("diff", self.j, self.i)
+
+    def describe(self, formals: Sequence[str]) -> str:
+        if self.kind == "formal":
+            return formals[self.j]
+        return f"{formals[self.j]} - {formals[self.i]}"
+
+    def initial(self, formals: Sequence[str]) -> Sym:
+        if self.kind == "formal":
+            return _formal(formals[self.j])
+        return _aff({formals[self.j]: 1, formals[self.i]: -1})
+
+    def at_site(self, args: Sequence[Sym]) -> Sym:
+        return _apply_recipe(self.recipe_entry(), args)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Measure) and \
+            (self.kind, self.j, self.i) == (other.kind, other.j, other.i)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.j, self.i))
+
+
+def _conditions(stmt: cl.Stmt):
+    if isinstance(stmt, cl.SIf):
+        yield stmt.cond
+        yield from _conditions(stmt.then)
+        yield from _conditions(stmt.otherwise)
+    elif isinstance(stmt, cl.SSeq):
+        yield from _conditions(stmt.first)
+        yield from _conditions(stmt.second)
+    elif isinstance(stmt, cl.SLoop):
+        yield from _conditions(stmt.body)
+        yield from _conditions(stmt.post)
+    elif isinstance(stmt, cl.SBlock):
+        yield from _conditions(stmt.body)
+
+
+def _guard_measures(function: cl.Function,
+                    int_formals: Sequence[int]) -> list[Measure]:
+    """Measures suggested by branch guards (the base-case conditions).
+
+    A guard comparing ``hi - lo`` against a constant nominates the
+    difference measure before any blind enumeration — this is what keeps
+    ``qsort`` (whose recursive arguments are loop-computed and hence ⊤)
+    on the right measure.
+    """
+    formals = function.params
+    index_of = {formals[i]: i for i in int_formals}
+    env = {formals[i]: _formal(formals[i]) for i in int_formals}
+    out: list[Measure] = []
+    for cond in _conditions(function.body):
+        if not (isinstance(cond, cl.EBinop) and cond.op.startswith("cmp")):
+            continue
+        left = eval_expr(cond.left, env)
+        right = eval_expr(cond.right, env)
+        for diff in (sym_sub(left, right), sym_sub(right, left)):
+            if diff.kind != "aff":
+                continue
+            coeffs = diff.coeffs
+            names = sorted(coeffs)
+            if len(names) == 1 and coeffs[names[0]] == 1:
+                candidate = Measure("formal", index_of[names[0]])
+            elif len(names) == 2 and sorted(coeffs.values()) == [-1, 1]:
+                plus = next(n for n in names if coeffs[n] == 1)
+                minus = next(n for n in names if coeffs[n] == -1)
+                candidate = Measure("diff", index_of[plus], index_of[minus])
+            else:
+                continue
+            if candidate not in out:
+                out.append(candidate)
+    return out
+
+
+def _classify(new: Sym, initial: Sym):
+    """How one recursive call transforms the measure.
+
+    Returns ``("dec", c)``, ``("half", ceil)``, ``"top"`` (not
+    expressible: the validated fallback "decreases by one" applies), or
+    ``None`` for a definite non-decrease, which rejects the measure.
+    """
+    if new.kind == "aff":
+        if new.coeffs == initial.coeffs:
+            delta = new.const - initial.const
+            return ("dec", -delta) if delta <= -1 else None
+        return "top"
+    if new.kind == "half":
+        if new.coeffs == initial.coeffs and new.const == initial.const:
+            return ("half", new.ceil)
+        return "top"
+    return "top"
+
+
+def _transform_expr(transform, pn: str) -> BExpr:
+    if transform == "top":
+        return BParamDiff(bparam(pn), BConst(1))
+    if transform[0] == "dec":
+        return BParamDiff(bparam(pn), BConst(transform[1]))
+    return BHalf(bparam(pn), transform[1])
+
+
+class InferredSpec:
+    """The result of a successful inference for one recursive function."""
+
+    __slots__ = ("spec", "derivation", "body_bound", "param_domains",
+                 "recipe", "shape", "measure")
+
+    def __init__(self, spec: FunSpec, derivation: dv.Derivation,
+                 body_bound: BExpr, param_domains: dict, recipe: dict,
+                 shape: str, measure: str) -> None:
+        self.spec = spec
+        self.derivation = derivation
+        self.body_bound = body_bound
+        self.param_domains = param_domains
+        self.recipe = recipe
+        self.shape = shape
+        self.measure = measure
+
+
+def infer_recursive_spec(function: cl.Function, gamma: FunContext,
+                         externals: set[str],
+                         recipes: Mapping[str, Recipe],
+                         extra_param_domains: Optional[Mapping] = None
+                         ) -> InferredSpec:
+    """Infer and *validate* a parametric stack bound for ``function``.
+
+    The returned derivation concludes ``{P} body {(P, ⊤, P, ⊤)}`` and has
+    been accepted by :func:`check_function_spec` over the returned
+    verification domains; the caller only has to install the spec in Γ.
+    Raises :class:`AnalysisError` if no candidate survives validation.
+    """
+    from repro.analyzer.auto import auto_bound
+
+    fname = function.name
+    with obs.span("analyzer.recursion.infer", function=fname) as span:
+        walk = SymbolicWalk(function)
+        sites = walk.site_list()
+        self_sites = [s for s in sites if s.callee == fname]
+        obs.add("analyzer.recursion.sites", len(self_sites))
+        int_formals = [i for i in range(len(function.params))
+                       if not function.param_is_float[i]]
+        if not self_sites or not int_formals:
+            raise AnalysisError(
+                f"{fname}: recursive but has no self-call with integer "
+                "formals to rank on", sccs=[[fname]])
+
+        candidates = _guard_measures(function, int_formals)
+        for i in int_formals:
+            measure = Measure("formal", i)
+            if measure not in candidates:
+                candidates.append(measure)
+        for j, i in permutations(int_formals, 2):
+            measure = Measure("diff", j, i)
+            if measure not in candidates:
+                candidates.append(measure)
+
+        # Non-recursive ceiling K: bound the body with self-calls priced
+        # at zero (treated as external).  Parametric *cross* calls are
+        # planned normally, so e.g. filter_find's K carries bsearch's
+        # whole chain.
+        cross_plans = build_call_plans(function, gamma, recipes, walk=walk,
+                                       skip_callees={fname})
+        ceiling, _deriv = auto_bound(function.body, gamma,
+                                     externals | {fname}, plans=cross_plans)
+        extras = sorted(param_names(ceiling))
+        if not extras:
+            ceiling = fold_with_params(ceiling, {})
+        bad = [p for p in extras if not p.startswith(f"{fname}$")]
+        if bad:
+            raise AnalysisError(
+                f"{fname}: non-recursive ceiling depends on foreign "
+                f"parameters {bad}", sccs=[[fname]])
+
+        pn = qualify(fname, "#n")
+        errors: list[str] = []
+        tried = 0
+        for measure in candidates:
+            initial = measure.initial(function.params)
+            site_exprs: list[BExpr] = []
+            transforms = []
+            rejected = False
+            for site in self_sites:
+                site_transforms = []
+                for args in site.disjuncts:
+                    outcome = _classify(measure.at_site(args), initial)
+                    if outcome is None:
+                        rejected = True
+                        break
+                    site_transforms.append(outcome)
+                if rejected or not site_transforms:
+                    rejected = True
+                    break
+                transforms.append(site_transforms)
+                site_exprs.append(_worst_case(
+                    [_transform_expr(t, pn) for t in site_transforms]))
+            if rejected:
+                continue
+            flat = [t for per_site in transforms for t in per_site]
+            halving = all(t != "top" and t[0] == "half" for t in flat)
+            fallbacks = sum(1 for t in flat if t == "top")
+            shapes = ("log", "linear") if halving else ("linear",)
+            for shape in shapes:
+                tried += 1
+                result = _validate_candidate(
+                    function, gamma, externals, recipes, walk, self_sites,
+                    site_exprs, pn, shape, ceiling, extras,
+                    extra_param_domains)
+                if isinstance(result, str):
+                    errors.append(result)
+                    continue
+                spec, deriv, domains = result
+                recipe = {pn: measure.recipe_entry()}
+                for extra in extras:
+                    formal = extra.split("$", 1)[1]
+                    recipe[extra] = ("formal",
+                                     function.params.index(formal))
+                obs.add("analyzer.recursion.inferred")
+                obs.add("analyzer.recursion.candidates_tried", tried)
+                if fallbacks:
+                    obs.add("analyzer.recursion.fallback_sites", fallbacks)
+                span.set(shape=shape, candidates=tried,
+                         measure=measure.describe(function.params))
+                return InferredSpec(
+                    spec, deriv, spec.pre, domains, recipe, shape,
+                    measure.describe(function.params))
+        obs.add("analyzer.recursion.failed")
+    detail = f" (last failure: {errors[-1]})" if errors else ""
+    raise AnalysisError(
+        f"recursion in {fname!r} is outside the supported fragment: no "
+        f"ranking-function candidate survived validation "
+        f"({tried} attempts){detail}", sccs=[[fname]])
+
+
+def _validate_candidate(function: cl.Function, gamma: FunContext,
+                        externals: set[str], recipes: Mapping[str, Recipe],
+                        walk: SymbolicWalk, self_sites: list[SiteRecord],
+                        site_exprs: list[BExpr], pn: str, shape: str,
+                        ceiling: BExpr, extras: list[str],
+                        extra_param_domains):
+    """Build the derivation for one candidate and run the checker.
+
+    Returns ``(spec, derivation, domains)`` or an error string.
+    """
+    from repro.analyzer.auto import auto_bound
+
+    fname = function.name
+    if shape == "log":
+        depth: BExpr = badd(BConst(1), BLog2(bparam(pn)))
+        domain: Iterable[int] = LOG_DOMAIN
+    else:
+        depth = bparam(pn)
+        domain = LINEAR_DOMAIN
+    bound = badd(BMul(depth, bmetric(fname)), ceiling)
+    spec = FunSpec(fname, [pn] + extras, bound, bound,
+                   description=f"inferred ranking function ({shape} depth)")
+
+    # Self-call plans: the measure transformation instantiates the depth
+    # parameter; auxiliary parameters must pass through unchanged.
+    plans = build_call_plans(function, gamma, recipes, walk=walk,
+                             skip_callees={fname})
+    for site, expr in zip(self_sites, site_exprs):
+        spec_args: dict[str, BExpr] = {pn: expr}
+        for extra in extras:
+            formal = extra.split("$", 1)[1]
+            index = function.params.index(formal)
+            passthrough = bparam(extra)
+            for args in site.disjuncts:
+                arg_expr = sym_to_bexpr(args[index], fname) \
+                    if index < len(args) else None
+                if arg_expr is not passthrough:
+                    return (f"{fname}: recursive call modifies auxiliary "
+                            f"argument {formal!r}")
+            spec_args[extra] = passthrough
+        plans[id(site.stmt)] = spec_args
+
+    hypothetical = gamma.extended(spec)
+    try:
+        body_bound, derivation = auto_bound(function.body, hypothetical,
+                                            externals, plans=plans)
+    except AnalysisError as error:
+        return f"{fname}: {error}"
+
+    if body_bound is not bound:
+        frame = BFrameDiff(bound, body_bound)
+        lifted_pre = badd(body_bound, frame)
+        lifted = dv.Triple(
+            lifted_pre, function.body,
+            derivation.conclusion.post.map(lambda q: badd(q, frame)))
+        derivation = dv.DFrame(lifted, frame, derivation)
+
+    domains = dict(extra_param_domains or {})
+    domains[pn] = list(domain)
+    for extra in extras:
+        domains.setdefault(extra, list(EXTRA_DOMAIN))
+    ctx = CheckerContext(hypothetical, externals=externals,
+                         param_domains=domains)
+    try:
+        check_function_spec(function, derivation, ctx)
+    except (DerivationError, ValueError) as error:
+        return f"{fname}: candidate rejected by the checker: {error}"
+    return spec, derivation, domains

@@ -67,7 +67,9 @@ class Name(Expr):
     def __init__(self, ident: str, loc: Optional[SourceLocation] = None) -> None:
         super().__init__(loc)
         self.ident = ident
-        self.binding: Optional[str] = None  # "local" | "global" | "param"
+        # "local" | "global" | "param" | "function" (a function used as a
+        # value, i.e. a function-pointer constant)
+        self.binding: Optional[str] = None
 
 
 class Unary(Expr):
@@ -147,15 +149,28 @@ class Assign(Expr):
 
 
 class Call(Expr):
-    """A direct call ``f(args)``; ``f`` must be a declared function name."""
+    """A call ``f(args)``.
 
-    __slots__ = ("callee", "args")
+    ``callee`` is a declared function name, or — after type checking, when
+    ``indirect`` is set — the (unique) name of a function-pointer variable.
+    For indirect calls the checker stores the resolved pointer read in
+    ``callee_expr`` and its ``TFunction`` signature in ``signature``; the
+    value analysis (:mod:`repro.analyzer.values`) later fills in
+    ``fp_candidates`` with the possible target functions.
+    """
+
+    __slots__ = ("callee", "args", "indirect", "callee_expr", "signature",
+                 "fp_candidates")
 
     def __init__(self, callee: str, args: Sequence[Expr],
                  loc: Optional[SourceLocation] = None) -> None:
         super().__init__(loc)
         self.callee = callee
         self.args = list(args)
+        self.indirect = False
+        self.callee_expr: Optional[Expr] = None
+        self.signature = None
+        self.fp_candidates: Optional[list[str]] = None
 
 
 class Index(Expr):

@@ -241,6 +241,12 @@ class _Parser:
                 if isinstance(ctype, ct.TFunction):
                     raise UnsupportedFeatureError(
                         "function members are not supported", name_token.loc)
+                if _mentions_function_pointer(ctype):
+                    # The value analysis tracks function pointers only in
+                    # scalar variables; a struct member would escape it.
+                    raise UnsupportedFeatureError(
+                        "function-pointer struct members are not supported",
+                        name_token.loc)
                 members.append((name_token.text, ctype))
                 if self._accept_op(","):
                     continue
@@ -281,6 +287,20 @@ class _Parser:
             base = ct.TPointer(base)
             while self._accept_keyword("const"):
                 pass
+        # Function-pointer declarator: ``base (*name)(params)``.
+        if self._peek().is_op("(") and self._peek(1).is_op("*"):
+            self._next()
+            self._next()
+            name_token = self._expect_ident()
+            self._expect_op(")")
+            self._expect_op("(")
+            params, varargs = self._parse_params(allow_unnamed=True)
+            if varargs:
+                raise ParseError("variadic function pointers are not "
+                                 "supported", name_token.loc)
+            param_types = [p.ctype for p in params]
+            return name_token, ct.TPointer(
+                ct.TFunction(base, param_types, varargs))
         name_token = self._expect_ident()
         # Function declarator?
         if self._peek().is_op("("):
@@ -301,7 +321,9 @@ class _Parser:
 
     _pending_params: list = []
 
-    def _parse_params(self) -> tuple[list[ast.ParamDecl], bool]:
+    def _parse_params(self,
+                      allow_unnamed: bool = False
+                      ) -> tuple[list[ast.ParamDecl], bool]:
         params: list[ast.ParamDecl] = []
         varargs = False
         if self._accept_op(")"):
@@ -318,6 +340,37 @@ class _Parser:
             base = self._parse_type_specifier()
             while self._accept_op("*"):
                 base = ct.TPointer(base)
+            if self._peek().is_op("(") and self._peek(1).is_op("*"):
+                # Function-pointer parameter: ``base (*name)(params)``.
+                # The inner parameter list is abstract (names optional).
+                open_token = self._next()
+                self._next()
+                if self._peek().is_op(")") and allow_unnamed:
+                    name = ""
+                    loc = open_token.loc
+                else:
+                    name_token = self._expect_ident()
+                    name = name_token.text
+                    loc = name_token.loc
+                self._expect_op(")")
+                self._expect_op("(")
+                inner, inner_varargs = self._parse_params(allow_unnamed=True)
+                if inner_varargs:
+                    raise ParseError("variadic function pointers are not "
+                                     "supported", loc)
+                fp_type = ct.TPointer(ct.TFunction(
+                    base, [p.ctype for p in inner], inner_varargs))
+                params.append(ast.ParamDecl(name, fp_type))
+                if self._accept_op(","):
+                    continue
+                self._expect_op(")")
+                return params, varargs
+            if allow_unnamed and not self._peek().kind == "id":
+                params.append(ast.ParamDecl("", base))
+                if self._accept_op(","):
+                    continue
+                self._expect_op(")")
+                return params, varargs
             name_token = self._expect_ident()
             ctype: ct.CType = base
             while self._accept_op("["):
@@ -609,10 +662,14 @@ class _Parser:
                 self._next()
                 expr = ast.IncDec(token.text, expr, False, token.loc)
             elif token.is_op("("):
+                if (isinstance(expr, ast.Unary) and expr.op == "*"
+                        and isinstance(expr.operand, ast.Name)):
+                    # ``(*fp)(args)`` is the same call as ``fp(args)``.
+                    expr = expr.operand
                 if not isinstance(expr, ast.Name):
                     raise UnsupportedFeatureError(
-                        "calls through expressions (function pointers) "
-                        "are not supported", token.loc)
+                        "calls through arbitrary expressions are not "
+                        "supported (only named function pointers)", token.loc)
                 self._next()
                 args: list[ast.Expr] = []
                 if not self._peek().is_op(")"):
@@ -651,6 +708,15 @@ class _Parser:
 # ---------------------------------------------------------------------------
 # Constant folding for array sizes and case labels
 # ---------------------------------------------------------------------------
+
+
+def _mentions_function_pointer(ctype: ct.CType) -> bool:
+    if isinstance(ctype, ct.TPointer):
+        return isinstance(ctype.target, ct.TFunction) or \
+            _mentions_function_pointer(ctype.target)
+    if isinstance(ctype, ct.TArray):
+        return _mentions_function_pointer(ctype.element)
+    return False
 
 
 def _fold_const(expr: ast.Expr) -> Optional[int]:

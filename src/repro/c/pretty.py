@@ -41,7 +41,14 @@ def _struct_def(struct: ct.TStruct) -> str:
 
 
 def _declare(ctype: ct.CType, name: str) -> str:
-    """C declarator syntax: arrays wrap the name, pointers prefix it."""
+    """C declarator syntax: arrays wrap the name, pointers prefix it,
+    function pointers parenthesize it."""
+    if isinstance(ctype, ct.TPointer) \
+            and isinstance(ctype.target, ct.TFunction):
+        fn = ctype.target
+        params = ", ".join(_declare(p, "").rstrip()
+                           for p in fn.params) or "void"
+        return f"{_declare(fn.result, f'(*{name})')}({params})"
     if isinstance(ctype, ct.TArray):
         dims = ""
         base = ctype

@@ -13,8 +13,13 @@ Responsibilities:
   address is taken or whose type is an aggregate — which the Clight
   lowering will place in memory blocks (everything else becomes a pure
   Clight temporary);
-* reject the unsupported features the paper also excludes (function
-  pointers, ``goto``, VLAs) with precise source locations.
+* reject the unsupported features the paper also excludes (``goto``,
+  VLAs) with precise source locations.  Function pointers are admitted in
+  a restricted fragment — scalar locals and parameters only, no globals,
+  arrays, struct members or address-taken pointers — chosen so that every
+  write to a function pointer is syntactically visible and the value
+  analysis (:mod:`repro.analyzer.values`) can resolve each indirect call
+  to a finite candidate set.
 
 The checker mutates the AST in place (filling ``ty``/``binding`` slots and
 wrapping operands in casts) and attaches ``locals_types``, ``addressable``
@@ -80,6 +85,13 @@ def typecheck(program: ast.Program) -> ProgramEnv:
         if decl.name in env.globals:
             raise TypeError_(f"global {decl.name!r} redefined", decl.loc)
         _check_complete(decl.ctype, decl.loc)
+        if _contains_function_pointer(decl.ctype):
+            # Globals live in memory; resolving their targets would need
+            # the value analysis to model stores.  Function pointers are
+            # supported in locals and parameters only.
+            raise UnsupportedFeatureError(
+                f"global {decl.name!r}: global function-pointer "
+                "variables are not supported", decl.loc)
         env.globals[decl.name] = decl.ctype
     for function in program.functions:
         if function.name in env.functions:
@@ -89,6 +101,11 @@ def typecheck(program: ast.Program) -> ProgramEnv:
             raise UnsupportedFeatureError(
                 f"{function.name!r}: functions returning aggregates are "
                 "not supported", function.loc)
+        if _contains_function_pointer(function.result):
+            # Return-value flow would escape the value analysis.
+            raise UnsupportedFeatureError(
+                f"{function.name!r}: functions returning function "
+                "pointers are not supported", function.loc)
         params = [p.ctype for p in function.params]
         env.functions[function.name] = ct.TFunction(function.result, params)
     env.externals = {name: sig for name, sig in env.externals.items()
@@ -105,14 +122,36 @@ def _check_complete(ctype: ct.CType, loc) -> None:
     if isinstance(ctype, ct.TVoid):
         raise TypeError_("variable of type void", loc)
     if isinstance(ctype, ct.TFunction):
-        raise UnsupportedFeatureError("function-typed variables "
-                                      "(function pointers) are not supported", loc)
+        raise UnsupportedFeatureError(
+            "function-typed variables are not supported "
+            "(declare a function pointer: int (*fp)(int))", loc)
     if isinstance(ctype, ct.TArray):
         if ctype.length == 0:
             raise TypeError_("zero-length array", loc)
+        if _contains_function_pointer(ctype.element):
+            # The value analysis only tracks function pointers held in
+            # scalar variables; an array cell would escape it.
+            raise UnsupportedFeatureError(
+                "arrays of function pointers are not supported", loc)
         _check_complete(ctype.element, loc)
-    if isinstance(ctype, ct.TPointer) and isinstance(ctype.target, ct.TFunction):
-        raise UnsupportedFeatureError("function pointers are not supported", loc)
+    # A bare function pointer (TPointer(TFunction)) is an ordinary 4-byte
+    # scalar: the value analysis resolves its targets before lowering.
+    # Anything *deeper* (pointer to function pointer) would escape it.
+    if isinstance(ctype, ct.TPointer) and \
+            not isinstance(ctype.target, ct.TFunction) and \
+            _contains_function_pointer(ctype.target):
+        raise UnsupportedFeatureError(
+            "pointers to function pointers are not supported", loc)
+
+
+def _contains_function_pointer(ctype: ct.CType) -> bool:
+    if isinstance(ctype, ct.TFunction):
+        return True
+    if isinstance(ctype, ct.TPointer):
+        return _contains_function_pointer(ctype.target)
+    if isinstance(ctype, ct.TArray):
+        return _contains_function_pointer(ctype.element)
+    return False
 
 
 def _check_global_init(decl: ast.GlobalDecl, env: ProgramEnv) -> None:
@@ -336,7 +375,8 @@ class _FunctionChecker:
     @staticmethod
     def _is_lvalue(expr: ast.Expr) -> bool:
         if isinstance(expr, ast.Name):
-            return True
+            # A function designator is a value, never a location.
+            return expr.binding != "function"
         if isinstance(expr, (ast.Index, ast.Member)):
             return True
         if isinstance(expr, ast.Unary) and expr.op == "*":
@@ -421,15 +461,37 @@ class _FunctionChecker:
         if expr.ident in self.env.globals:
             expr.binding = "global"
             return self.env.globals[expr.ident]
-        if expr.ident in self.env.functions or expr.ident in self.env.externals:
+        if expr.ident in self.env.functions:
+            # A function name used as a value decays to a pointer to it;
+            # the value analysis later resolves which targets can flow to
+            # each indirect call site.
+            expr.binding = "function"
+            return ct.TPointer(self.env.functions[expr.ident])
+        if expr.ident in self.env.externals:
             raise UnsupportedFeatureError(
-                f"function {expr.ident!r} used as a value "
-                "(function pointers are not supported)", expr.loc)
+                f"external function {expr.ident!r} used as a value "
+                "(only defined functions can be function-pointer targets)",
+                expr.loc)
         raise TypeError_(f"undeclared identifier {expr.ident!r}", expr.loc)
 
     def _check_unary(self, expr: ast.Unary) -> ct.CType:
         if expr.op == "&":
+            operand = expr.operand
+            if isinstance(operand, ast.Name) \
+                    and self.scope.lookup(operand.ident) is None \
+                    and operand.ident not in self.env.globals \
+                    and (operand.ident in self.env.functions
+                         or operand.ident in self.env.externals):
+                # ``&f`` on a function designator is the same pointer as
+                # plain ``f`` (no extra indirection).
+                return self.check_rvalue(operand)
             inner = self.check_lvalue(expr.operand)
+            if _contains_function_pointer(inner):
+                # A pointer-to-function-pointer would let writes escape
+                # the value analysis that resolves indirect calls.
+                raise UnsupportedFeatureError(
+                    "taking the address of a function pointer is not "
+                    "supported", expr.loc)
             self._mark_addressable(expr.operand)
             return ct.TPointer(inner)
         if expr.op == "*":
@@ -438,6 +500,12 @@ class _FunctionChecker:
                 raise TypeError_(f"dereference of non-pointer {inner}", expr.loc)
             if isinstance(inner.target, ct.TVoid):
                 raise TypeError_("dereference of void pointer", expr.loc)
+            if isinstance(inner.target, ct.TFunction):
+                # ``(*fp)(...)`` is folded to ``fp(...)`` by the parser;
+                # any other deref of a function pointer has no value here.
+                raise UnsupportedFeatureError(
+                    "dereferencing a function pointer outside a call "
+                    "is not supported", expr.loc)
             return inner.target
         inner = self.check_rvalue(expr.operand)
         if expr.op in ("-", "+"):
@@ -588,7 +656,7 @@ class _FunctionChecker:
         return target_ty
 
     def _check_call(self, expr: ast.Call) -> ct.CType:
-        signature = self.env.function_type(expr.callee)
+        signature = self._resolve_callee(expr)
         if len(expr.args) != len(signature.params) and not signature.varargs:
             raise TypeError_(
                 f"{expr.callee!r} expects {len(signature.params)} arguments, "
@@ -604,6 +672,32 @@ class _FunctionChecker:
             raise UnsupportedFeatureError(
                 "functions returning structs are not supported", expr.loc)
         return signature.result
+
+    def _resolve_callee(self, expr: ast.Call) -> ct.TFunction:
+        """Resolve ``expr.callee``: a variable of function-pointer type in
+        scope shadows any function of the same name (C scoping).  Indirect
+        calls keep the resolved pointer read in ``expr.callee_expr`` for
+        the lowering and the value analysis."""
+        unique = self.scope.lookup(expr.callee)
+        if unique is not None:
+            ty = self.locals_types[unique]
+            if not (isinstance(ty, ct.TPointer)
+                    and isinstance(ty.target, ct.TFunction)):
+                raise TypeError_(
+                    f"called object {expr.callee!r} has type {ty}, "
+                    "which is not a function pointer", expr.loc)
+            name_node = ast.Name(expr.callee, expr.loc)
+            self.check_rvalue(name_node)  # resolves + alpha-renames
+            expr.indirect = True
+            expr.callee = name_node.ident
+            expr.callee_expr = name_node
+            expr.signature = ty.target
+            if _contains_function_pointer(ty.target.result):
+                raise UnsupportedFeatureError(
+                    "function pointers returning function pointers "
+                    "are not supported", expr.loc)
+            return ty.target
+        return self.env.function_type(expr.callee)
 
     def _check_index(self, expr: ast.Index) -> ct.CType:
         base_ty = self.check_rvalue(expr.base)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import struct as _struct
 from typing import Optional
 
+from repro.analyzer.values import FPResolution, resolve_function_pointers
 from repro.c import ast as c
 from repro.c import types as ct
 from repro.c.typecheck import ProgramEnv
@@ -34,8 +35,12 @@ _Effects = list  # list[cl.Stmt]
 
 def clight_of_program(program: c.Program, env: ProgramEnv) -> cl.Program:
     """Lower a type-checked C program to Clight."""
+    # Resolve indirect calls to finite candidate sets first: the lowering
+    # compiles each one into a fid-comparison dispatch over its candidates
+    # so that the Clight call graph is entirely direct.
+    fp = resolve_function_pointers(program, env)
     globals_ = [_lower_global(decl) for decl in program.globals]
-    functions = [_FnLowerer(function, env).lower()
+    functions = [_FnLowerer(function, env, fp).lower()
                  for function in program.functions]
     return cl.Program(globals_, functions, env.externals.keys())
 
@@ -150,9 +155,11 @@ def _const_value(expr: c.Expr):
 
 
 class _FnLowerer:
-    def __init__(self, function: c.FunctionDef, env: ProgramEnv) -> None:
+    def __init__(self, function: c.FunctionDef, env: ProgramEnv,
+                 fp: Optional[FPResolution] = None) -> None:
         self.function = function
         self.env = env
+        self.fp = fp if fp is not None else FPResolution({}, 0)
         self.locals_types: dict[str, ct.CType] = function.locals_types  # type: ignore[attr-defined]
         self.addressable: set[str] = function.addressable  # type: ignore[attr-defined]
         self.param_copies: set[str] = function.param_copies  # type: ignore[attr-defined]
@@ -423,6 +430,10 @@ class _FnLowerer:
         if isinstance(expr, c.SizeOf):
             target = expr.arg_type if expr.arg_type is not None else expr.arg_expr.ty
             return [], cl.EConstInt(target.size), ct.UINT
+        if isinstance(expr, c.Name) and expr.binding == "function":
+            # A function designator used as a value: its fid constant.
+            return ([], cl.EConstInt(self.fp.fid(expr.ident)),
+                    ct.TPointer(self.env.functions[expr.ident]))
         if isinstance(expr, c.Name) and expr.binding == "local" \
                 and expr.ident not in self.addressable:
             return [], cl.ETemp(expr.ident), self.locals_types[expr.ident]
@@ -459,6 +470,9 @@ class _FnLowerer:
 
     def _rvalue_unary(self, expr: c.Unary) -> tuple[_Effects, cl.Expr, ct.CType]:
         if expr.op == "&":
+            if isinstance(expr.operand, c.Name) \
+                    and expr.operand.binding == "function":
+                return self.rvalue(expr.operand)  # &f is the same as f
             effects, addr, ctype = self.lvalue(expr.operand)
             return effects, addr, ct.TPointer(ctype)
         effects, value, ty = self.rvalue(expr.operand)
@@ -657,6 +671,8 @@ class _FnLowerer:
         return effects, cl.ETemp(new_temp), target_ty
 
     def _rvalue_call(self, expr: c.Call) -> tuple[_Effects, cl.Expr, ct.CType]:
+        if expr.indirect:
+            return self._rvalue_indirect_call(expr)
         signature = self.env.function_type(expr.callee)
         effects: _Effects = []
         arg_parts: list[tuple[_Effects, cl.Expr, bool]] = []
@@ -674,6 +690,57 @@ class _FnLowerer:
             return effects, cl.EConstInt(0), ct.INT
         dest = self._fresh(result_ty.is_float)
         effects.append(cl.SCall(dest, expr.callee, arg_exprs))
+        return effects, cl.ETemp(dest), result_ty
+
+    def _rvalue_indirect_call(self, expr: c.Call
+                              ) -> tuple[_Effects, cl.Expr, ct.CType]:
+        """Devirtualize ``fp(args)`` into a fid-comparison dispatch.
+
+        The value analysis annotated the call with its finite candidate
+        set, so the lowering emits
+
+            if (fp == fid(f1)) d = f1(args);
+            else if (fp == fid(f2)) d = f2(args);
+            else loop {} // unreachable: fp holds one of the candidates
+
+        leaving a fully *direct* call graph: the automatic analyzer
+        prices the dispatch as the max over the candidates through the
+        ordinary ``DIf``/``DCall`` rules, and the derivation stays
+        checkable with no new logic.  The dead else-arm costs no stack.
+        """
+        signature = expr.signature
+        candidates = expr.fp_candidates
+        assert signature is not None and candidates, \
+            "indirect call not annotated by the value analysis"
+        parts: list[tuple[_Effects, cl.Expr, bool]] = []
+        fp_effects, fp_value, _ = self.rvalue(expr.callee_expr)
+        parts.append((fp_effects, fp_value, False))
+        for arg in expr.args:
+            arg_effects, value, arg_ty = self.rvalue(arg)
+            parts.append((arg_effects, value, arg_ty.is_float))
+        protected = self._protect(parts)
+        effects: _Effects = []
+        values: list[cl.Expr] = []
+        for part_effects, value in protected:
+            effects.extend(part_effects)
+            values.append(value)
+        fp_value, arg_exprs = values[0], values[1:]
+        result_ty = signature.result
+        dest: Optional[str] = None
+        if not isinstance(result_ty, ct.TVoid):
+            dest = self._fresh(result_ty.is_float)
+        # The else-arm of the last comparison is unreachable (the value
+        # analysis over-approximates the pointer's targets); an empty
+        # loop keeps it both event-free and stack-free.
+        dispatch: cl.Stmt = cl.SLoop(cl.SSkip(), cl.SSkip())
+        for name in reversed(candidates):
+            test = cl.EBinop("cmp_eq", fp_value,
+                             cl.EConstInt(self.fp.fid(name)))
+            dispatch = cl.SIf(test, cl.SCall(dest, name, list(arg_exprs)),
+                              dispatch)
+        effects.append(dispatch)
+        if dest is None:
+            return effects, cl.EConstInt(0), ct.INT
         return effects, cl.ETemp(dest), result_ty
 
     def _rvalue_cast(self, expr: c.Cast) -> tuple[_Effects, cl.Expr, ct.CType]:

@@ -245,8 +245,12 @@ def check_analysis(analysis: AnalysisResult):
     served bound is only as good as the derivation re-check behind it.
     """
     report = analysis.check()
-    # Not an assert: the guarantee must survive ``python -O``.
-    if not report.fully_exact:
+    # Not an assert: the guarantee must survive ``python -O``.  Sampled
+    # side conditions are legitimate exactly when the analysis carries
+    # verification domains (inferred recursive specs check their
+    # induction step per domain instance); a recursion-free analysis must
+    # still discharge everything exactly.
+    if not report.fully_exact and not analysis.param_domains:
         raise AnalysisError(
             "analyzer emitted a sampled side condition; the derivation "
             f"re-check is not exact ({report!r})")
@@ -266,11 +270,22 @@ class VerifiedBounds:
     def symbolic(self, function: str) -> BExpr:
         return self.analysis.bound_expr(function)
 
-    def bytes(self, function: str) -> int:
-        return self.analysis.bound_bytes(function, self.metric)
+    def bytes(self, function: str,
+              params: Optional[dict[str, int]] = None) -> int:
+        return self.analysis.bound_bytes(function, self.metric, params)
+
+    def parametric(self) -> list[str]:
+        """Functions whose bound depends on their arguments (recursion)."""
+        from repro.logic.bexpr import param_names
+
+        return sorted(name for name in self.analysis.functions
+                      if param_names(self.analysis.bound_expr(name)))
 
     def all_bytes(self) -> dict[str, int]:
-        return {name: self.bytes(name) for name in self.analysis.functions}
+        """Concrete bounds for every non-parametric function."""
+        parametric = set(self.parametric())
+        return {name: self.bytes(name) for name in self.analysis.functions
+                if name not in parametric}
 
     def stack_requirement(self) -> int:
         """``sz`` of Theorem 1: the verified bound for ``main``.

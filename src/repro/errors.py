@@ -74,8 +74,11 @@ class TypeError_(StaticError):
 class UnsupportedFeatureError(StaticError):
     """The program uses a C feature outside the supported subset.
 
-    Mirrors the paper's explicit exclusions: function pointers, ``goto``,
-    variable-length arrays, and ``alloca``.
+    Mirrors the paper's explicit exclusions: ``goto``, variable-length
+    arrays, and ``alloca``.  Function pointers are supported in a
+    restricted fragment (scalar locals and parameters, resolved to finite
+    candidate sets by :mod:`repro.analyzer.values`); uses outside that
+    fragment raise this error.
     """
 
 
@@ -86,9 +89,20 @@ class LoweringError(ReproError):
 class AnalysisError(ReproError):
     """The automatic stack analyzer cannot bound the program.
 
-    Raised for recursive call graphs and for calls through function
-    pointers, exactly the two cases the paper's analyzer rejects.
+    Raised for recursion patterns outside the structural fragment the
+    ranking-function inference handles, and for function-pointer call
+    sites whose candidate set the value analysis cannot resolve.
+
+    ``sccs`` optionally carries the offending strongly connected
+    components of the call graph as structured data (a list of sorted
+    name lists), so callers can dispatch on *which* functions were
+    recursive instead of re-running SCC detection or parsing the message.
     """
+
+    def __init__(self, message: str,
+                 sccs: "list[list[str]] | None" = None) -> None:
+        super().__init__(message)
+        self.sccs = list(sccs) if sccs is not None else None
 
 
 class DerivationError(ReproError):

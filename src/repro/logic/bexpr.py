@@ -429,6 +429,25 @@ def param_names(expr: BExpr) -> set[str]:
     return out
 
 
+def frame_diffs(expr: BExpr) -> list["BFrameDiff"]:
+    """Every :class:`BFrameDiff` node inside ``expr``, preorder.
+
+    The checker uses this to discharge the Q:FRAME side condition
+    ``part <= total`` for each difference appearing in a frame constant:
+    the ``part + (total - part) -> total`` rewrite in the comparators is
+    only an equality under that domination, so it must be established
+    separately wherever a certificate authors a difference.
+    """
+    out: list[BFrameDiff] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BFrameDiff):
+            out.append(node)
+        stack.extend(reversed(_children(node)))
+    return out
+
+
 def _walk(expr: BExpr, out: set[str], kind: str) -> None:
     if isinstance(expr, BMetric) and kind == "metric":
         out.add(expr.function)

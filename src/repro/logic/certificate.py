@@ -28,7 +28,11 @@ from repro.logic import derivation as dv
 from repro.logic.assertions import FunContext, FunSpec, Post
 
 FORMAT = "repro-stack-certificate"
-VERSION = 2
+VERSION = 3
+
+#: Version 2 certificates (no parametric specs, hence no verification
+#: domains) are still accepted: nothing in their payload changed meaning.
+SUPPORTED_VERSIONS = (2, 3)
 
 
 # ---------------------------------------------------------------------------
@@ -263,8 +267,35 @@ def export_certificate(analysis) -> str:
             "derivation": derivation_to_json(
                 function_analysis.derivation, paths),
         }
-    return json.dumps({"format": FORMAT, "version": VERSION,
-                       "functions": functions}, indent=1)
+    document = {"format": FORMAT, "version": VERSION,
+                "functions": functions}
+    # Verification domains of parametric (inferred-recursion) specs: part
+    # of the *claim*, so they travel inside the certificate and the
+    # re-check below replays the induction over exactly these instances.
+    domains = getattr(analysis, "param_domains", None)
+    if domains:
+        document["param_domains"] = {name: list(values)
+                                     for name, values in domains.items()}
+    return json.dumps(document, indent=1)
+
+
+def _domains_from_json(data: Any) -> dict[str, list[int]] | None:
+    """Parse and sanity-check the ``param_domains`` table."""
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise DerivationError("param_domains must be an object")
+    domains: dict[str, list[int]] = {}
+    for name, values in data.items():
+        if (not isinstance(values, list) or not values
+                or not all(isinstance(v, int) and not isinstance(v, bool)
+                           for v in values)):
+            raise DerivationError(
+                f"verification domain of {name!r} must be a non-empty "
+                "list of integers (an empty domain would make the "
+                "induction pass vacuously)")
+        domains[name] = values
+    return domains or None
 
 
 def load_certificate(text: str, program: cl.Program):
@@ -287,9 +318,10 @@ def load_certificate(text: str, program: cl.Program):
         raise DerivationError("certificate is not a JSON object")
     if data.get("format") != FORMAT:
         raise DerivationError("not a stack-bound certificate")
-    if data.get("version") != VERSION:
+    if data.get("version") not in SUPPORTED_VERSIONS:
         raise DerivationError(
             f"unsupported certificate version {data.get('version')}")
+    param_domains = _domains_from_json(data.get("param_domains"))
 
     gamma = FunContext()
     derivations: dict[str, dv.Derivation] = {}
@@ -316,17 +348,30 @@ def load_certificate(text: str, program: cl.Program):
         # The checker below validates the derivation against the spec,
         # but the advertised total M(f) + P_f is *reported*, not derived
         # — re-derive it so a lying total_bound field carries no
-        # authority.  Parametric specs are compared per parameter
-        # valuation downstream, so only ground totals are pinned here.
-        if not spec.params:
-            expected = bx.badd(bx.bmetric(name), spec.pre)
-            if not bx.bound_equal(bounds[name], expected).holds:
+        # authority.  Ground totals are pinned exactly; parametric totals
+        # are pinned over the certificate's own verification domains.
+        expected = bx.badd(bx.bmetric(name), spec.pre)
+        try:
+            if not bx.bound_equal(bounds[name], expected,
+                                  param_domains=param_domains).holds:
                 raise DerivationError(
                     f"{name}: advertised total_bound does not equal "
                     f"M({name}) + spec precondition")
+        except ValueError as error:
+            raise DerivationError(
+                f"{name}: cannot validate total_bound: {error}")
 
-    ctx = CheckerContext(gamma, externals=program.externals)
+    ctx = CheckerContext(gamma, externals=program.externals,
+                         param_domains=param_domains)
     report = CheckReport()
     for name, derivation in derivations.items():
-        check_function_spec(program.function(name), derivation, ctx, report)
+        try:
+            check_function_spec(program.function(name), derivation, ctx,
+                                report)
+        except ValueError as error:
+            # The sampled comparator raises ValueError when a parameter
+            # has no declared domain; in a certificate that is a proof
+            # defect, not a usage error.
+            raise DerivationError(
+                f"{name}: sampled side condition not coverable: {error}")
     return gamma, bounds, report

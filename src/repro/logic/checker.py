@@ -25,7 +25,7 @@ from repro.errors import DerivationError
 from repro.logic import derivation as dv
 from repro.logic.assertions import FunContext, Post
 from repro.logic.bexpr import (BExpr, ZERO, badd, bmetric, bound_equal,
-                               bound_le)
+                               bound_le, frame_diffs)
 
 
 class CheckReport:
@@ -310,6 +310,17 @@ def _check_frame(node: dv.DFrame, ctx: CheckerContext, report: CheckReport) -> N
                        "Q:FRAME")
     _require_le(ZERO, node.frame, ctx, report,
                 "Q:FRAME: the frame constant must be non-negative")
+    # A difference ``total - part`` inside the frame constant is only an
+    # actual difference when ``part <= total`` (evaluation clamps at 0,
+    # and the comparators rewrite ``part + (total - part)`` to ``total``
+    # assuming exactly this).  Without the check a derivation could frame
+    # a body needing T up to any smaller P — the induction step of a
+    # recursive spec would pass vacuously on domain points below the
+    # base-case guard.
+    for diff in frame_diffs(node.frame):
+        _require_le(diff.part, diff.total, ctx, report,
+                    "Q:FRAME: the framed difference must dominate its "
+                    "subtrahend over the verification domain")
     body = node.body.conclusion
     _require_eq(node.conclusion.pre, badd(body.pre, node.frame), ctx, report,
                 "Q:FRAME: precondition must be P + c")

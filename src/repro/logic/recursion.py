@@ -140,6 +140,16 @@ def check_spec(spec: RecursiveSpec, table: SpecTable) -> InductionReport:
     offending instance otherwise.
     """
     report = InductionReport(spec.name)
+    missing = [name for name in spec.params if name not in spec.domain]
+    if missing:
+        raise DerivationError(
+            f"{spec.name}: no verification domain for parameters {missing}; "
+            "an unconstrained parameter would make the induction vacuous")
+    empty = [name for name, values in spec.domain.items() if not values]
+    if empty:
+        raise DerivationError(
+            f"{spec.name}: empty verification domain for {empty}; "
+            "zero instances would make the induction pass vacuously")
     names = list(spec.domain)
     for combo in product(*(spec.domain[name] for name in names)):
         valuation: Params = dict(zip(names, combo))

@@ -1,0 +1,28 @@
+/* Higher-order callback: a fold whose step function is a parameter.
+ * The candidate set of `step` inside `fold` is the union of everything
+ * callers pass — {sum_step, max_step} — computed by the interprocedural
+ * flow of the value analysis (arguments at direct call sites flow into
+ * the callee's parameter cell).  `(*step)(...)` and `step(...)` are the
+ * same call, and `&max_step` the same pointer as `max_step`. */
+
+int sum_step(int acc, int x) { return acc + x; }
+
+int max_step(int acc, int x) {
+    if (x > acc) return x;
+    return acc;
+}
+
+int fold(int n, int (*step)(int, int), int init) {
+    int acc = init;
+    int i;
+    for (i = 1; i <= n; i++) acc = (*step)(acc, i);
+    return acc;
+}
+
+int main() {
+    int s = fold(10, sum_step, 0);
+    int m = fold(10, &max_step, -5);
+    print_int(s);
+    print_int(m);
+    return s == 55 && m == 10;
+}

@@ -1,0 +1,42 @@
+/* Function-pointer dispatch: an interpreter-style operator table built
+ * from scalar function pointers (the supported fragment: no fp arrays).
+ * The value analysis resolves `op` to {op_add, op_sub, op_mac}; the
+ * lowering devirtualizes `apply`'s indirect call into a fid-comparison
+ * chain, so the verified bound for `apply` is
+ *     M(apply) + max(M(op_add), M(op_sub), M(op_mac) + M(op_add))
+ * — the max over the candidate targets, exactly the paper's call rule
+ * taken over the resolved candidate set. */
+
+int op_add(int a, int b) { return a + b; }
+
+int op_sub(int a, int b) { return a - b; }
+
+/* Multiply-accumulate by repeated addition: calls op_add, so this
+ * candidate is the deepest — it dominates the dispatch bound. */
+int op_mac(int a, int b) {
+    int acc = a;
+    int i;
+    for (i = 0; i < 4; i++) acc = op_add(acc, b);
+    return acc;
+}
+
+int apply(int (*op)(int, int), int a, int b) {
+    return op(a, b);
+}
+
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 9; i++) {
+        int (*op)(int, int);
+        if (i % 3 == 0) op = op_add;
+        else if (i % 3 == 1) op = op_sub;
+        else op = op_mac;
+        acc = apply(op, acc, i + 1);
+    }
+    /* i:      0   1   2    3   4   5    6   7   8
+     * op:     +   -   mac  +   -   mac  +   -   mac
+     * acc:    1  -1   11   15  10  34   41  33  69 */
+    print_int(acc);
+    return acc == 69;
+}

@@ -348,19 +348,34 @@ def _assemble(request: ServeRequest, backend: dict, certificate_text: str,
     certificate = json.loads(certificate_text)
     metric = backend["metric"]
     functions: dict[str, int] = {}
+    parametric: list[str] = []
     for name, entry in certificate["functions"].items():
+        if entry.get("spec", {}).get("params"):
+            # A recursive (or recursion-reaching) function: its bound
+            # depends on its arguments, so there is no single byte figure
+            # — the symbolic bound lives in the certificate, and callers
+            # with concrete arguments (main included) still get concrete
+            # bounds below.
+            parametric.append(name)
+            continue
         value = evaluate(bexpr_from_json(entry["total_bound"]), metric)
         if value == INFINITY:
             raise AnalysisError(f"bound of {name} is unbounded")
         functions[name] = int(value)
     main = backend["main"]
     if main not in functions:
-        raise AnalysisError("program has no analyzed main function")
+        raise AnalysisError("program has no analyzed main function"
+                            if main not in parametric else
+                            "main has a parametric bound; cannot size "
+                            "the stack block")
+    bounds = {"functions": functions, "main": main,
+              "stack_requirement": functions[main]}
+    if parametric:
+        bounds["parametric"] = sorted(parametric)
     return {
         "schema": RESPONSE_SCHEMA,
         "verdict": "verified",
-        "bounds": {"functions": functions, "main": main,
-                   "stack_requirement": functions[main]},
+        "bounds": bounds,
         "frame_sizes": backend["frame_sizes"],
         "certificate": certificate,
         "check": {"nodes": check["nodes"], "exact": check["exact"]},
@@ -422,11 +437,17 @@ def validate_response(data: Any) -> dict:
         _fail(f"bounds.main {main!r} has no bound")
     if bounds.get("stack_requirement") != functions[main]:
         _fail("stack_requirement does not match the bound of main")
+    parametric = bounds.get("parametric", [])
+    if not isinstance(parametric, list) or not all(
+            isinstance(name, str) for name in parametric):
+        _fail("bounds.parametric must be a list of function names")
+    if set(parametric) & set(functions):
+        _fail("a function cannot be both concretely bounded and parametric")
     certificate = data.get("certificate")
     if not isinstance(certificate, dict) \
             or "functions" not in certificate:
         _fail("missing certificate")
-    if set(certificate["functions"]) != set(functions):
+    if set(certificate["functions"]) != set(functions) | set(parametric):
         _fail("certificate and bounds cover different functions")
     stages = data.get("stages")
     if not isinstance(stages, dict) or set(stages) != set(STAGES):

@@ -27,6 +27,14 @@ organized by the layer it attacks:
     (``call(f)``/``ret(f)`` dropped or duplicated, an I/O event
     dropped).  The bracketing / pruned-trace / all-metrics-domination
     oracles must reject the mutant.
+``analysis``
+    The analyzer front half lies (``repro.analyzer``): the value
+    analysis widens a function pointer's candidate set beyond what the
+    program can express.  The widened analysis is still *sound* — more
+    candidates only raise the max — so no checker can reject it; only a
+    differential against an independent analysis of the same source
+    (golden snapshots, the Table 2 manual specs) observes the inflated
+    bound.  Self-contained scenario, like the serving layer.
 ``serving``
     The serving path lies (``repro.serve``): a content-addressed store
     entry is substituted with another key's bytes, a response JSON is
@@ -65,8 +73,8 @@ from repro.events.metrics import StackMetric
 from repro.events.trace import (CallEvent, Event, IOEvent, ReturnEvent,
                                 is_well_bracketed, prune)
 
-LAYERS = ("metric", "derivation", "certificate", "refinement", "serving",
-          "codegen")
+LAYERS = ("metric", "derivation", "certificate", "refinement", "analysis",
+          "serving", "codegen")
 
 
 class UnknownFaultError(ValueError):
@@ -285,6 +293,24 @@ def _call_retarget(text: str) -> Optional[str]:
     return _mutate_json(text, mutate)
 
 
+@_register("rec-depth-off-by-one", "derivation",
+           "bump a recursive call's measure argument by one, so the "
+           "callee is entered one level deeper than accounted")
+def _rec_depth_off_by_one(text: str) -> Optional[str]:
+    def mutate(data: dict) -> bool:
+        for node in _all_nodes(data):
+            if node.get("rule") == "Q:CALL" and node.get("spec_args"):
+                name = sorted(node["spec_args"])[0]
+                node["spec_args"][name] = {
+                    "k": "add",
+                    "items": [node["spec_args"][name],
+                              {"k": "const", "v": 1}]}
+                return True
+        return False
+
+    return _mutate_json(text, mutate)
+
+
 # ---------------------------------------------------------------------------
 # Certificate operators: the wire format lies
 # ---------------------------------------------------------------------------
@@ -368,6 +394,29 @@ def _json_malform(text: str) -> Optional[str]:
            cross_program=True)
 def _wrong_program(text: str) -> Optional[str]:
     return text  # the harness swaps the program, not the certificate
+
+
+@_register("rec-base-guard-drop", "certificate",
+           "widen a verification domain below the recursion's "
+           "base-case guard")
+def _rec_base_guard_drop(text: str) -> Optional[str]:
+    # Only domains whose minimum is >= 2 encode a base-case guard worth
+    # dropping (log-shaped recursions stop at n <= 1); below that point
+    # the claimed potential no longer covers the recursive branch, so
+    # the checker's Q:FRAME domination re-check must fail at the
+    # inserted instance.
+    def mutate(data: dict) -> bool:
+        domains = data.get("param_domains")
+        if not domains:
+            return False
+        for name in sorted(domains):
+            values = domains[name]
+            if values and min(values) >= 2:
+                domains[name] = [min(values) - 1] + values
+                return True
+        return False
+
+    return _mutate_json(text, mutate)
 
 
 # ---------------------------------------------------------------------------
@@ -455,6 +504,55 @@ def refinement_oracles_reject(mutant: Sequence[Event],
         return (True, "all-metrics-domination",
                 "trace not pointwise dominated for all metrics")
     return False, "", ""
+
+
+# ---------------------------------------------------------------------------
+# Analysis operators: the analyzer front half lies (see repro.analyzer)
+# ---------------------------------------------------------------------------
+
+#: Dispatch program where value analysis precision is load-bearing: only
+#: ``light`` flows into ``pick``'s function pointer, so a widened
+#: candidate set (adding ``heavy``, address-taken elsewhere) inflates
+#: ``pick``'s bound by ``heavy``'s much larger frame.
+_VALUES_SOURCE = (
+    "int light(int x) { return x + 1; }\n"
+    "int heavy(int x) { int a[32]; a[x & 31] = x; return a[0]; }\n"
+    "int pick(int x) { int (*f)(int) = light; return f(x); }\n"
+    "int main(void) { int (*g)(int) = heavy; return g(pick(3)); }\n")
+
+
+@_register("values-candidate-widen", "analysis",
+           "widen a function pointer's candidate set to every "
+           "address-taken function")
+def _values_candidate_widen() -> tuple[bool, str, str]:
+    from repro.analyzer import values
+    from repro.driver import verify_stack_bounds
+
+    baseline = verify_stack_bounds(_VALUES_SOURCE,
+                                   filename="values-fault-base.c")
+    base = baseline.bytes("pick")
+    previous = values._FAULT
+    values._FAULT = "widen"
+    try:
+        # A distinct filename keeps the widened run out of the frontend
+        # cache slot of the baseline source.
+        widened = verify_stack_bounds(_VALUES_SOURCE,
+                                      filename="values-fault-widened.c")
+    finally:
+        values._FAULT = previous
+    inflated = widened.bytes("pick")
+    if inflated <= base:
+        return False, "", (f"widened candidate set left pick's bound at "
+                           f"{inflated} (baseline {base})")
+    # The widened analysis still carries a checkable derivation (it is
+    # sound, just imprecise), so detection is necessarily differential.
+    clean = verify_stack_bounds(_VALUES_SOURCE,
+                                filename="values-fault-base.c")
+    if clean.bytes("pick") != base:
+        return False, "", "widening leaked into a clean re-analysis"
+    return (True, "values-differential",
+            f"pick bound inflated {base} -> {inflated} bytes against the "
+            "reference analysis")
 
 
 # ---------------------------------------------------------------------------
@@ -712,8 +810,12 @@ def _fused_load_stale_const() -> tuple[bool, str, str]:
 
 #: Catalog programs the matrix derives certificates and traces from (kept
 #: small, fast and auto-analyzable; generated seeds extend the corpus).
+#: The recursive pair gives the recursion operators their parametric
+#: sites (linear and logarithmic shapes), and the dispatch program keeps
+#: a devirtualized call graph in the corpus.
 DEFAULT_CATALOG = ("mibench/bitcount.c", "mibench/crc32.c",
-                   "mibench/dijkstra.c")
+                   "mibench/dijkstra.c", "recursive/recid.c",
+                   "recursive/bsearch.c", "funcptr/dispatch.c")
 
 #: Generated seeds added to the corpus.
 DEFAULT_SEEDS = range(0, 6)
@@ -907,18 +1009,19 @@ def run_mutation_matrix(catalog: Iterable[str] = DEFAULT_CATALOG,
             if not outcome.detected and not outcome.diagnostic:
                 outcome.diagnostic = "no applicable site in the corpus"
 
-        elif op.layer in ("serving", "codegen"):
+        elif op.layer in ("analysis", "serving", "codegen"):
             # Self-contained scenario: the operator injects its fault
-            # into a private store/pool (or a private miscompiled
-            # engine) and reports who caught it.
+            # into a private store/pool (or a private analyzer knob or
+            # miscompiled engine) and reports who caught it.
             outcome.attempts += 1
-            outcome.detected_on = ("serve-harness" if op.layer == "serving"
-                                   else "codegen-harness")
+            outcome.detected_on = {"serving": "serve-harness",
+                                   "codegen": "codegen-harness",
+                                   "analysis": "analysis-harness"}[op.layer]
             try:
                 detected, caught_by, diagnostic = op.apply()
             except Exception as error:  # a crash is not a diagnostic
                 detected, caught_by = False, ""
-                diagnostic = (f"serving harness crashed: "
+                diagnostic = (f"{op.layer} harness crashed: "
                               f"{type(error).__name__}: {error}")
             outcome.detected = detected
             outcome.caught_by = caught_by

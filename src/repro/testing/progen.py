@@ -24,15 +24,18 @@ from typing import Optional
 class ProgramGenerator:
     def __init__(self, seed: int, max_functions: int = 4,
                  max_stmts: int = 6, max_depth: int = 3,
-                 recursion: bool = False) -> None:
+                 recursion: bool = False, funcptr: bool = False) -> None:
         self.rng = random.Random(seed)
         self.max_functions = max_functions
         self.max_stmts = max_stmts
         self.max_depth = max_depth
         self.recursion = recursion
+        self.funcptr = funcptr
         self.global_arrays: list[tuple[str, int]] = []
         self.global_scalars: list[str] = []
         self.functions: list[tuple[str, int]] = []  # (name, n_params)
+        self.op_functions: list[str] = []   # fp candidates: int (int, int)
+        self.dispatchers: list[str] = []    # take an fp first parameter
         self._loop_counter = 0
         self._fvars: list[str] = []      # float locals of the current fn
         self._float_counter = 0
@@ -232,6 +235,29 @@ class ProgramGenerator:
         self._recursive_names.add(name)
         return "\n".join(lines)
 
+    def op_function(self, index: int) -> str:
+        """A binary operator function — a candidate target for the
+        generated function pointers (signature ``int (int, int)``)."""
+        name = f"op{index}"
+        self._fvars = []
+        body = self.expr(["a", "b"], 2)
+        self.op_functions.append(name)
+        self.functions.append((name, 2))
+        return f"int {name}(int a, int b) {{\n    return {body};\n}}"
+
+    def dispatcher(self, index: int) -> str:
+        """A higher-order function calling through its fp parameter;
+        exercises both spellings (``op(...)`` and ``(*op)(...)``)."""
+        rng = self.rng
+        name = f"disp{index}"
+        lines = [f"int {name}(int (*op)(int, int), int x, int y) {{"]
+        if rng.random() < 0.5:
+            lines.append("    if (x > y) return op(y, x);")
+        lines.append("    return op(x, y) ^ (*op)(y, x);")
+        lines.append("}")
+        self.dispatchers.append(name)
+        return "\n".join(lines)
+
     def generate(self) -> str:
         rng = self.rng
         parts = ["/* generated by repro.testing.progen */"]
@@ -246,11 +272,17 @@ class ProgramGenerator:
             size = rng.choice([8, 16, 32])
             parts.append(f"int {name}[{size}];")
             self.global_arrays.append((name, size))
+        if self.funcptr:
+            for i in range(rng.randint(2, 3)):
+                parts.append(self.op_function(i))
         for i in range(rng.randint(1, self.max_functions)):
             if self.recursion and rng.random() < 0.4:
                 parts.append(self.recursive_function(i))
             else:
                 parts.append(self.function(i))
+        if self.funcptr:
+            for i in range(rng.randint(1, 2)):
+                parts.append(self.dispatcher(i))
         # main: initialize arrays, exercise the functions, return checksum.
         self._fvars = []
         lines = ["int main() {", "    int acc = 0;",
@@ -268,6 +300,19 @@ class ProgramGenerator:
             if name in getattr(self, "_recursive_names", ()):
                 args[0] = str(rng.randint(0, 48))
             lines.append(f"    acc ^= {name}({', '.join(args)});")
+        if self.op_functions:
+            # A reassigned local function pointer plus dispatcher calls:
+            # the value analysis must resolve every site to a finite
+            # candidate set for the seed to analyze at all.
+            lines.append(f"    int (*fp)(int, int) = "
+                         f"{rng.choice(self.op_functions)};")
+            lines.append(f"    if (acc & 1) fp = "
+                         f"{rng.choice(self.op_functions)};")
+            lines.append(f"    acc ^= fp(acc, {rng.randint(-20, 20)});")
+            for disp in self.dispatchers:
+                source = rng.choice(self.op_functions + ["fp"])
+                lines.append(f"    acc ^= {disp}({source}, "
+                             f"{rng.randint(-20, 20)}, acc);")
         lines.append("    print_int(acc);")
         lines.append("    return acc & 0xff;")
         lines.append("}")

@@ -19,17 +19,21 @@ import os
 import pytest
 
 from repro.driver import compile_c, verify_stack_bounds
-from repro.logic.bexpr import evaluate
-from repro.programs.catalog import TABLE1
+from repro.logic.bexpr import evaluate, param_names
+from repro.programs.catalog import FUNCPTR, RECURSIVE, TABLE1
 from repro.programs.loader import load_source
 from repro.programs.table2 import TABLE2_PROGRAMS, build_spec_table
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
 TABLE1_GOLDEN = os.path.join(GOLDEN_DIR, "table1_bounds.json")
 TABLE2_GOLDEN = os.path.join(GOLDEN_DIR, "table2_bounds.json")
+INFERRED_GOLDEN = os.path.join(GOLDEN_DIR, "inferred_bounds.json")
 
 #: Canonical evaluation point for the parametric Table 2 bounds.
 SPEC_PARAMS = {"n": 100, "bl": 256}
+
+#: Canonical measure value for instantiating inferred parametric bounds.
+INFERRED_AT = 100
 
 
 def _regen() -> bool:
@@ -172,5 +176,69 @@ class TestTable2Golden:
                 {"symbolic": got["symbolic"], **got["bytes_at"]},
                 name))
         assert not lines, ("Table 2 specs changed "
+                           "(REPRO_REGEN_GOLDEN=1 to bless):\n"
+                           + "\n".join(lines))
+
+
+def compute_inferred_entry(path) -> dict:
+    """Auto-inferred bounds for one recursive/function-pointer program.
+
+    Symbolic bounds are pinned as their reprs (the inference is
+    deterministic), byte values at ``INFERRED_AT`` for parametric
+    functions and exactly for ground ones.
+    """
+    bounds = verify_stack_bounds(load_source(path), filename=path)
+    symbolic = {}
+    in_bytes = {}
+    for name in sorted(bounds.analysis.functions):
+        expr = bounds.symbolic(name)
+        symbolic[name] = repr(expr)
+        params = {p: INFERRED_AT for p in param_names(expr)}
+        in_bytes[name] = int(bounds.bytes(name, params or None))
+    return {"symbolic": symbolic,
+            f"bytes_at_{INFERRED_AT}": in_bytes,
+            "stack_requirement": int(bounds.stack_requirement())}
+
+
+class TestInferredGolden:
+    """Auto-inferred recursion and function-pointer bounds are pinned.
+
+    These snapshots are the differential oracle the mutation matrix's
+    ``values-candidate-widen`` operator points at: a *sound but looser*
+    analysis (widened candidate sets, slack in a ranking function) still
+    passes every checker, and only a pinned reference bound exposes it.
+    """
+
+    PATHS = RECURSIVE + FUNCPTR
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        if not _regen() and not os.path.exists(INFERRED_GOLDEN):
+            pytest.fail(f"golden file missing: {INFERRED_GOLDEN} "
+                        "(run with REPRO_REGEN_GOLDEN=1 to create)")
+        return {} if _regen() else _load(INFERRED_GOLDEN)
+
+    _regenerated: dict = {}
+
+    @pytest.mark.parametrize("path", RECURSIVE + FUNCPTR)
+    def test_inferred_bounds_match_golden(self, path, golden):
+        actual = compute_inferred_entry(path)
+        if _regen():
+            TestInferredGolden._regenerated[path] = actual
+            if len(TestInferredGolden._regenerated) == len(self.PATHS):
+                _save(INFERRED_GOLDEN, TestInferredGolden._regenerated)
+            return
+        assert path in golden, \
+            f"{path} not in golden file (regenerate to add)"
+        expected = golden[path]
+        lines = []
+        for section in ("symbolic", f"bytes_at_{INFERRED_AT}"):
+            lines.extend(_diff(expected[section], actual[section],
+                               f"{path}/{section}"))
+        if expected["stack_requirement"] != actual["stack_requirement"]:
+            lines.append(f"  {path}/stack_requirement: golden "
+                         f"{expected['stack_requirement']} -> "
+                         f"{actual['stack_requirement']}")
+        assert not lines, ("inferred bounds changed "
                            "(REPRO_REGEN_GOLDEN=1 to bless):\n"
                            + "\n".join(lines))

@@ -1,10 +1,10 @@
 """The fault-injection matrix end to end: every operator must be caught.
 
 This is the PR's central claim made executable: for each registered
-mutation operator — across the metric, derivation, certificate and
-refinement trust layers — some checker or oracle demonstrably rejects
-the mutant.  A surviving operator is a soundness gap in a checker, so
-this test failing is never noise.
+mutation operator — across the metric, derivation, certificate,
+refinement, analysis, serving and codegen trust layers — some checker
+or oracle demonstrably rejects the mutant.  A surviving operator is a
+soundness gap in a checker, so this test failing is never noise.
 """
 
 import pytest
@@ -15,9 +15,12 @@ from repro.testing.faults import (UnknownFaultError, operators,
 from repro.testing.oracles import SeedVerdict
 from repro.testing.shrink import shrink_failure
 
-#: One catalog program plus a few generated seeds: enough for every
-#: operator to find a site while keeping the test inside CI budgets.
-CATALOG = ("mibench/bitcount.c", "mibench/crc32.c")
+#: A small corpus with every kind of site the operators need — plain
+#: loops, a linear and a logarithmic recursion (parametric certificates
+#: for the recursion operators), and a devirtualized dispatch program —
+#: while keeping the test inside CI budgets.
+CATALOG = ("mibench/bitcount.c", "mibench/crc32.c", "recursive/recid.c",
+           "recursive/bsearch.c", "funcptr/dispatch.c")
 SEEDS = range(0, 3)
 
 
@@ -57,6 +60,15 @@ class TestMatrix:
         # converged-trace emptiness check; pin its route.
         assert by_name["ret-drop"].caught_by == "well-bracketing"
         assert by_name["io-drop"].caught_by == "pruned-trace"
+        # The recursion operators must land on the parametric corpus
+        # entries, and the widened candidate set is only observable
+        # differentially (the widened analysis still checks).
+        assert by_name["rec-depth-off-by-one"].detected_on.startswith(
+            "recursive/")
+        assert by_name["rec-base-guard-drop"].detected_on == \
+            "recursive/bsearch.c"
+        assert by_name["values-candidate-widen"].caught_by == \
+            "values-differential"
 
     def test_report_serializes(self, report):
         import json

@@ -177,6 +177,41 @@ class TestDifferentialOracle:
         assert "no_such_pass" in body["error"]
 
 
+class TestParametricPrograms:
+    """Recursive and function-pointer programs through the daemon."""
+
+    def test_recursive_program_serves_parametric_bounds(self, server):
+        path = "recursive/bsearch.c"
+        status, body, _ = _post(server.bound_port,
+                                {"source": load_source(path),
+                                 "filename": path})
+        assert status == 200, body
+        assert body["verdict"] == "verified"
+        # The recursive function has no single byte figure — it is
+        # reported symbolically in the certificate — while main (which
+        # calls it at a concrete depth) still sizes the stack block.
+        assert "bsearch" in body["bounds"]["parametric"]
+        assert "bsearch" not in body["bounds"]["functions"]
+        spec = body["certificate"]["functions"]["bsearch"]["spec"]
+        assert spec["params"], "served certificate lost the spec params"
+        expected = verify_stack_bounds(load_source(path), filename=path)
+        assert body["bounds"]["stack_requirement"] \
+            == expected.stack_requirement()
+
+    def test_function_pointer_program_serves_finite_bounds(self, server):
+        path = "funcptr/dispatch.c"
+        status, body, _ = _post(server.bound_port,
+                                {"source": load_source(path),
+                                 "filename": path})
+        assert status == 200, body
+        assert body["verdict"] == "verified"
+        assert not body["bounds"].get("parametric")
+        expected = verify_stack_bounds(load_source(path), filename=path)
+        assert body["bounds"]["functions"] == expected.all_bytes()
+        assert body["bounds"]["stack_requirement"] \
+            == expected.stack_requirement()
+
+
 class TestStoreHitsEveryStage:
     """Cache behavior proved through /metrics counters, per stage."""
 

@@ -90,21 +90,23 @@ def test_optimizations_preserve_bounds_soundness(seed):
 def test_recursive_programs_differential(seed):
     """Recursion-enabled fuzzing: depth-bounded self-recursive functions
     (some tail-recursive) through both the default pipeline and the
-    tail-call + CSE configuration.  The analyzer rightly rejects these;
-    the compiler must still refine."""
-    from repro.errors import AnalysisError
-
+    tail-call + CSE configuration.  The ranking-function inference must
+    bound every one of them with a checker-validated parametric spec,
+    and the (ground) main bound must dominate the observed watermark."""
     source = generate_program(seed, recursion=True)
     for options in (CompilerOptions(),
                     CompilerOptions(tailcall=True, cse=True)):
         compilation = compile_c(source, options=options)
         b_clight = run_clight(compilation.clight, fuel=5_000_000)
         assert isinstance(b_clight, Converges), b_clight
-        b_asm, _machine = compilation.run(fuel=150_000_000)
+        b_asm, machine = compilation.run(fuel=150_000_000)
         check_quantitative_refinement(b_asm, b_clight)
-    if "rec" in source:
-        with pytest.raises(AnalysisError):
-            StackAnalyzer(compilation.clight).analyze()
+        if "rec" in source:
+            analysis = StackAnalyzer(compilation.clight).analyze()
+            assert analysis.recursive, "expected inferred recursive specs"
+            analysis.check()
+            bound = analysis.bound_bytes("main", compilation.metric)
+            assert machine.measured_stack_usage <= bound - 4
 
 
 @SETTINGS

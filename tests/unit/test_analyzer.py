@@ -59,6 +59,23 @@ class TestCallGraph:
         graph = build_call_graph(program)
         assert graph.recursive_components() == [["a", "b"]]
 
+    def test_deep_call_chain_beyond_recursion_limit(self):
+        # Iterative Tarjan: a call chain much deeper than Python's
+        # default recursion limit must order without blowing the stack
+        # (the recursive strongconnect this replaced could not).
+        import sys
+
+        depth = sys.getrecursionlimit() + 1500
+        parts = ["int f0(void) { return 1; }"]
+        parts += [f"int f{i}(void) {{ return f{i - 1}(); }}"
+                  for i in range(1, depth)]
+        parts.append(f"int main(void) {{ return f{depth - 1}(); }}")
+        graph = build_call_graph(lower("\n".join(parts)))
+        order = graph.topological_order()
+        assert order.index("f0") < order.index(f"f{depth - 1}") \
+            < order.index("main")
+        assert graph.recursive_components() == []
+
     def test_calls_in_all_constructs_found(self):
         program = lower(
             "int f() { return 1; } "
@@ -116,10 +133,29 @@ class TestAutoBounds:
         metric = StackMetric({"main": 12})
         assert result.bound_bytes("main", metric) == 12
 
-    def test_recursion_rejected(self):
-        with pytest.raises(AnalysisError):
-            analyze("int f(int n) { if (n) return f(n - 1); return 0; } "
+    def test_self_recursion_inferred(self):
+        result = analyze("int f(int n) { if (n) return f(n - 1); return 0; } "
+                         "int main() { return f(3); }")
+        assert result.recursive == ["f"]
+        metric = StackMetric({"f": 16, "main": 8})
+        # main calls f(3): depth 3 recursion plus f's own frame.
+        assert result.bound_bytes("main", metric) == 8 + 4 * 16
+        assert result.bound_bytes("f", metric, {"f$#n": 3}) == 4 * 16
+        result.check()
+
+    def test_unrankable_recursion_rejected(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            analyze("int f(int n) { if (n) return f(n); return 0; } "
                     "int main() { return f(3); }")
+        assert excinfo.value.sccs == [["f"]]
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            analyze("int g(int n); "
+                    "int f(int n) { if (n) return g(n - 1); return 0; } "
+                    "int g(int n) { if (n) return f(n - 1); return 1; } "
+                    "int main() { return f(3); }")
+        assert excinfo.value.sccs == [["f", "g"]]
 
     def test_switch_bound(self):
         result = analyze(

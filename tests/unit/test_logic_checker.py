@@ -170,10 +170,27 @@ class TestSeqAndFrame:
             check_derivation(node, ctx())
 
     def test_frame_negative_constant_impossible(self):
-        # BFrameDiff clamps at 0 so any frame is accepted; a raw negative
-        # constant cannot even be constructed.
+        # BFrameDiff clamps at 0 (the domination is checked separately
+        # below); a raw negative constant cannot even be constructed.
         with pytest.raises(ValueError):
             bconst(-4)
+
+    def test_frame_absorbing_larger_body_rejected(self):
+        # ``part + (total - part)`` rewrites to ``total`` in the
+        # comparators, so without the explicit ``part <= total`` side
+        # condition a Q:FRAME application could "lower" a body needing
+        # M(f) to any smaller claim — here a ground 8 bytes.
+        gamma = FunContext()
+        gamma.add(FunSpec.constant("f", ZERO))
+        call_f = cl.SCall(None, "f", [])
+        own = bmetric("f")
+        diff = BFrameDiff(bconst(8), own)
+        lifted = dv.Triple(badd(own, diff), call_f,
+                           Post.uniform(badd(own, diff)))
+        node = dv.DFrame(lifted, diff,
+                         dv.DCall(uniform(own, call_f), "f", {}))
+        with pytest.raises(DerivationError, match="dominate its subtrahend"):
+            check_derivation(node, ctx(gamma))
 
 
 class TestConseq:

@@ -100,10 +100,15 @@ class TestUnsupportedFeatures:
         with pytest.raises(UnsupportedFeatureError):
             parse("int main() { goto end; }")
 
-    def test_function_pointer_declarator_rejected(self):
-        # Function-pointer declarators are outside the grammar entirely.
-        with pytest.raises((ParseError, UnsupportedFeatureError)):
-            parse("int main() { int (*f)(void); }")
+    def test_function_pointer_declarator_parses(self):
+        # Function-pointer declarators joined the grammar with the value
+        # analysis; the fp fragment is enforced by the type checker.
+        program = parse("int main() { int (*f)(void); return 0; }")
+        assert program.functions[0].name == "main"
+
+    def test_variadic_function_pointer_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int (*f)(int, ...); return 0; }")
 
     def test_union_rejected(self):
         with pytest.raises(UnsupportedFeatureError):

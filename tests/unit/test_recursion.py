@@ -55,6 +55,24 @@ class TestInduction:
         with pytest.raises(DerivationError):
             check_spec(spec, table)
 
+    def test_empty_domain_rejected(self):
+        # An empty verification domain would make the induction pass
+        # vacuously — the checker must refuse, not "succeed".
+        spec = RecursiveSpec("f", ["n"], bmetric("f"),
+                             lambda p: [], domain={"n": []})
+        table = SpecTable()
+        table.add_recursive(spec)
+        with pytest.raises(DerivationError, match="empty verification"):
+            check_spec(spec, table)
+
+    def test_missing_domain_rejected(self):
+        spec = RecursiveSpec("f", ["n"], bmetric("f"),
+                             lambda p: [], domain={})
+        table = SpecTable()
+        table.add_recursive(spec)
+        with pytest.raises(DerivationError, match="no verification domain"):
+            check_spec(spec, table)
+
     def test_missing_callee_spec_rejected(self):
         spec = RecursiveSpec(
             "f", ["n"], bmetric("f"),

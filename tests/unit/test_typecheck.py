@@ -61,9 +61,18 @@ class TestNameResolution:
         names = set(main.locals_types)
         assert len(names) == 2  # alpha-renamed apart
 
-    def test_function_name_as_value_rejected(self):
-        with pytest.raises(UnsupportedFeatureError):
+    def test_function_name_as_value_decays_to_pointer(self):
+        # A function designator is a function-pointer value now; using it
+        # where an int is expected is a conversion error, not an
+        # unsupported feature.
+        with pytest.raises(TypeError_):
             check("int f() { return 0; } int main() { return f; }")
+        check("int f() { return 0; } "
+              "int main() { int (*p)(void) = f; return p(); }")
+
+    def test_external_function_as_value_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            check("int main() { void (*p)(int) = print_int; return 0; }")
 
     def test_duplicate_parameter_rejected(self):
         with pytest.raises(TypeError_):

@@ -1,0 +1,140 @@
+"""Unit tests for the function-pointer value analysis."""
+
+import pytest
+
+from repro.analyzer.values import resolve_function_pointers
+from repro.c.parser import parse
+from repro.c.typecheck import typecheck
+from repro.c import ast as c
+from repro.errors import AnalysisError
+
+
+def resolve(source):
+    program = parse(source)
+    env = typecheck(program)
+    return program, resolve_function_pointers(program, env)
+
+
+def indirect_calls(program):
+    found = []
+
+    def walk(node):
+        if isinstance(node, c.Call) and node.indirect:
+            found.append(node)
+        for slot in _all_slots(type(node)):
+            value = getattr(node, slot, None)
+            items = value if isinstance(value, (list, tuple)) else [value]
+            for item in items:
+                if isinstance(item, c.Node):
+                    walk(item)
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        for child in (sub if isinstance(sub, list)
+                                      else [sub]):
+                            if isinstance(child, c.Node):
+                                walk(child)
+
+    for fn in program.functions:
+        walk(fn.body)
+    return found
+
+
+def _all_slots(cls):
+    slots = []
+    for klass in cls.__mro__:
+        slots.extend(getattr(klass, "__slots__", ()))
+    return slots
+
+
+class TestCandidateSets:
+    def test_single_initializer_gives_singleton(self):
+        program, resolution = resolve(
+            "int add(int x) { return x + 1; }\n"
+            "int main(void) { int (*f)(int) = add; return f(3); }\n")
+        (call,) = indirect_calls(program)
+        assert call.fp_candidates == ["add"]
+        assert resolution.sites == 1
+        assert resolution.fid("add") >= 1
+
+    def test_conditional_union(self):
+        program, _resolution = resolve(
+            "int add(int x) { return x + 1; }\n"
+            "int sub(int x) { return x - 1; }\n"
+            "int main(void) {\n"
+            "  int (*f)(int) = 0;\n"
+            "  f = 1 ? add : sub;\n"
+            "  return f(3);\n"
+            "}\n")
+        (call,) = indirect_calls(program)
+        assert sorted(call.fp_candidates) == ["add", "sub"]
+
+    def test_argument_passing_flows_into_parameter(self):
+        program, _resolution = resolve(
+            "int add(int x) { return x + 1; }\n"
+            "int sub(int x) { return x - 1; }\n"
+            "int apply(int (*op)(int), int v) { return op(v); }\n"
+            "int main(void) { return apply(add, 1) + apply(sub, 2); }\n")
+        (call,) = indirect_calls(program)
+        assert sorted(call.fp_candidates) == ["add", "sub"]
+
+    def test_candidates_do_not_include_unrelated_designators(self):
+        # heavy's address is taken elsewhere; pick's local pointer can
+        # only hold light, and the candidate set must stay that precise
+        # (this is exactly what the widen fault operator violates).
+        program, _resolution = resolve(
+            "int light(int x) { return x + 1; }\n"
+            "int heavy(int x) { int a[32]; a[x & 31] = x; return a[0]; }\n"
+            "int pick(int x) { int (*f)(int) = light; return f(x); }\n"
+            "int main(void) { int (*g)(int) = heavy; return g(pick(3)); }\n")
+        by_caller = {}
+        for fn in program.functions:
+            for call in indirect_calls_in(fn):
+                by_caller[fn.name] = call.fp_candidates
+        assert by_caller["pick"] == ["light"]
+        assert by_caller["main"] == ["heavy"]
+
+    def test_no_function_pointers_is_empty_resolution(self):
+        _program, resolution = resolve("int main(void) { return 0; }\n")
+        assert resolution.sites == 0
+        assert not resolution.any_indirect
+        assert resolution.fids == {}
+
+
+def indirect_calls_in(fn):
+    class _One:
+        functions = [fn]
+    return indirect_calls(_One)
+
+
+class TestRejections:
+    def test_null_only_pointer_rejected(self):
+        with pytest.raises(AnalysisError, match="no possible targets"):
+            resolve("int main(void) { int (*f)(int) = 0; return f(1); }\n")
+
+    def test_signature_mismatch_rejected(self):
+        # The typechecker already rejects every source-level way to put a
+        # wrongly-typed function into a pointer, so this annotate-time
+        # check is defense in depth: poison the solved candidate sets and
+        # confirm the analysis still refuses to annotate.
+        from repro.analyzer.values import _Resolver
+
+        program = parse(
+            "int add(int x) { return x + 1; }\n"
+            "int two(int x, int y) { return x + y; }\n"
+            "int main(void) { int (*f)(int) = add; return f(3); }\n")
+        env = typecheck(program)
+        resolver = _Resolver(program, env)
+        resolver.collect()
+        solution = resolver.solve()
+        for targets in solution.values():
+            targets.add("two")
+        with pytest.raises(AnalysisError, match="may hold"):
+            resolver.annotate(solution)
+
+    def test_fp_escaping_to_external_rejected(self):
+        with pytest.raises(AnalysisError, match="external"):
+            resolve(
+                "int register_cb(int (*f)(int));\n"
+                "int add(int x) { return x + 1; }\n"
+                "int main(void) { int (*f)(int) = add; "
+                "register_cb(f); return 0; }\n")
