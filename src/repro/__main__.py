@@ -53,7 +53,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="enable self-tail-call recognition")
         p.add_argument("--spill-all", action="store_true",
                        help="disable register allocation (ablation)")
+        add_backend(p)
         add_obs(p)
+        return p
+
+    def add_backend(p):
+        p.add_argument("--bounds-backend", default=None,
+                       choices=("fm", "z3", "cross"),
+                       help="decision backend for bound comparisons: the "
+                            "Fourier-Motzkin procedure (fm, default), the "
+                            "z3 SMT translation (z3), or both agree-or-"
+                            "fail (cross)")
         return p
 
     def add_obs(p):
@@ -161,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="period of the progress line (ETA, verdict "
                            "counts); 0 disables it")
+    add_backend(fuzz)
     add_obs(fuzz)
 
     serve = sub.add_parser(
@@ -532,7 +543,8 @@ def cmd_fuzz(args) -> int:
             report_path=args.report, repro_dir=repro_dir,
             time_budget=args.time_budget,
             obs=bool(args.metrics_out or args.trace_out),
-            status_interval=args.status_interval or None)
+            status_interval=args.status_interval or None,
+            bounds_backend=args.bounds_backend)
 
         def progress(verdict):
             if not verdict.ok:
@@ -596,6 +608,9 @@ def main(argv=None) -> int:
                "fuzz": cmd_fuzz, "serve": cmd_serve}[args.command]
     if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
         obs.enable()
+    if getattr(args, "bounds_backend", None):
+        from repro.logic.bexpr import set_default_backend
+        set_default_backend(args.bounds_backend)
     # One uniform error policy for every subcommand: the ReproError
     # hierarchy (parse/type/analysis/derivation/runtime errors) and I/O
     # failures (missing files, unwritable outputs) print a one-line

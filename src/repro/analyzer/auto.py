@@ -205,11 +205,13 @@ class AnalysisResult:
             raise AnalysisError(f"bound of {name} is unbounded")
         return int(value)
 
-    def check(self, externals: Optional[set[str]] = None) -> CheckReport:
+    def check(self, externals: Optional[set[str]] = None,
+              bounds_backend: Optional[str] = None) -> CheckReport:
         """Re-validate every emitted derivation with the logic checker."""
         ctx = CheckerContext(self.gamma,
                              externals=externals or self.program.externals,
-                             param_domains=self.param_domains or None)
+                             param_domains=self.param_domains or None,
+                             bounds_backend=bounds_backend)
         report = CheckReport()
         with obs.span("analyze.check", functions=len(self.functions)) as sp:
             for name, analysis in self.functions.items():

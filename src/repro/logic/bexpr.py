@@ -738,6 +738,29 @@ def _merge_atoms(left: frozenset, right: frozenset) -> frozenset:
     return frozenset(counts.items())
 
 
+# Fault-injection knob for the comparator layer (see testing/faults.py):
+# "fm-strict-gap-drop" rebuilds the failure-region constraints without the
+# integer gap of 1; "fm-nonneg-drop" omits the var >= 0 rows.  Production
+# code never sets this.
+_FAULT: Optional[str] = None
+
+# Monotone counter ticked whenever Fourier-Motzkin elimination abandons a
+# query because it blew past its constraint limit.  The cross-check backend
+# snapshots it around each FM call to tell conservative refusals (sound,
+# just incomplete) apart from lying ones.
+_FM_BLOWUPS = 0
+
+
+def fm_blowup_count() -> int:
+    """Number of FM queries so far abandoned on the constraint limit."""
+    return _FM_BLOWUPS
+
+
+def _tick_blowup() -> None:
+    global _FM_BLOWUPS
+    _FM_BLOWUPS += 1
+
+
 def _term_covered(small: tuple, large_terms: Iterable[tuple]) -> bool:
     """Exact coverage: ``small <= max(large_terms)`` pointwise on metrics.
 
@@ -770,9 +793,11 @@ def _term_covered(small: tuple, large_terms: Iterable[tuple]) -> bool:
             coeffs[name] = coeffs.get(name, 0) - mult
         coeffs = {name: c for name, c in coeffs.items() if c != 0}
         variables.update(coeffs)
-        constraints.append((coeffs, const_l - const_s + 1))
-    for name in variables:
-        constraints.append(({name: -1}, 0))
+        gap = 0 if _FAULT == "fm-strict-gap-drop" else 1
+        constraints.append((coeffs, const_l - const_s + gap))
+    if _FAULT != "fm-nonneg-drop":
+        for name in variables:
+            constraints.append(({name: -1}, 0))
     return not _fm_feasible(constraints, sorted(variables))
 
 
@@ -780,9 +805,12 @@ def _fm_feasible(constraints: list, variables: list[str],
                  limit: int = 4096) -> bool:
     """Real feasibility of ``{x : sum(coeffs*x) + const <= 0 for all}``.
 
-    Conservatively reports *feasible* if elimination blows past ``limit``
-    constraints (the caller then refuses the comparison, which is the
-    sound direction).
+    Conservatively reports *feasible* if elimination would blow past
+    ``limit`` constraints.  The resulting row count ``rest + pos*neg`` is
+    known before the product is materialized, so the blowup verdict is
+    O(1) instead of the old O(limit^2) of building the product first and
+    only then noticing.  Blowups tick :func:`fm_blowup_count` so callers
+    can tell the conservative verdict apart from a decided one.
     """
     from fractions import Fraction
 
@@ -792,6 +820,9 @@ def _fm_feasible(constraints: list, variables: list[str],
             a = coeffs.get(var, 0)
             (pos if a > 0 else neg if a < 0 else rest).append((coeffs, const))
         new = rest
+        if len(new) + len(pos) * len(neg) > limit:
+            _tick_blowup()
+            return True
         for cp, kp in pos:
             ap = cp[var]
             for cn, kn in neg:
@@ -805,8 +836,6 @@ def _fm_feasible(constraints: list, variables: list[str],
                         coeffs[name] = coeffs.get(name, 0) + Fraction(val, an)
                 coeffs = {name: c for name, c in coeffs.items() if c != 0}
                 new.append((coeffs, Fraction(kp, ap) + Fraction(kn, an)))
-        if len(new) > limit:
-            return True
         constraints = new
     return all(const <= 0 for _coeffs, const in constraints)
 
@@ -828,6 +857,9 @@ def _fm_solve(constraints: list, variables: list[str],
         a = coeffs.get(var, 0)
         (pos if a > 0 else neg if a < 0 else rest).append((coeffs, const))
     new = list(rest)
+    if len(new) + len(pos) * len(neg) > limit:
+        _tick_blowup()
+        return None
     for cp, kp in pos:
         ap = cp[var]
         for cn, kn in neg:
@@ -841,8 +873,6 @@ def _fm_solve(constraints: list, variables: list[str],
                     coeffs[name] = coeffs.get(name, 0) + Fraction(val, an)
             coeffs = {name: c for name, c in coeffs.items() if c != 0}
             new.append((coeffs, Fraction(kp, ap) + Fraction(kn, an)))
-    if len(new) > limit:
-        return None
     solution = _fm_solve(new, rest_vars, limit)
     if solution is None:
         return None
@@ -855,13 +885,21 @@ def _fm_solve(constraints: list, variables: list[str],
     for coeffs, const in pos:  # a*var <= -residual
         bound = Fraction(-residual(coeffs, const), coeffs[var])
         upper = bound if upper is None else min(upper, bound)
-    lower = Fraction(0)
+    # The lower bound must come only from actual constraints: assuming an
+    # implicit var >= 0 here used to pick points *outside* the system when
+    # the caller supplied no nonnegativity row (an upper bound below zero
+    # made `value` violate it), so witnesses could be fabricated or missed.
+    lower = None
     for coeffs, const in neg:  # a*var >= residual  (a = -coeff > 0)
         bound = Fraction(residual(coeffs, const), -coeffs[var])
-        lower = max(lower, bound)
-    value = Fraction(math.ceil(lower))
-    if upper is not None and value > upper:
-        value = (lower + upper) / 2
+        lower = bound if lower is None else max(lower, bound)
+    if lower is None:
+        value = Fraction(0) if upper is None \
+            else min(Fraction(0), Fraction(math.floor(upper)))
+    else:
+        value = Fraction(math.ceil(lower))
+        if upper is not None and value > upper:
+            value = (lower + upper) / 2
     solution[var] = value
     return solution
 
@@ -1016,11 +1054,51 @@ class CompareResult:
         return self.holds
 
 
+# Module-level default decision backend.  "fm" is the historical
+# Fourier-Motzkin / sampled procedure; "z3" and "cross" dispatch through
+# repro.logic.smt (imported lazily so the z3 dependency stays optional and
+# the import graph acyclic).  Selected via --bounds-backend on the CLI,
+# the CheckerContext knob, or set_default_backend().
+_BACKEND = "fm"
+
+
+def set_default_backend(name: str) -> None:
+    """Select the process-wide default ``bound_le`` backend."""
+    global _BACKEND
+    if name not in ("fm", "z3", "cross"):
+        raise ValueError(f"unknown bounds backend {name!r}; "
+                         f"known: fm, z3, cross")
+    _BACKEND = name
+
+
+def get_default_backend() -> str:
+    return _BACKEND
+
+
 def bound_le(small: BExpr, large: BExpr,
              param_domains: Optional[Mapping[str, Iterable[int]]] = None,
-             metric_samples: Optional[Iterable[Mapping[str, int]]] = None
-             ) -> CompareResult:
+             metric_samples: Optional[Iterable[Mapping[str, int]]] = None,
+             backend: Optional[str] = None) -> CompareResult:
     """Decide ``small <= large`` (pointwise over metrics and parameters).
+
+    Dispatches on ``backend`` (or the module default): ``fm`` is the
+    Fourier-Motzkin / sampled procedure below, ``z3`` the SMT backend in
+    :mod:`repro.logic.smt`, ``cross`` the agree-or-fail differential mode
+    that runs both and raises on any mismatch.
+    """
+    chosen = backend or _BACKEND
+    if chosen != "fm":
+        from repro.logic import smt
+        return smt.dispatch_bound_le(small, large, param_domains,
+                                     metric_samples, chosen)
+    return fm_bound_le(small, large, param_domains, metric_samples)
+
+
+def fm_bound_le(small: BExpr, large: BExpr,
+                param_domains: Optional[Mapping[str, Iterable[int]]] = None,
+                metric_samples: Optional[Iterable[Mapping[str, int]]] = None
+                ) -> CompareResult:
+    """The Fourier-Motzkin / exhaustive-evaluation decision procedure.
 
     Ground expressions are compared exactly via max-plus normal forms.
     Parametric expressions are compared by exhaustive evaluation over the

@@ -52,12 +52,17 @@ class CheckerContext:
     def __init__(self, gamma: FunContext,
                  externals: Optional[Iterable[str]] = None,
                  param_domains: Optional[Mapping[str, Iterable[int]]] = None,
-                 metric_samples: Optional[Iterable[Mapping[str, int]]] = None
-                 ) -> None:
+                 metric_samples: Optional[Iterable[Mapping[str, int]]] = None,
+                 bounds_backend: Optional[str] = None) -> None:
         self.gamma = gamma
         self.externals = set(externals or ())
         self.param_domains = dict(param_domains or {})
         self.metric_samples = list(metric_samples) if metric_samples else None
+        # None defers to bexpr's module default ("fm" unless the CLI set a
+        # --bounds-backend); "cross" makes every side condition of this
+        # check — including Q:FRAME domination — run agree-or-fail against
+        # the SMT backend.
+        self.bounds_backend = bounds_backend
 
 
 def check_derivation(derivation: dv.Derivation, ctx: CheckerContext
@@ -379,7 +384,8 @@ def _require_eq(a: BExpr, b: BExpr, ctx: CheckerContext, report: CheckReport,
         report.exact_conditions += 1
         return
     result = bound_equal(a, b, param_domains=ctx.param_domains,
-                         metric_samples=ctx.metric_samples)
+                         metric_samples=ctx.metric_samples,
+                         backend=ctx.bounds_backend)
     _record(result, report)
     if not result.holds:
         raise DerivationError(f"{message}: {a!r} != {b!r}")
@@ -388,7 +394,8 @@ def _require_eq(a: BExpr, b: BExpr, ctx: CheckerContext, report: CheckReport,
 def _require_le(small: BExpr, large: BExpr, ctx: CheckerContext,
                 report: CheckReport, message: str) -> None:
     result = bound_le(small, large, param_domains=ctx.param_domains,
-                      metric_samples=ctx.metric_samples)
+                      metric_samples=ctx.metric_samples,
+                      backend=ctx.bounds_backend)
     _record(result, report)
     if not result.holds:
         raise DerivationError(f"{message}: {small!r} > {large!r}")

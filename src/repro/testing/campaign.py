@@ -53,6 +53,7 @@ class CampaignConfig:
     time_budget: Optional[float] = None            #: wall-clock cap, seconds
     obs: bool = False               #: per-seed spans + worker metric deltas
     status_interval: Optional[float] = None        #: progress-line period, s
+    bounds_backend: Optional[str] = None           #: fm | z3 | cross
 
     def cache_key(self, source: str) -> str:
         """Content hash identifying (source, oracle configuration)."""
@@ -60,6 +61,7 @@ class CampaignConfig:
             "v": ORACLE_VERSION, "metric": self.metric, "plant": self.plant,
             "ablations": sorted(self.ablations or ABLATIONS),
             "probes": self.probes, "deep": self.deep,
+            "backend": self.bounds_backend or "fm",
         }, sort_keys=True)
         return hashlib.sha256((tag + "\0" + source).encode()).hexdigest()
 
@@ -198,6 +200,11 @@ def _check_one(payload: tuple[int, CampaignConfig]) -> SeedVerdict:
 
 
 def _check_one_plain(seed: int, config: CampaignConfig) -> SeedVerdict:
+    if config.bounds_backend is not None:
+        # Applied per seed rather than in the pool initializer: the config
+        # travels with the work item, so fork/spawn workers both honor it.
+        from repro.logic.bexpr import set_default_backend
+        set_default_backend(config.bounds_backend)
     source = generate_program(seed, **config.gen_kwargs)
     cache_file = None
     if config.cache_dir is not None:

@@ -72,9 +72,10 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.events.metrics import StackMetric
 from repro.events.trace import (CallEvent, Event, IOEvent, ReturnEvent,
                                 is_well_bracketed, prune)
+from repro.logic.bexpr import BConst, BMetric, BScale, badd, bmax
 
 LAYERS = ("metric", "derivation", "certificate", "refinement", "analysis",
-          "serving", "codegen")
+          "serving", "codegen", "comparator")
 
 
 class UnknownFaultError(ValueError):
@@ -556,6 +557,77 @@ def _values_candidate_widen() -> tuple[bool, str, str]:
 
 
 # ---------------------------------------------------------------------------
+# Comparator operators: the bound-order decision procedure lies
+# (see repro.logic.bexpr and the cross-check in repro.logic.smt)
+# ---------------------------------------------------------------------------
+
+
+def _comparator_fault(knob: str, small, large) -> tuple[bool, str, str]:
+    """Self-contained comparator scenario shared by both operators.
+
+    The fault knob corrupts the failure-region construction in
+    ``_term_covered`` so Fourier-Motzkin wrongly *refuses* a valid
+    inequality — the quiet direction: nothing downstream crashes, the
+    analyzer just reports looser bounds and derivation re-checks start
+    failing.  Only the cross-check backend notices: with z3 installed the
+    differential disagrees outright, and without it the witness audit
+    flags an exact refusal that ``find_violation_metric`` (whose own
+    constraint construction is intact) cannot certify.
+    """
+    from repro.logic import bexpr, smt
+
+    clean = bexpr.fm_bound_le(small, large)
+    if not (clean.holds and clean.exact):
+        return False, "", ("scenario query must hold exactly on a clean "
+                           f"comparator, got holds={clean.holds}")
+    previous = bexpr._FAULT
+    bexpr._FAULT = knob
+    try:
+        lied = bexpr.fm_bound_le(small, large)
+        if lied.holds:
+            return False, "", ("knobbed comparator still affirms the "
+                               "query; the fault has no effect here")
+        try:
+            smt.crosscheck_bound_le(small, large)
+        except smt.ComparatorDisagreement as disagreement:
+            caught_by, diagnostic = disagreement.caught_by, str(disagreement)
+        else:
+            return False, "", ("cross-check accepted the lying refusal "
+                               "(comparator gap)")
+    finally:
+        bexpr._FAULT = previous
+    if not smt.crosscheck_bound_le(small, large).holds:
+        return False, "", "fault leaked: clean comparator still refuses"
+    return True, caught_by, diagnostic
+
+
+@_register("fm-strict-gap-drop", "comparator",
+           "build the FM failure region with const_l - const_s instead "
+           "of the integer gap + 1")
+def _fm_strict_gap_drop() -> tuple[bool, str, str]:
+    # M(f) + 1 <= max(2*M(f), 1) holds (1 covers M(f) = 0, 2*M(f) covers
+    # the rest) but needs the case split: without the integer gap the
+    # failure region keeps the boundary points M(f) in [0, 1] and FM
+    # refuses.
+    f = BMetric("f")
+    return _comparator_fault("fm-strict-gap-drop",
+                             badd(f, BConst(1)),
+                             bmax(BScale(2, f), BConst(1)))
+
+
+@_register("fm-nonneg-drop", "comparator",
+           "omit the var >= 0 rows from the FM failure region")
+def _fm_nonneg_drop() -> tuple[bool, str, str]:
+    # M(f) + M(g) <= max(2*M(f), 3*M(g)) holds on nonnegative metrics
+    # but fails at (f, g) = (-3, -2): dropping the nonnegativity rows
+    # makes the failure region feasible and FM refuses.
+    f, g = BMetric("f"), BMetric("g")
+    return _comparator_fault("fm-nonneg-drop",
+                             badd(f, g),
+                             bmax(BScale(2, f), BScale(3, g)))
+
+
+# ---------------------------------------------------------------------------
 # Serving operators: the serving path lies (see repro.serve)
 # ---------------------------------------------------------------------------
 
@@ -1009,14 +1081,16 @@ def run_mutation_matrix(catalog: Iterable[str] = DEFAULT_CATALOG,
             if not outcome.detected and not outcome.diagnostic:
                 outcome.diagnostic = "no applicable site in the corpus"
 
-        elif op.layer in ("analysis", "serving", "codegen"):
+        elif op.layer in ("analysis", "serving", "codegen", "comparator"):
             # Self-contained scenario: the operator injects its fault
-            # into a private store/pool (or a private analyzer knob or
-            # miscompiled engine) and reports who caught it.
+            # into a private store/pool (or a private analyzer/comparator
+            # knob or miscompiled engine) and reports who caught it.
             outcome.attempts += 1
             outcome.detected_on = {"serving": "serve-harness",
                                    "codegen": "codegen-harness",
-                                   "analysis": "analysis-harness"}[op.layer]
+                                   "analysis": "analysis-harness",
+                                   "comparator": "comparator-harness"}[
+                                       op.layer]
             try:
                 detected, caught_by, diagnostic = op.apply()
             except Exception as error:  # a crash is not a diagnostic

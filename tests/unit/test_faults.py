@@ -180,6 +180,37 @@ class TestServingOperators:
             assert op.name not in metric_fault_names()
 
 
+class TestComparatorOperators:
+    """Each comparator fault must be caught by the cross-check backend."""
+
+    def test_registry_has_both_scenarios(self):
+        names = {op.name for op in operators("comparator")}
+        assert {"fm-strict-gap-drop", "fm-nonneg-drop"} <= names
+
+    @pytest.mark.parametrize("name", ["fm-strict-gap-drop",
+                                      "fm-nonneg-drop"])
+    def test_fault_is_caught_by_the_cross_check(self, name):
+        detected, caught_by, diagnostic = get_operator(name).apply()
+        assert detected, diagnostic
+        # With z3 installed the differential itself disagrees; without it
+        # the witness audit flags the uncertifiable refusal.  Either way
+        # the lie does not survive.
+        assert caught_by in ("smt-differential", "witness-audit")
+
+    @pytest.mark.parametrize("name", ["fm-strict-gap-drop",
+                                      "fm-nonneg-drop"])
+    def test_fault_does_not_leak(self, name):
+        from repro.logic import bexpr
+
+        get_operator(name).apply()
+        assert bexpr._FAULT is None
+        assert bexpr.get_default_backend() == "fm"
+
+    def test_comparator_operators_are_not_plants(self):
+        for op in operators("comparator"):
+            assert op.name not in metric_fault_names()
+
+
 class TestCatalogCorpusIsAnalyzable:
     def test_default_catalog_members_analyze(self):
         from repro.testing.faults import DEFAULT_CATALOG

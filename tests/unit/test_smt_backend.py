@@ -1,0 +1,275 @@
+"""Unit tests for the bounds-backend dispatch, the FM bugfix sweep and
+the SMT cross-check (repro.logic.smt)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro.logic import bexpr as bx
+from repro.logic import smt
+from repro.logic.bexpr import (BConst, BMetric, BScale, badd, bmax, bound_le,
+                               fm_bound_le)
+
+
+def _satisfies(point, constraints):
+    """Every ``sum(coeffs*x) + const <= 0`` row holds at ``point``."""
+    return all(
+        sum(Fraction(c) * point[n] for n, c in coeffs.items()) + const <= 0
+        for coeffs, const in constraints)
+
+
+class TestFmSolveWithoutNonnegRows:
+    """_fm_solve must not assume an implicit var >= 0 (PR 10 bugfix)."""
+
+    def test_point_in_a_negative_only_interval(self):
+        # x + 5 <= 0, i.e. x <= -5: the old hard-coded lower bound of 0
+        # returned a midpoint outside the system.
+        constraints = [({"x": 1}, 5)]
+        point = bx._fm_solve(constraints, ["x"])
+        assert point is not None
+        assert _satisfies(point, constraints)
+
+    def test_unconstrained_variable_defaults_to_zero(self):
+        point = bx._fm_solve([], ["x"])
+        assert point == {"x": 0}
+
+    def test_lower_bound_still_comes_from_neg_rows(self):
+        # x >= 3 expressed as -x + 3 <= 0.
+        constraints = [({"x": -1}, 3)]
+        point = bx._fm_solve(constraints, ["x"])
+        assert point is not None and point["x"] >= 3
+
+    def test_infeasible_without_nonneg_is_reported(self):
+        # x >= 3 and x <= 2.
+        constraints = [({"x": -1}, 3), ({"x": 1}, -2)]
+        assert bx._fm_solve(constraints, ["x"]) is None
+
+    def test_two_variable_negative_orthant(self):
+        # x <= -1, y <= x (both strictly negative; no nonneg rows).
+        constraints = [({"x": 1}, 1), ({"y": 1, "x": -1}, 0)]
+        point = bx._fm_solve(constraints, ["x", "y"])
+        assert point is not None
+        assert _satisfies(point, constraints)
+
+    def test_callers_with_nonneg_rows_are_unchanged(self):
+        # The shape _term_covered/find_violation_metric always emit:
+        # explicit var >= 0 rows restore the historical behavior.
+        constraints = [({"x": 1}, -10), ({"x": -1}, 0)]
+        point = bx._fm_solve(constraints, ["x"])
+        assert point is not None
+        assert 0 <= point["x"] <= 10
+
+
+class TestFmFeasibleShortCircuit:
+    """Blowups must be declared before the pos x neg product is built."""
+
+    def test_over_limit_is_conservatively_feasible(self):
+        # Infeasible system (x <= -5 and x >= 0), but the limit forces
+        # the conservative verdict: feasible, so the caller refuses.
+        constraints = [({"x": 1}, 5), ({"x": -1}, 0)]
+        before = bx.fm_blowup_count()
+        assert bx._fm_feasible(constraints, ["x"], limit=0) is True
+        assert bx.fm_blowup_count() == before + 1
+
+    def test_within_limit_still_decides(self):
+        constraints = [({"x": 1}, 5), ({"x": -1}, 0)]
+        assert bx._fm_feasible(constraints, ["x"]) is False
+
+    def test_solve_over_limit_returns_none(self):
+        constraints = [({"x": 1}, -10), ({"x": -1}, 0)]
+        before = bx.fm_blowup_count()
+        assert bx._fm_solve(constraints, ["x"], limit=0) is None
+        assert bx.fm_blowup_count() == before + 1
+
+    def test_over_limit_bound_le_refuses_never_affirms(self, monkeypatch):
+        # M(f) + 1 <= max(2*M(f), 1) holds, but under a starved limit the
+        # comparison must come back refused — the sound direction.
+        original = bx._fm_feasible
+        monkeypatch.setattr(
+            bx, "_fm_feasible",
+            lambda constraints, variables, limit=4096:
+                original(constraints, variables, limit=1))
+        f = BMetric("f")
+        small, large = badd(f, BConst(1)), bmax(BScale(2, f), BConst(1))
+        assert fm_bound_le(small, large).holds is False
+        assert fm_bound_le(small, large).holds is False  # stable
+
+
+class TestBackendDispatch:
+    def test_default_backend_is_fm(self):
+        assert bx.get_default_backend() == "fm"
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown bounds backend"):
+            bx.set_default_backend("cvc5")
+        with pytest.raises(ValueError, match="unknown bounds backend"):
+            bound_le(BConst(1), BConst(2), backend="cvc5")
+
+    def test_backend_kwarg_overrides_default(self):
+        result = bound_le(BConst(1), BConst(2), backend="cross")
+        assert result.holds and result.exact
+
+    def test_set_default_backend_routes_bound_le(self):
+        bx.set_default_backend("cross")
+        try:
+            assert bound_le(BConst(1), BConst(2)).holds
+        finally:
+            bx.set_default_backend("fm")
+
+    @pytest.mark.skipif(smt.Z3_AVAILABLE, reason="z3 installed")
+    def test_z3_backend_without_z3_raises(self):
+        with pytest.raises(smt.SmtUnavailable, match="z3"):
+            bound_le(BConst(1), BConst(2), backend="z3")
+
+    def test_bound_equal_passes_backend_through(self):
+        result = bx.bound_equal(BConst(3), BConst(3), backend="cross")
+        assert result.holds and result.exact
+
+
+class TestCrossCheck:
+    def test_agrees_on_valid_ground_queries(self):
+        f, g = BMetric("f"), BMetric("g")
+        cases = [
+            (BConst(0), BConst(0)),
+            (f, badd(f, BConst(4))),
+            (badd(f, BConst(1)), bmax(BScale(2, f), BConst(1))),
+            (badd(f, g), bmax(BScale(2, f), BScale(3, g))),
+            (bmax(f, g), badd(f, g)),
+        ]
+        for small, large in cases:
+            result = smt.crosscheck_bound_le(small, large)
+            assert result.holds, (small, large)
+
+    def test_agrees_on_refused_ground_queries(self):
+        f = BMetric("f")
+        cases = [
+            (badd(f, BConst(1)), f),
+            (BScale(2, f), f),
+            (BConst(5), BConst(4)),
+        ]
+        for small, large in cases:
+            result = smt.crosscheck_bound_le(small, large)
+            assert not result.holds, (small, large)
+
+    def test_matches_fm_verdict_exactly(self):
+        f = BMetric("f")
+        small, large = badd(f, BConst(8)), bmax(BScale(3, f), BConst(12))
+        via_fm = fm_bound_le(small, large)
+        via_cross = smt.crosscheck_bound_le(small, large)
+        assert via_cross.holds == via_fm.holds
+        assert via_cross.exact == via_fm.exact
+
+    def test_fm_only_fallback_is_counted(self):
+        if smt.Z3_AVAILABLE:
+            pytest.skip("z3 installed; the fallback path never runs")
+        obs.enable()
+        try:
+            obs.reset()
+            smt.crosscheck_bound_le(BMetric("f"), BScale(2, BMetric("f")))
+            counters = obs.snapshot()["counters"]
+            assert counters.get("logic.crosscheck.fm_only", 0) >= 1
+            assert counters.get("logic.backend.cross.queries", 0) >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_disagreement_is_structured(self):
+        # Inject the gap-drop comparator fault directly: FM then refuses
+        # a valid inequality and the cross-check must say so, loudly.
+        f = BMetric("f")
+        small, large = badd(f, BConst(1)), bmax(BScale(2, f), BConst(1))
+        previous = bx._FAULT
+        bx._FAULT = "fm-strict-gap-drop"
+        try:
+            with pytest.raises(smt.ComparatorDisagreement) as excinfo:
+                smt.crosscheck_bound_le(small, large)
+        finally:
+            bx._FAULT = previous
+        disagreement = excinfo.value
+        assert disagreement.query["op"] == "bound_le"
+        assert disagreement.query["small"] is small
+        assert disagreement.query["large"] is large
+        assert disagreement.fm is False
+        assert disagreement.caught_by in ("smt-differential",
+                                          "witness-audit")
+        assert "disagreement" in str(disagreement)
+
+    def test_zero_fast_path_with_parametric_large(self):
+        # Regression (found replaying the golden snapshots under cross):
+        # 0 <= large is affirmed exactly by the FM fast path even for
+        # parametric large, and the sample audit must not try to
+        # evaluate the parameters it does not have.  Before the fix this
+        # raised ValueError("parameter ... has no value") inside every
+        # recursion-spec check under the cross backend.
+        from repro.logic.bexpr import BParam
+        large = badd(BMetric("f"), BParam("fact$#n"))
+        result = smt.crosscheck_bound_le(BConst(0), large)
+        assert result.holds and result.exact
+
+    def test_blowup_refusal_is_not_a_disagreement(self, monkeypatch):
+        # A conservative refusal (limit starvation) is sound-but-
+        # incomplete, not a lie: cross mode must pass it through.
+        original = bx._fm_feasible
+        monkeypatch.setattr(
+            bx, "_fm_feasible",
+            lambda constraints, variables, limit=4096:
+                original(constraints, variables, limit=1))
+        f = BMetric("f")
+        small, large = badd(f, BConst(1)), bmax(BScale(2, f), BConst(1))
+        result = smt.crosscheck_bound_le(small, large)
+        assert result.holds is False
+
+    def test_cross_via_checker_context_knob(self):
+        from repro.driver import compile_c
+        from repro.analyzer import StackAnalyzer
+
+        source = ("int leaf(int x) { int a[4]; a[x & 3] = x; return a[0]; }\n"
+                  "int main(void) { return leaf(3); }\n")
+        compilation = compile_c(source, filename="smt_checker_knob.c")
+        result = StackAnalyzer(compilation.clight).analyze()
+        report = result.check(bounds_backend="cross")
+        assert report.nodes > 0
+
+
+@pytest.mark.skipif(not smt.Z3_AVAILABLE, reason="z3 not installed")
+class TestZ3Translation:
+    """Exercised by the bounds-crosscheck CI job (z3 installed)."""
+
+    def test_ground_affirmation(self):
+        f = BMetric("f")
+        result = smt.smt_bound_le(badd(f, BConst(1)),
+                                  bmax(BScale(2, f), BConst(1)))
+        assert result.holds and result.exact
+
+    def test_ground_refusal_carries_a_witness(self):
+        f = BMetric("f")
+        result, witness = smt._smt_decide(badd(f, BConst(1)), f, None)
+        assert not result.holds
+        assert witness is not None and "metric" in witness
+
+    def test_two_metric_case_split(self):
+        f, g = BMetric("f"), BMetric("g")
+        assert smt.smt_bound_le(badd(f, g),
+                                bmax(BScale(2, f), BScale(3, g))).holds
+
+    def test_parametric_with_domain(self):
+        from repro.logic.bexpr import BLog2, BMul, BParam
+        n = BParam("n")
+        m = BMetric("f")
+        small = badd(m, BMul(BLog2(n), m))
+        large = badd(m, BMul(badd(BLog2(n), BConst(1)), m))
+        result = smt.smt_bound_le(small, large,
+                                  {"n": range(1, 65)})
+        assert result.holds and not result.exact
+
+    def test_missing_domain_raises(self):
+        from repro.logic.bexpr import BParam
+        with pytest.raises(ValueError, match="verification domain"):
+            smt.smt_bound_le(BParam("n"), BConst(100), None)
+
+    def test_infinity_dominates(self):
+        from repro.logic.bexpr import INFINITY
+        f = BMetric("f")
+        assert smt.smt_bound_le(f, BConst(INFINITY)).holds
+        assert not smt.smt_bound_le(BConst(INFINITY), f).holds
